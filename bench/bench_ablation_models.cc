@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Model ablations (DESIGN.md items 1 and 3, plus the paper's modeling
+ * claims):
+ *
+ *  1. Linear vs. temperature-aware battery: the paper argues detailed
+ *     battery models (ambient-temperature effects) "do not offer much
+ *     additional insight" -- quantified here by re-running the default
+ *     campaign with capacity derating up to 1%/K of inlet temperature.
+ *  2. Fixed vs. adaptive (runtime-coordinated) emergency capping: the
+ *     paper mentions both SLA-predetermined and dynamically coordinated
+ *     capping; adaptive capping caps gently for marginal overshoots,
+ *     trading a little thermal margin for tenant performance.
+ *  3. Cooling-capacity derating on/off: the knob that separates "capping
+ *     always recovers" from the paper's Fig. 8 runaway.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+using namespace ecolo::benchutil;
+
+constexpr double kDays = 150.0;
+
+void
+batteryModelAblation()
+{
+    printBanner(std::cout,
+                "Ablation: linear vs. temperature-aware battery "
+                "(Foresighted w=14, 150 days)");
+    TextTable table({"battery model", "emergency h/yr",
+                     "attack h/day"});
+    for (double loss : {0.0, 0.005, 0.01}) {
+        auto config = SimulationConfig::paperDefault();
+        config.batterySpec.capacityLossPerKelvin = loss;
+        const auto r = runCampaign(
+            config, makeForesightedPolicy(config, 14.0), kDays, "F", loss);
+        table.addRow(loss == 0.0 ? "linear (paper/default)"
+                                 : fixed(100.0 * loss, 1) + "%/K derating",
+                     fixed(r.emergencyHoursPerYear, 0),
+                     fixed(r.attackHoursPerDay, 2));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "paper claim: the detailed battery model does not change "
+                 "the conclusions -- expect similar emergency hours across "
+                 "rows\n";
+}
+
+void
+cappingStrategyAblation()
+{
+    printBanner(std::cout,
+                "Ablation: fixed (SLA-predetermined) vs. adaptive "
+                "(runtime-coordinated) emergency capping");
+    TextTable table({"capping", "emergency h/yr", "outages",
+                     "norm. 95p latency during emergencies"});
+    for (bool adaptive : {false, true}) {
+        auto config = SimulationConfig::paperDefault();
+        config.adaptiveCapping = adaptive;
+        const auto r = runCampaign(
+            config, makeMyopicPolicy(config, Kilowatts(7.4)), kDays, "M",
+            adaptive ? 1.0 : 0.0);
+        table.addRow(adaptive ? "adaptive (overshoot-scaled)"
+                              : "fixed 120 W (default)",
+                     fixed(r.emergencyHoursPerYear, 0), r.outages,
+                     fixed(r.normalizedPerf, 2));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "expected: adaptive capping keeps outages at zero while "
+                 "capping gently on marginal emergencies (lower latency "
+                 "impact per emergency minute)\n";
+}
+
+void
+coolingDeratingAblation()
+{
+    printBanner(std::cout,
+                "Ablation: cooling-capacity derating (one-shot outage "
+                "feasibility)");
+    TextTable table({"derating per K", "one-shot outages (7 days)",
+                     "hottest inlet (C)"});
+    for (double derate : {0.0, 0.005, 0.01}) {
+        auto config = SimulationConfig::paperDefault();
+        config.attackLoad = Kilowatts(3.0);
+        config.batterySpec.maxDischargeRate = Kilowatts(3.0);
+        config.batterySpec.capacity = KilowattHours(0.5);
+        config.cooling.capacityDeratingPerKelvin = derate;
+        Simulation sim(config,
+                       makeOneShotPolicy(config, Kilowatts(7.0), 0));
+        sim.runDays(7.0);
+        table.addRow(fixed(100.0 * derate, 1) + "%",
+                     sim.metrics().outages(),
+                     fixed(sim.metrics().maxInlet().max(), 1));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "with zero derating, capping arrests the strike below "
+                 "45 C and the paper's Fig. 8 outage cannot occur; the "
+                 "calibrated 1%/K reproduces it\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    batteryModelAblation();
+    cappingStrategyAblation();
+    coolingDeratingAblation();
+    return 0;
+}

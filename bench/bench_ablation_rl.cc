@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation benchmarks for the design choices behind the Foresighted
+ * attacker (DESIGN.md items 2 and the warm-start substitution):
+ *
+ *  1. Batch (post-state) Q-learning vs. textbook one-table Q-learning:
+ *     the paper's batch learner shares experience across load transitions
+ *     through the post-state value, converging "within 1-4 weeks".
+ *  2. Warm start vs. cold start for the batch learner.
+ *  3. Learning-rate schedule: the paper's 1/t^0.85 vs. a fast-decaying
+ *     1/t schedule.
+ *
+ * The metric is weekly attack-induced emergency minutes over an 8-week
+ * online-learning run (higher earlier = faster convergence), plus the
+ * steady-state level in weeks 7-8.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+
+std::vector<long>
+weeklyEmergencyMinutes(const SimulationConfig &config,
+                       std::unique_ptr<AttackPolicy> policy, int weeks)
+{
+    Simulation sim(config, std::move(policy));
+    std::vector<long> weekly(weeks, 0);
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        if (r.cappingActive) {
+            const auto week = static_cast<std::size_t>(
+                r.time / (7 * kMinutesPerDay));
+            if (week < weekly.size())
+                ++weekly[week];
+        }
+    });
+    sim.runDays(weeks * 7.0);
+    return weekly;
+}
+
+ForesightedPolicy::Params
+baseParams(const SimulationConfig &config, double weight)
+{
+    ForesightedPolicy::Params params;
+    params.weight = weight;
+    params.baselineInlet =
+        config.cooling.supplySetPoint + CelsiusDelta(0.5);
+    params.capacity = config.capacity;
+    params.attackLoad = config.attackLoad;
+    params.battery = config.batterySpec;
+    params.stateSpace.loadMin = config.capacity * 0.5;
+    params.stateSpace.loadMax = config.capacity * 1.08;
+    return params;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto config = SimulationConfig::paperDefault();
+    const double weight = 14.0;
+    const int weeks = 8;
+
+    struct Variant
+    {
+        std::string name;
+        std::vector<long> weekly;
+    };
+    std::vector<Variant> variants;
+
+    // 1. The paper's learner (batch + warm start).
+    variants.push_back(
+        {"batch + warm start",
+         weeklyEmergencyMinutes(
+             config, makeForesightedPolicy(config, weight, true), weeks)});
+
+    // 2. Batch learner, cold start.
+    variants.push_back(
+        {"batch, cold start",
+         weeklyEmergencyMinutes(
+             config, makeForesightedPolicy(config, weight, false),
+             weeks)});
+
+    // 3. Vanilla one-table Q-learning (cold start; no post-state).
+    variants.push_back(
+        {"vanilla Q-learning",
+         weeklyEmergencyMinutes(
+             config,
+             std::make_unique<VanillaRlPolicy>(
+                 baseParams(config, weight), Rng(config.seed ^ 0xab1e)),
+             weeks)});
+
+    // 4. Batch learner with a 1/t learning-rate schedule.
+    {
+        auto params = baseParams(config, weight);
+        params.learner.learningRateExponent = 1.0;
+        auto policy = std::make_unique<ForesightedPolicy>(
+            params, Rng(config.seed ^ 0xf0e51337ULL));
+        policy->warmStart();
+        variants.push_back(
+            {"batch, 1/t schedule",
+             weeklyEmergencyMinutes(config, std::move(policy), weeks)});
+    }
+
+    printBanner(std::cout, "RL ablation: weekly attack-induced emergency "
+                           "minutes over 8 weeks of online learning");
+    std::vector<std::string> headers{"variant"};
+    for (int w = 1; w <= weeks; ++w)
+        headers.push_back("wk" + std::to_string(w));
+    headers.emplace_back("wk7+8 total");
+    TextTable table(headers);
+    for (const auto &v : variants) {
+        std::vector<std::string> row{v.name};
+        for (long minutes_in_week : v.weekly)
+            row.push_back(std::to_string(minutes_in_week));
+        row.push_back(std::to_string(v.weekly[6] + v.weekly[7]));
+        table.addRowStrings(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nexpected: the paper's batch learner reaches its "
+                 "steady emergency rate within 1-4 weeks; removing the "
+                 "warm start slows the first weeks; vanilla Q-learning "
+                 "converges more slowly than the post-state learner\n";
+    return 0;
+}

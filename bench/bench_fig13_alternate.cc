@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 13 reproduction: robustness to a different load pattern.
+ *
+ * (a) A 24-hour snapshot of the alternate (Google-cluster-style) power
+ *     trace, scaled to the same 75% average utilization.
+ * (b) Benign tenants' normalized 95th-percentile response time during
+ *     emergencies under Myopic and Foresighted -- the paper finds the
+ *     same qualitative damage as with the default trace.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ecolo;
+    using namespace ecolo::core;
+    using namespace ecolo::benchutil;
+
+    auto config = SimulationConfig::paperDefault();
+    config.traceKind = TraceKind::GoogleStyle;
+
+    // (a) 24-hour snapshot.
+    const auto records =
+        recordRun(config, std::make_unique<StandbyPolicy>(), 8.0);
+    printBanner(std::cout, "Fig. 13(a): 24-hour snapshot of the alternate "
+                           "(Google-style) power trace");
+    TextTable snapshot({"hour", "total power (kW)"});
+    for (MinuteIndex m = 0; m < kMinutesPerDay; m += 15) {
+        const auto &r = records[kMinutesPerDay + m];
+        snapshot.addRow(fixed(static_cast<double>(m) / 60.0, 2),
+                        fixed(r.meteredTotal.value(), 2));
+    }
+    snapshot.print(std::cout);
+    OnlineStats week;
+    for (const auto &r : records)
+        week.add(r.meteredTotal.value());
+    std::cout << "8-day mean: " << fixed(week.mean(), 2)
+              << " kW (target 6.00); plateau/burst structure instead of "
+                 "the default trace's smooth diurnal swing\n";
+
+    // (b) Year-long attack campaigns on the alternate trace.
+    const double days = 365.0;
+    const auto myopic = runCampaign(
+        config, makeMyopicPolicy(config, Kilowatts(7.4)), days, "Myopic",
+        7.4);
+    const auto foresighted = runCampaign(
+        config, makeForesightedPolicy(config, 14.0), days, "Foresighted",
+        14.0);
+
+    printBanner(std::cout, "Fig. 13(b): attack impact on the alternate "
+                           "trace (year-long)");
+    TextTable table({"policy", "attack (h/day)", "emergency (%)",
+                     "emergency (h/yr)", "norm. 95p latency"});
+    for (const auto &r : {myopic, foresighted}) {
+        table.addRow(r.policy, fixed(r.attackHoursPerDay, 2),
+                     fixed(r.emergencyPercent, 2),
+                     fixed(r.emergencyHoursPerYear, 0),
+                     fixed(r.normalizedPerf, 2));
+    }
+    table.print(std::cout);
+    std::cout << "paper: benign tenants suffer similar performance "
+                 "degradation as with the default trace; findings "
+                 "consistent -- reproduced if both policies still create "
+                 "substantial emergencies with 2-4x latency\n";
+    return 0;
+}

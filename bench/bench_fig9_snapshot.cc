@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fig. 9 reproduction: a 4-hour snapshot of repeated attacks under the
+ * three policies (Random attacking 8% of the time, Myopic with a 7.4 kW
+ * threshold, Foresighted with w = 14), during a high-load stretch.
+ *
+ * The paper's observations to reproduce: Random's attacks are spread out
+ * and never cause an emergency; Myopic and Foresighted concentrate their
+ * attacks in the high-load period and trigger emergencies (metered power
+ * is capped below 5 kW for 5 minutes); the metered and actual powers
+ * diverge by the battery injection during attacks ("behind the meter").
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+using namespace ecolo::benchutil;
+
+struct Snapshot
+{
+    std::string name;
+    std::vector<MinuteRecord> records;
+};
+
+void
+printWindow(const Snapshot &snap, MinuteIndex start, MinuteIndex minutes)
+{
+    printBanner(std::cout, "Fig. 9 [" + snap.name +
+                               "]: 4-hour high-load snapshot "
+                               "(10-min resolution)");
+    TextTable table({"min", "metered (kW)", "actual (kW)",
+                     "attack load (kW)", "soc", "inlet (C)", "state"});
+    for (MinuteIndex m = start; m < start + minutes; m += 10) {
+        const auto &r = snap.records[m];
+        const char *state = r.outage          ? "OUTAGE"
+                            : r.cappingActive ? "capped"
+                            : r.action == AttackAction::Attack
+                                ? "ATTACK"
+                            : r.action == AttackAction::Charge ? "charge"
+                                                               : "-";
+        table.addRow(m - start, fixed(r.meteredTotal.value(), 2),
+                     fixed(r.actualHeat.value(), 2),
+                     fixed(r.attackBatteryPower.value(), 2),
+                     fixed(r.batterySoc, 2), fixed(r.maxInlet.value(), 1),
+                     state);
+    }
+    table.print(std::cout);
+
+    MinuteIndex attack_minutes = 0, capped_minutes = 0;
+    int emergencies = 0;
+    bool prev_capped = false;
+    for (MinuteIndex m = start; m < start + minutes; ++m) {
+        const auto &r = snap.records[m];
+        attack_minutes += r.action == AttackAction::Attack &&
+                          r.attackBatteryPower.value() > 0.1;
+        capped_minutes += r.cappingActive;
+        if (r.cappingActive && !prev_capped)
+            ++emergencies;
+        prev_capped = r.cappingActive;
+    }
+    std::cout << "window summary: " << attack_minutes
+              << " attack minutes, " << emergencies << " emergencies, "
+              << capped_minutes << " capped minutes\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto config = SimulationConfig::paperDefault();
+    const double days = 35.0; // Foresighted converges within weeks
+
+    std::vector<Snapshot> snaps;
+    snaps.push_back({"Random 8%",
+                     recordRun(config, makeRandomPolicy(config, 0.08),
+                               days)});
+    snaps.push_back({"Myopic 7.4 kW",
+                     recordRun(config,
+                               makeMyopicPolicy(config, Kilowatts(7.4)),
+                               days)});
+    snaps.push_back({"Foresighted w=14",
+                     recordRun(config, makeForesightedPolicy(config, 14.0),
+                               days)});
+
+    // Pick the same high-load 4-hour window for every policy (the benign
+    // trace is identical across runs with the same seed); search in the
+    // last week so Foresighted has converged.
+    const MinuteIndex start = findHighLoadWindow(
+        snaps[0].records, 28 * kMinutesPerDay, 35 * kMinutesPerDay, 240);
+
+    for (const auto &snap : snaps)
+        printWindow(snap, start, 240);
+
+    std::cout << "\npaper: Random never triggers an emergency; Myopic and "
+                 "Foresighted attack in the high-load period and cap the "
+                 "metered power below 5 kW; actual power exceeds metered "
+                 "power by the battery load during attacks\n";
+    return 0;
+}

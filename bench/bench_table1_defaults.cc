@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table I reproduction: print every default parameter the simulator uses,
+ * side by side with the paper's published value, and benchmark the core
+ * simulation kernel's throughput.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+
+void
+printTable1()
+{
+    const auto config = SimulationConfig::paperDefault();
+    printBanner(std::cout, "Table I: default parameters (paper vs. this "
+                           "implementation)");
+    TextTable table({"parameter", "paper", "ours"});
+    table.addRow("Data Center Capacity", "8 kW",
+                 fixed(config.capacity.value(), 1) + " kW");
+    table.addRow("Number of Tenants", "4", config.numBenignTenants + 1);
+    table.addRow("Number of Servers", "40", config.numServers());
+    table.addRow("Number of Server Racks", "2", config.layout.numRacks);
+    table.addRow("Attacker's Capacity (c_a)", "0.8 kW",
+                 fixed(config.attackerSubscription.value(), 1) + " kW");
+    table.addRow("Attacker's Total Battery Capacity", "0.2 kWh",
+                 fixed(config.batterySpec.capacity.value(), 1) + " kWh");
+    table.addRow("Attack Thermal Load from Battery", "1 kW",
+                 fixed(config.attackLoad.value(), 1) + " kW");
+    table.addRow("Charging Rate of the Battery", "0.2 kW",
+                 fixed(config.batterySpec.maxChargeRate.value(), 1) +
+                     " kW");
+    table.addRow("Temperature Threshold for Emergency", "32 C",
+                 fixed(config.emergencyThreshold.value(), 0) + " C");
+    table.addRow("Q-learning Discount Factor", "0.99", "0.99");
+    table.addRow("Q-learning Learning Rate", "1/t^0.85", "1/t^0.85");
+    table.print(std::cout);
+    std::cout << std::flush;
+}
+
+/** Throughput of the full engine: simulated minutes per second. */
+void
+BM_SimulationMinute(benchmark::State &state)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    for (auto _ : state)
+        sim.run(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulationMinute);
+
+/** A whole simulated day per iteration. */
+void
+BM_SimulationDay(benchmark::State &state)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    for (auto _ : state)
+        sim.run(1440);
+    state.SetItemsProcessed(state.iterations() * 1440);
+}
+BENCHMARK(BM_SimulationDay);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "common.hh"
+
+#include "util/logging.hh"
+
+namespace ecolo::benchutil {
+
+CampaignResult
+runCampaign(const core::SimulationConfig &config,
+            std::unique_ptr<core::AttackPolicy> policy, double days,
+            const std::string &label, double parameter)
+{
+    core::Simulation sim(config, std::move(policy));
+    sim.runDays(days);
+    const auto &m = sim.metrics();
+
+    CampaignResult result;
+    result.policy = label;
+    result.parameter = parameter;
+    result.attackHoursPerDay = m.attackHoursPerDay();
+    result.meanInletRise = m.inletRise().mean();
+    result.emergencyPercent = 100.0 * m.emergencyFraction();
+    result.emergencyHoursPerYear = m.emergencyHoursPerYear();
+    result.normalizedPerf =
+        m.emergencyPerf().count() ? m.emergencyPerf().mean() : 1.0;
+    result.emergencies = m.emergencies();
+    result.outages = m.outages();
+    return result;
+}
+
+std::vector<core::MinuteRecord>
+recordRun(const core::SimulationConfig &config,
+          std::unique_ptr<core::AttackPolicy> policy, double days)
+{
+    core::Simulation sim(config, std::move(policy));
+    std::vector<core::MinuteRecord> records;
+    records.reserve(static_cast<std::size_t>(days * kMinutesPerDay) + 1);
+    sim.setMinuteCallback([&](const core::MinuteRecord &r) {
+        records.push_back(r);
+    });
+    sim.runDays(days);
+    return records;
+}
+
+MinuteIndex
+findHighLoadWindow(const std::vector<core::MinuteRecord> &records,
+                   MinuteIndex from, MinuteIndex to,
+                   MinuteIndex window_minutes)
+{
+    ECOLO_ASSERT(!records.empty(), "no records to scan");
+    const auto n = static_cast<MinuteIndex>(records.size());
+    from = std::max<MinuteIndex>(0, from);
+    to = std::min(to, n - window_minutes);
+    ECOLO_ASSERT(from < to, "empty window-search range");
+
+    // Sliding-window sum of benign power.
+    double sum = 0.0;
+    for (MinuteIndex m = from; m < from + window_minutes; ++m)
+        sum += records[m].benignPower.value();
+    double best_sum = sum;
+    MinuteIndex best_start = from;
+    for (MinuteIndex start = from + 1; start < to; ++start) {
+        sum += records[start + window_minutes - 1].benignPower.value() -
+               records[start - 1].benignPower.value();
+        if (sum > best_sum) {
+            best_sum = sum;
+            best_start = start;
+        }
+    }
+    return best_start;
+}
+
+} // namespace ecolo::benchutil

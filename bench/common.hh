@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the reproduction harnesses: policy construction by
+ * name, whole-run drivers, and high-load window selection for the
+ * time-series snapshot figures.
+ */
+
+#ifndef ECOLO_BENCH_COMMON_HH
+#define ECOLO_BENCH_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+
+namespace ecolo::benchutil {
+
+/** Aggregate outcome of one simulated campaign. */
+struct CampaignResult
+{
+    std::string policy;
+    double parameter = 0.0;         //!< p / threshold kW / weight w
+    double attackHoursPerDay = 0.0;
+    double meanInletRise = 0.0;     //!< deg C above set point
+    double emergencyPercent = 0.0;  //!< % of simulated time
+    double emergencyHoursPerYear = 0.0;
+    double normalizedPerf = 0.0;    //!< 95p latency during emergencies
+    std::size_t emergencies = 0;
+    std::size_t outages = 0;
+};
+
+/** Run a policy for the given number of days and summarize. */
+CampaignResult
+runCampaign(const core::SimulationConfig &config,
+            std::unique_ptr<core::AttackPolicy> policy, double days,
+            const std::string &label, double parameter);
+
+/**
+ * Record every minute of a run into a vector (for snapshot figures).
+ * Returns the records; metrics remain available via the returned sim.
+ */
+std::vector<core::MinuteRecord>
+recordRun(const core::SimulationConfig &config,
+          std::unique_ptr<core::AttackPolicy> policy, double days);
+
+/**
+ * Find the start minute of the `window_minutes`-long window with the
+ * highest mean benign power between minute `from` and minute `to`.
+ */
+MinuteIndex
+findHighLoadWindow(const std::vector<core::MinuteRecord> &records,
+                   MinuteIndex from, MinuteIndex to,
+                   MinuteIndex window_minutes);
+
+} // namespace ecolo::benchutil
+
+#endif // ECOLO_BENCH_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Example: a quarter-long repeated-attack campaign study.
+ *
+ * Compares the three repeated-attack strategies over 90 simulated days of
+ * the default 8 kW edge colocation, then prices the damage with the cost
+ * model -- the workflow a security analyst would use to size the threat
+ * for a specific site.
+ *
+ * Run: ./build/examples/attack_campaign_study
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/cost.hh"
+#include "core/engine.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ecolo;
+    using namespace ecolo::core;
+
+    const SimulationConfig config = SimulationConfig::paperDefault();
+    const double days = 90.0;
+    const CostModel cost;
+
+    struct Row
+    {
+        const char *name;
+        std::unique_ptr<AttackPolicy> policy;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"No attack", std::make_unique<StandbyPolicy>()});
+    rows.push_back({"Random (8%)", makeRandomPolicy(config, 0.08)});
+    rows.push_back({"Myopic (7.4 kW)",
+                    makeMyopicPolicy(config, Kilowatts(7.4))});
+    rows.push_back({"Foresighted (w=14)",
+                    makeForesightedPolicy(config, 14.0)});
+
+    std::cout << "Simulating " << days << " days per strategy...\n";
+    TextTable table({"strategy", "attack h/day", "emergencies",
+                     "emergency %", "norm. 95p latency",
+                     "tenant damage $/yr", "attacker cost $/yr"});
+    for (auto &row : rows) {
+        Simulation sim(config, std::move(row.policy));
+        sim.runDays(days);
+        const auto &m = sim.metrics();
+        const auto benign = cost.benignAnnualCost(config, m);
+        const auto attacker = cost.attackerAnnualCost(config, m);
+        table.addRow(row.name, fixed(m.attackHoursPerDay(), 2),
+                     m.emergencies(),
+                     fixed(100.0 * m.emergencyFraction(), 2),
+                     m.emergencyPerf().count()
+                         ? fixed(m.emergencyPerf().mean(), 2)
+                         : "n/a",
+                     fixed(benign.total(), 0),
+                     fixed(attacker.total(), 0));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print(std::cout);
+
+    std::cout << "\nReading: the learning attacker converts a ~$6-7K/year "
+                 "budget into tens of thousands of dollars of tenant "
+                 "damage; the load-oblivious attacker achieves almost "
+                 "nothing with the same hardware.\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Example: the operator's defense playbook (paper Section VII).
+ *
+ * Runs a Foresighted attack campaign against an instrumented operator:
+ * a thermal-residual CUSUM detector cross-checking power meters against
+ * thermal sensors, a per-server airflow audit to pinpoint the attacker,
+ * and an SLA-statistics monitor. Then shows the two prevention knobs:
+ * jamming the voltage side channel and adding cooling capacity.
+ *
+ * Run: ./build/examples/defense_evaluation
+ */
+
+#include <iostream>
+
+#include "core/engine.hh"
+#include "defense/detectors.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ecolo;
+    using namespace ecolo::core;
+
+    const SimulationConfig config = SimulationConfig::paperDefault();
+
+    // ---- Detection: instrument a 30-day attack campaign. ----
+    Simulation sim(config, makeForesightedPolicy(config, 14.0));
+    defense::ThermalResidualDetector residual({}, config.cooling);
+    defense::AirflowAudit audit({}, config.numServers());
+    defense::SlaMonitor::Params sla_params;
+    sla_params.slaTemperature = Celsius(27.5);
+    sla_params.slaBudget = 0.005;
+    defense::SlaMonitor sla(sla_params);
+    Rng rng(1234);
+
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        residual.observeMinute(r.meteredTotal, r.supply, rng);
+        sla.observeMinute(r.maxInlet);
+        audit.observeMinute(sim.lastServerHeat(), sim.lastServerMetered(),
+                            rng);
+    });
+    std::cout << "Running a 30-day Foresighted campaign against an "
+                 "instrumented operator...\n\n";
+    sim.runDays(30.0);
+
+    TextTable detection({"defense", "result"});
+    detection.addRow(
+        "thermal residual (CUSUM)",
+        residual.alarmed()
+            ? "ALARM after " +
+                  fixed(residual.alarmLatencyMinutes() / 60.0, 1) + " h"
+            : std::string("no alarm"));
+    detection.addRow(
+        "temperature SLA statistics",
+        sla.alarmed() ? "ALARM after " +
+                            fixed(sla.alarmLatencyMinutes() / 60.0 / 24.0,
+                                  1) +
+                            " days"
+                      : std::string("no alarm"));
+    std::string flagged = "servers:";
+    for (std::size_t s : audit.flaggedServers())
+        flagged += " " + std::to_string(s);
+    detection.addRow("airflow audit pinpoints",
+                     audit.flaggedServers().empty() ? "none" : flagged);
+    detection.print(std::cout);
+    std::cout << "(attacker owns servers 0.."
+              << config.attackerNumServers - 1 << ")\n";
+
+    // ---- Prevention knob 1: jam the voltage side channel. ----
+    std::cout << "\nPrevention: jamming the side channel\n";
+    TextTable jam({"extra estimation noise", "emergency h/yr"});
+    for (double noise : {0.0, 0.10, 0.20}) {
+        auto jammed = config;
+        jammed.sideChannel.extraRelativeNoise = noise;
+        Simulation run(jammed, makeForesightedPolicy(jammed, 14.0));
+        run.runDays(60.0);
+        jam.addRow(fixed(noise, 2),
+                   fixed(run.metrics().emergencyHoursPerYear(), 0));
+    }
+    jam.print(std::cout);
+
+    // ---- Prevention knob 2: extra cooling capacity. ----
+    std::cout << "\nPrevention: extra cooling capacity\n";
+    TextTable extra({"cooling capacity", "emergency h/yr"});
+    for (double factor : {1.0, 1.05, 1.10}) {
+        auto upgraded = config;
+        upgraded.cooling.capacity = config.capacity * factor;
+        Simulation run(upgraded, makeForesightedPolicy(upgraded, 14.0));
+        run.runDays(60.0);
+        extra.addRow(fixed(8.0 * factor, 1) + " kW",
+                     fixed(run.metrics().emergencyHoursPerYear(), 0));
+    }
+    extra.print(std::cout);
+
+    std::cout << "\nTakeaway (paper Sec. VII): the attack is detectable "
+                 "within hours by cross-checking meters against thermal "
+                 "sensors, and the airflow audit localizes the attacker "
+                 "for eviction -- the threat exists only while operators "
+                 "rely on power meters alone.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: build the paper's default 8 kW edge colocation, run a month
+ * under the Myopic attacker, and print the headline numbers.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/cost.hh"
+#include "core/engine.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ecolo;
+    using namespace ecolo::core;
+
+    // 1. The paper's Table I configuration: 8 kW, 4 tenants, 40 servers,
+    //    attacker with 0.8 kW subscription and a 0.2 kWh built-in battery.
+    SimulationConfig config = SimulationConfig::paperDefault();
+
+    // 2. Pick an attack policy. Myopic attacks greedily whenever the
+    //    side-channel estimate crosses 7.4 kW.
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+
+    // 3. Run one simulated month (one-minute slots).
+    std::cout << "Simulating 30 days of the 8 kW edge colocation under a "
+                 "Myopic thermal attacker...\n";
+    sim.runDays(30.0);
+
+    // 4. Inspect the damage.
+    const SimulationMetrics &m = sim.metrics();
+    TextTable table({"metric", "value"});
+    table.addRow("simulated days", fixed(m.minutes() / 1440.0, 1));
+    table.addRow("attack time (h/day)", fixed(m.attackHoursPerDay(), 2));
+    table.addRow("thermal emergencies", m.emergencies());
+    table.addRow("emergency time (% of total)",
+                 fixed(100.0 * m.emergencyFraction(), 2));
+    table.addRow("mean inlet rise (deg C)", fixed(m.inletRise().mean(), 2));
+    table.addRow("hottest inlet seen (deg C)",
+                 fixed(m.maxInlet().max(), 1));
+    table.addRow("norm. 95p latency during emergencies",
+                 m.emergencyPerf().count()
+                     ? fixed(m.emergencyPerf().mean(), 2)
+                     : "n/a");
+    table.print(std::cout);
+
+    // 5. What does it cost whom?
+    CostModel cost;
+    const auto attacker = cost.attackerAnnualCost(config, m);
+    const auto benign = cost.benignAnnualCost(config, m);
+    std::cout << "\nAttacker annual cost:  $" << fixed(attacker.total(), 0)
+              << "  (subscription $" << fixed(attacker.subscriptionUsd, 0)
+              << ", energy $" << fixed(attacker.energyUsd, 0)
+              << ", servers $" << fixed(attacker.serversUsd, 0) << ")\n";
+    std::cout << "Benign tenants' annualized damage:  $"
+              << fixed(benign.total(), 0) << "\n";
+    return 0;
+}

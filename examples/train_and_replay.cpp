@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Example: train the Foresighted attacker once, persist its Q tables, and
+ * replay the frozen policy on a fresh site.
+ *
+ * Useful for studies that separate the learning phase from evaluation
+ * (e.g., "how would a pre-trained attacker perform against MY site?"),
+ * and it demonstrates the saveTables/loadTables API.
+ *
+ * Run: ./build/examples/train_and_replay
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "core/engine.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ecolo;
+    using namespace ecolo::core;
+
+    const SimulationConfig config = SimulationConfig::paperDefault();
+
+    // ---- Phase 1: train online for 60 days. ----
+    std::cout << "Training Foresighted (w = 14) for 60 days...\n";
+    auto trained_owner = makeForesightedPolicy(config, 14.0);
+    ForesightedPolicy *trained = trained_owner.get();
+    Simulation train_sim(config, std::move(trained_owner));
+    train_sim.runDays(60.0);
+    std::stringstream tables;
+    trained->saveTables(tables);
+    std::cout << "  training run: " << train_sim.metrics().emergencies()
+              << " emergencies ("
+              << fixed(100.0 * train_sim.metrics().emergencyFraction(), 2)
+              << "% of time)\n";
+
+    // ---- Phase 2: replay the frozen policy on a different year. ----
+    std::cout << "Replaying the frozen policy on a fresh site "
+                 "(different seed, exploration off)...\n";
+    auto replay_config = config;
+    replay_config.seed = 4242; // different tenants and traces
+    auto replay_owner = makeForesightedPolicy(replay_config, 14.0,
+                                              /*warm_start=*/false);
+    replay_owner->loadTables(tables);
+    Simulation replay_sim(replay_config, std::move(replay_owner));
+    replay_sim.runDays(60.0);
+
+    TextTable table({"phase", "emergencies", "emergency %",
+                     "attack h/day"});
+    table.addRow("training (seed 42)", train_sim.metrics().emergencies(),
+                 fixed(100.0 * train_sim.metrics().emergencyFraction(), 2),
+                 fixed(train_sim.metrics().attackHoursPerDay(), 2));
+    table.addRow("replay (seed 4242)",
+                 replay_sim.metrics().emergencies(),
+                 fixed(100.0 * replay_sim.metrics().emergencyFraction(),
+                       2),
+                 fixed(replay_sim.metrics().attackHoursPerDay(), 2));
+    table.print(std::cout);
+
+    std::cout << "\nThe learned timing transfers across sites because the "
+                 "policy conditions only on (battery, estimated load) -- "
+                 "the paper's claim that the attack generalizes across "
+                 "load patterns.\n";
+    return 0;
+}

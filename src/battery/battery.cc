@@ -1,0 +1,118 @@
+#include "battery/battery.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::battery {
+
+Battery::Battery(BatterySpec spec, double initial_soc)
+    : spec_(spec), energy_(spec.capacity * std::clamp(initial_soc, 0.0, 1.0))
+{
+    ECOLO_ASSERT(spec_.capacity.value() > 0.0,
+                 "battery capacity must be positive");
+    ECOLO_ASSERT(spec_.maxChargeRate.value() >= 0.0 &&
+                 spec_.maxDischargeRate.value() > 0.0,
+                 "battery rates must be non-negative / positive");
+    ECOLO_ASSERT(spec_.chargeEfficiency > 0.0 &&
+                 spec_.chargeEfficiency <= 1.0 &&
+                 spec_.dischargeEfficiency > 0.0 &&
+                 spec_.dischargeEfficiency <= 1.0,
+                 "battery efficiencies must be in (0, 1]");
+}
+
+double
+Battery::soc() const
+{
+    return energy_ / spec_.capacity;
+}
+
+KilowattHours
+Battery::usableCapacity() const
+{
+    if (spec_.capacityLossPerKelvin <= 0.0)
+        return spec_.capacity;
+    const double above =
+        std::max(0.0, (ambient_ - spec_.thermalReference).value());
+    const double fraction =
+        std::max(0.5, 1.0 - spec_.capacityLossPerKelvin * above);
+    return spec_.capacity * fraction;
+}
+
+void
+Battery::setAmbient(Celsius ambient)
+{
+    ambient_ = ambient;
+    energy_ = clamp(energy_, KilowattHours(0.0), usableCapacity());
+}
+
+bool
+Battery::full() const
+{
+    return energy_.value() >= usableCapacity().value() - 1e-12;
+}
+
+bool
+Battery::empty() const
+{
+    return energy_.value() <= 1e-12;
+}
+
+Kilowatts
+Battery::charge(Kilowatts requested_grid_power, Seconds dt)
+{
+    ECOLO_ASSERT(dt.value() > 0.0, "non-positive charge duration");
+    const Kilowatts grid_power = clamp(requested_grid_power, Kilowatts(0.0),
+                                       spec_.maxChargeRate);
+    if (grid_power.value() <= 0.0 || full())
+        return Kilowatts(0.0);
+
+    const KilowattHours headroom = usableCapacity() - energy_;
+    const KilowattHours stored_if_full_slot =
+        grid_power * dt * spec_.chargeEfficiency;
+    const KilowattHours stored = std::min(stored_if_full_slot, headroom);
+    energy_ += stored;
+    // Grid draw averaged over the slot (charging stops once full).
+    return stored / spec_.chargeEfficiency / dt;
+}
+
+Kilowatts
+Battery::discharge(Kilowatts requested_delivered_power, Seconds dt)
+{
+    ECOLO_ASSERT(dt.value() > 0.0, "non-positive discharge duration");
+    const Kilowatts delivered_power =
+        clamp(requested_delivered_power, Kilowatts(0.0),
+              spec_.maxDischargeRate);
+    if (delivered_power.value() <= 0.0 || empty())
+        return Kilowatts(0.0);
+
+    const KilowattHours deliverable = KilowattHours(
+        energy_.value() * spec_.dischargeEfficiency);
+    const KilowattHours wanted = delivered_power * dt;
+    const KilowattHours delivered = std::min(wanted, deliverable);
+    energy_ -= KilowattHours(delivered.value() / spec_.dischargeEfficiency);
+    energy_ = clamp(energy_, KilowattHours(0.0), spec_.capacity);
+    return delivered / dt;
+}
+
+Seconds
+Battery::sustainableFor(Kilowatts delivered_power) const
+{
+    const Kilowatts p = clamp(delivered_power, Kilowatts(0.0),
+                              spec_.maxDischargeRate);
+    if (p.value() <= 0.0)
+        return hours(1e9); // effectively forever
+    const KilowattHours deliverable = KilowattHours(
+        energy_.value() * spec_.dischargeEfficiency);
+    return deliverable / p;
+}
+
+void
+Battery::setSoc(double soc_value)
+{
+    ECOLO_ASSERT(soc_value >= 0.0 && soc_value <= 1.0,
+                 "state of charge out of [0,1]: ", soc_value);
+    energy_ = spec_.capacity * soc_value;
+}
+
+} // namespace ecolo::battery

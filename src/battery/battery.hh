@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Built-in battery energy model.
+ *
+ * The paper validates (Fig. 7(b)) that a *linear* energy model,
+ * b_{k+1} = min(b_k + e_k, B), captures server-integrated battery dynamics
+ * for attack purposes; charge and discharge rates are bounded and losses
+ * make effective charging slower than discharging. This module implements
+ * exactly that model, with explicit efficiency knobs that default to the
+ * asymmetry observed in the paper's prototype.
+ */
+
+#ifndef ECOLO_BATTERY_BATTERY_HH
+#define ECOLO_BATTERY_BATTERY_HH
+
+#include "util/units.hh"
+
+namespace ecolo::battery {
+
+/** Static battery characteristics. */
+struct BatterySpec
+{
+    KilowattHours capacity{0.2};      //!< usable energy, Table I default
+    Kilowatts maxChargeRate{0.2};     //!< vendor-recommended charge power
+    Kilowatts maxDischargeRate{1.0};  //!< peak deliverable power
+    double chargeEfficiency = 0.90;   //!< stored / grid energy while charging
+    double dischargeEfficiency = 0.95;//!< delivered / stored energy
+    /**
+     * Optional thermal dependence (the paper notes "even more complicated
+     * and detailed battery models (e.g., impact of ambient temperature)
+     * may be adopted [but do] not offer much additional insight" -- this
+     * knob lets the ablation benchmark check that claim): usable capacity
+     * shrinks by this fraction per kelvin of ambient above the reference.
+     */
+    double capacityLossPerKelvin = 0.0;
+    Celsius thermalReference{25.0};   //!< no derating at or below this
+};
+
+/** Mutable battery state following the linear energy model. */
+class Battery
+{
+  public:
+    explicit Battery(BatterySpec spec, double initial_soc = 1.0);
+
+    const BatterySpec &spec() const { return spec_; }
+
+    /** Stored energy. */
+    KilowattHours energy() const { return energy_; }
+
+    /** State of charge in [0, 1]. */
+    double soc() const;
+
+    bool full() const;
+    bool empty() const;
+
+    /**
+     * Charge from the grid for a duration at the requested grid-side power
+     * (clamped to the max charge rate and remaining headroom).
+     * @return grid power actually drawn, averaged over the duration.
+     */
+    Kilowatts charge(Kilowatts requested_grid_power, Seconds dt);
+
+    /**
+     * Discharge to deliver power to the load for a duration. The requested
+     * power is clamped to the max discharge rate, and delivery degrades
+     * once stored energy runs out mid-slot.
+     * @return load-side power actually delivered, averaged over dt.
+     */
+    Kilowatts discharge(Kilowatts requested_delivered_power, Seconds dt);
+
+    /**
+     * Longest duration the battery can sustain the given delivered power
+     * before running empty.
+     */
+    Seconds sustainableFor(Kilowatts delivered_power) const;
+
+    /** Force the state of charge (tests/initialization). */
+    void setSoc(double soc);
+
+    /**
+     * Inform the battery of the ambient temperature it sits in (the
+     * attacker's servers breathe the data center air). Only meaningful
+     * when spec.capacityLossPerKelvin > 0; stored energy above the
+     * derated usable capacity is curtailed.
+     */
+    void setAmbient(Celsius ambient);
+
+    /** Usable capacity at the current ambient temperature. */
+    KilowattHours usableCapacity() const;
+
+  private:
+    BatterySpec spec_;
+    KilowattHours energy_;
+    Celsius ambient_{25.0};
+};
+
+} // namespace ecolo::battery
+
+#endif // ECOLO_BATTERY_BATTERY_HH

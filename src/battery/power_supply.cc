@@ -1,0 +1,59 @@
+#include "battery/power_supply.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::battery {
+
+DualSourcePowerSupply::DualSourcePowerSupply(BatterySpec battery_spec,
+                                             Kilowatts grid_cap,
+                                             double initial_soc)
+    : battery_(battery_spec, initial_soc), gridCap_(grid_cap)
+{
+    ECOLO_ASSERT(gridCap_.value() > 0.0, "grid cap must be positive");
+}
+
+SupplyResult
+DualSourcePowerSupply::step(Kilowatts demand, SupplyMode mode, Seconds dt,
+                            std::optional<Kilowatts> grid_limit)
+{
+    ECOLO_ASSERT(demand.value() >= 0.0, "negative power demand");
+    const Kilowatts cap =
+        grid_limit ? std::min(gridCap_, *grid_limit) : gridCap_;
+    ECOLO_ASSERT(cap.value() >= 0.0, "negative grid limit");
+    SupplyResult result{Kilowatts(0.0), Kilowatts(0.0), Kilowatts(0.0)};
+
+    switch (mode) {
+      case SupplyMode::GridOnly: {
+        // Demand beyond the cap is simply unservable without the battery.
+        result.gridPower = std::min(demand, cap);
+        result.serverPower = result.gridPower;
+        break;
+      }
+      case SupplyMode::ChargeBattery: {
+        const Kilowatts load_grid = std::min(demand, cap);
+        const Kilowatts headroom =
+            std::max(Kilowatts(0.0), cap - load_grid);
+        const Kilowatts charge_draw = battery_.charge(headroom, dt);
+        result.gridPower = load_grid + charge_draw;
+        result.batteryPower = -charge_draw;
+        result.serverPower = load_grid;
+        break;
+      }
+      case SupplyMode::DischargeBattery: {
+        result.gridPower = std::min(demand, cap);
+        const Kilowatts shortfall =
+            std::max(Kilowatts(0.0), demand - result.gridPower);
+        result.batteryPower = battery_.discharge(shortfall, dt);
+        result.serverPower = result.gridPower + result.batteryPower;
+        break;
+      }
+    }
+
+    ECOLO_ASSERT(result.gridPower.value() <= cap.value() + 1e-9,
+                 "grid draw exceeded the subscription cap");
+    return result;
+}
+
+} // namespace ecolo::battery

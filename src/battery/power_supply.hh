@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dual-source power supply: the attacker-side component that blends PDU
+ * power with built-in battery power (Fig. 4(a) in the paper).
+ *
+ * The supply enforces the attacker's contract with the operator -- grid draw
+ * never exceeds the subscribed capacity -- while letting the servers consume
+ * more than that by discharging the battery. The difference between server
+ * power (heat) and grid power (what the meter sees) is exactly the paper's
+ * "behind the meter" cooling load.
+ */
+
+#ifndef ECOLO_BATTERY_POWER_SUPPLY_HH
+#define ECOLO_BATTERY_POWER_SUPPLY_HH
+
+#include <optional>
+
+#include "battery/battery.hh"
+#include "util/units.hh"
+
+namespace ecolo::battery {
+
+/** Outcome of one supply timeslot. */
+struct SupplyResult
+{
+    Kilowatts gridPower;    //!< drawn from the PDU (what the meter sees)
+    Kilowatts batteryPower; //!< delivered by the battery (+) or stored (-)
+    Kilowatts serverPower;  //!< power actually consumed by the servers
+};
+
+/** What the supply should do this slot. */
+enum class SupplyMode
+{
+    /** Serve the load from the grid only (normal operation). */
+    GridOnly,
+    /** Serve the load and charge the battery with leftover grid headroom. */
+    ChargeBattery,
+    /** Serve the load from grid up to the cap plus battery discharge. */
+    DischargeBattery,
+};
+
+/** Dual-source (grid + battery) supply with a hard grid-draw cap. */
+class DualSourcePowerSupply
+{
+  public:
+    DualSourcePowerSupply(BatterySpec battery_spec, Kilowatts grid_cap,
+                          double initial_soc = 1.0);
+
+    Battery &battery() { return battery_; }
+    const Battery &battery() const { return battery_; }
+    Kilowatts gridCap() const { return gridCap_; }
+
+    /**
+     * Run one timeslot.
+     *
+     * @param demand     power the servers want to consume this slot
+     * @param mode       grid-only / charge / discharge
+     * @param dt         slot duration
+     * @param grid_limit optional tighter grid cap for this slot (emergency
+     *                   capping lowers the allowed draw below the
+     *                   subscription)
+     * @return           the realized grid/battery/server power split
+     *
+     * Invariants: result.gridPower <= min(gridCap, grid_limit) (the
+     * operator-enforced subscription / cap), and result.serverPower =
+     * result.gridPower + max(result.batteryPower, 0) - charging draw.
+     */
+    SupplyResult step(Kilowatts demand, SupplyMode mode, Seconds dt,
+                      std::optional<Kilowatts> grid_limit = std::nullopt);
+
+  private:
+    Battery battery_;
+    Kilowatts gridCap_;
+};
+
+} // namespace ecolo::battery
+
+#endif // ECOLO_BATTERY_POWER_SUPPLY_HH

@@ -1,0 +1,85 @@
+#include "core/config.hh"
+
+#include "util/logging.hh"
+
+namespace ecolo::core {
+
+void
+SimulationConfig::validate() const
+{
+    if (capacity.value() <= 0.0)
+        ECOLO_FATAL("data center capacity must be positive");
+    if (numBenignTenants == 0)
+        ECOLO_FATAL("need at least one benign tenant");
+    if (attackerNumServers == 0 || attackerNumServers >= numServers())
+        ECOLO_FATAL("attacker server count out of range: ",
+                    attackerNumServers, " of ", numServers());
+    if (numBenignServers() % numBenignTenants != 0)
+        ECOLO_FATAL("benign servers (", numBenignServers(),
+                    ") must divide evenly among ", numBenignTenants,
+                    " tenants");
+    if (attackerSubscription.value() <= 0.0 ||
+        attackerSubscription >= capacity)
+        ECOLO_FATAL("attacker subscription out of range");
+    if (attackLoad.value() <= 0.0)
+        ECOLO_FATAL("attack load must be positive");
+    if (batterySpec.maxDischargeRate < attackLoad)
+        ECOLO_FATAL("battery discharge rate (",
+                    batterySpec.maxDischargeRate.value(),
+                    " kW) cannot sustain the attack load (",
+                    attackLoad.value(), " kW)");
+    if (emergencyThreshold >= shutdownThreshold)
+        ECOLO_FATAL("emergency threshold must be below shutdown threshold");
+    if (cooling.supplySetPoint >= emergencyThreshold)
+        ECOLO_FATAL("supply set point must be below emergency threshold");
+    if (perServerCap >= serverSpec.peakPower)
+        ECOLO_FATAL("emergency cap must be below server peak power");
+    if (averageUtilization <= 0.0 || averageUtilization > 1.0)
+        ECOLO_FATAL("average utilization out of (0,1]");
+    if (emergencySustainMinutes < 1 || cappingMinutes < 1)
+        ECOLO_FATAL("protocol durations must be at least one minute");
+    if (!externalBenignTraces.empty() &&
+        externalBenignTraces.size() != numBenignTenants) {
+        ECOLO_FATAL("externalBenignTraces must hold exactly ",
+                    numBenignTenants, " traces, got ",
+                    externalBenignTraces.size());
+    }
+}
+
+SimulationConfig
+SimulationConfig::paperDefault()
+{
+    SimulationConfig config;
+    // All members default to Table I already; spelled out here for the two
+    // subsystems whose defaults serve other scales as well.
+    config.cooling.capacity = config.capacity;
+    config.cooling.supplySetPoint = Celsius(27.0);
+    config.validate();
+    return config;
+}
+
+SimulationConfig
+SimulationConfig::prototypeScale()
+{
+    SimulationConfig config;
+    config.capacity = Kilowatts(3.0);
+    config.layout.numRacks = 1;
+    config.layout.serversPerRack = 14;
+    config.layout.containerLength = 4.5;
+    config.layout.containerWidth = 3.0;
+    config.layout.containerHeight = 2.6;
+    config.numBenignTenants = 2;
+    config.attackerNumServers = 2;
+    config.attackerSubscription = Kilowatts(0.4);
+    config.attackLoad = Kilowatts(1.5); // the appendix's 1.5 kW overload
+    config.batterySpec.capacity = KilowattHours(0.3);
+    config.batterySpec.maxDischargeRate = Kilowatts(1.5);
+    config.cooling.capacity = Kilowatts(3.0);
+    // The paper's sealed test room is "comparable dimension to an edge
+    // data center": ~26 m^3 of air.
+    config.cooling.airVolume = 26.0;
+    config.validate();
+    return config;
+}
+
+} // namespace ecolo::core

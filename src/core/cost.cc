@@ -1,0 +1,52 @@
+#include "core/cost.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::core {
+
+AttackerCost
+CostModel::attackerAnnualCost(const SimulationConfig &config,
+                              const SimulationMetrics &metrics) const
+{
+    AttackerCost cost;
+    cost.subscriptionUsd = params_.subscriptionPerKwMonth *
+                           config.attackerSubscription.value() * 12.0;
+    cost.serversUsd = params_.serverCost *
+                      static_cast<double>(config.attackerNumServers) /
+                      params_.serverAmortizationYears;
+
+    if (metrics.minutes() > 0) {
+        const double years =
+            static_cast<double>(metrics.minutes()) /
+            static_cast<double>(kMinutesPerYear);
+        cost.energyUsd = params_.energyPerKwh *
+                         metrics.attackerGridEnergy().value() /
+                         std::max(years, 1e-12);
+    }
+    return cost;
+}
+
+BenignCost
+CostModel::benignAnnualCost(const SimulationConfig &config,
+                            const SimulationMetrics &metrics) const
+{
+    BenignCost cost;
+    if (metrics.minutes() == 0)
+        return cost;
+    const double years = static_cast<double>(metrics.minutes()) /
+                         static_cast<double>(kMinutesPerYear);
+    const double emergency_hours =
+        static_cast<double>(metrics.emergencyMinutes()) / 60.0 / years;
+    const double excess_latency =
+        std::max(0.0, metrics.emergencyPerf().mean() - 1.0);
+    cost.degradationUsd = params_.degradationCostRate *
+                          static_cast<double>(config.numBenignTenants) *
+                          emergency_hours * excess_latency;
+    cost.outageUsd = params_.outageCostPerMinute *
+                     static_cast<double>(metrics.outageMinutes()) / years;
+    return cost;
+}
+
+} // namespace ecolo::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cost model (Section VI-C): ballpark annual dollar figures for both sides.
+ *
+ * Attacker: power-capacity subscription ($150/kW/month), electricity
+ * ($0.1/kWh), and amortized server purchases ($4,500 each) -- the paper's
+ * published rates. Benign tenants: the paper monetizes the increased
+ * 95th-percentile latency during emergencies following prior colo-cost
+ * studies; we expose that as a rate per (tenant x emergency-hour x unit of
+ * excess normalized latency), calibrated so the paper's default scenario
+ * (Foresighted, ~2.5-3% of the year in emergencies, ~3x normalized p95)
+ * lands near its "$60+K/year" figure.
+ */
+
+#ifndef ECOLO_CORE_COST_HH
+#define ECOLO_CORE_COST_HH
+
+#include <cstddef>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "util/units.hh"
+
+namespace ecolo::core {
+
+/** Tunable rates. */
+struct CostModelParams
+{
+    double subscriptionPerKwMonth = 150.0;
+    double energyPerKwh = 0.10;
+    double serverCost = 4500.0;
+    double serverAmortizationYears = 4.0;
+    /** $ per tenant per emergency-hour per unit of excess normalized p95. */
+    double degradationCostRate = 25.0;
+    /** $ per minute of outage (Ponemon-style, scaled to edge size). */
+    double outageCostPerMinute = 1000.0;
+};
+
+/** Attacker-side annual cost breakdown. */
+struct AttackerCost
+{
+    double subscriptionUsd = 0.0;
+    double energyUsd = 0.0;
+    double serversUsd = 0.0;
+    double total() const
+    { return subscriptionUsd + energyUsd + serversUsd; }
+};
+
+/** Benign-side annual cost breakdown. */
+struct BenignCost
+{
+    double degradationUsd = 0.0;
+    double outageUsd = 0.0;
+    double total() const { return degradationUsd + outageUsd; }
+};
+
+/** The calculator. */
+class CostModel
+{
+  public:
+    CostModel() = default;
+    explicit CostModel(CostModelParams params) : params_(params) {}
+
+    /**
+     * Attacker's annual cost for the given configuration; energy is taken
+     * from the run's metered consumption, extrapolated to a year.
+     */
+    AttackerCost attackerAnnualCost(const SimulationConfig &config,
+                                    const SimulationMetrics &metrics) const;
+
+    /** Benign tenants' annual cost implied by the run's emergencies. */
+    BenignCost benignAnnualCost(const SimulationConfig &config,
+                                const SimulationMetrics &metrics) const;
+
+    const CostModelParams &params() const { return params_; }
+
+  private:
+    CostModelParams params_;
+};
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_COST_HH

@@ -1,0 +1,430 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "trace/generators.hh"
+#include "util/logging.hh"
+
+namespace ecolo::core {
+
+namespace {
+
+/** Per-tenant jitter so the three benign tenants are not clones. */
+trace::UtilizationTrace
+makeBenignTrace(const SimulationConfig &config, std::size_t tenant_index,
+                Rng &rng)
+{
+    const std::size_t horizon = kMinutesPerYear;
+    const auto k = static_cast<double>(tenant_index);
+    if (config.traceKind == TraceKind::GoogleStyle) {
+        trace::GoogleStyleTraceGenerator::Params params =
+            config.googleParams;
+        params.peakHour += k * 0.7;
+        params.meanDwellMinutes *= 1.0 + 0.15 * k;
+        return trace::GoogleStyleTraceGenerator(params).generate(horizon,
+                                                                 rng);
+    }
+    if (config.traceKind == TraceKind::RequestLevel) {
+        trace::RequestTraceGenerator::Params params;
+        params.peakHour += 0.4 * (k - 1.0);
+        params.peakRequestsPerSecond *= 1.0 + 0.05 * (k - 1.0);
+        return trace::RequestTraceGenerator(params).generate(horizon, rng);
+    }
+    trace::DiurnalTraceGenerator::Params params = config.diurnalParams;
+    params.peakHour += 0.4 * (k - 1.0);  // stagger peaks around 14:00
+    params.baseUtilization += 0.02 * (k - 1.0);
+    params.burstsPerDay += k;
+    return trace::DiurnalTraceGenerator(params).generate(horizon, rng);
+}
+
+} // namespace
+
+Simulation::Simulation(SimulationConfig config,
+                       std::unique_ptr<AttackPolicy> policy)
+    : config_([&] {
+          config.validate();
+          return config;
+      }()),
+      layout_(config_.layout),
+      rng_(config_.seed),
+      attackerTenant_("attacker", config_.attackerSubscription,
+                      config_.attackerNumServers, config_.serverSpec),
+      attackerSupply_(config_.batterySpec, config_.attackerSubscription),
+      thermal_(thermal::HeatDistributionMatrix::analyticDefault(
+                   layout_, config_.matrixParams,
+                   config_.matrixHorizonMinutes),
+               config_.cooling),
+      channel_(config_.sideChannel, Rng(config_.seed ^ 0x5e1dc4a2ULL)),
+      latency_(config_.latency),
+      pdu_(config_.capacity),
+      operator_([&] {
+          ColoOperator::Params params;
+          params.emergencyThreshold = config_.emergencyThreshold;
+          params.sustainMinutes = config_.emergencySustainMinutes;
+          params.cappingMinutes = config_.cappingMinutes;
+          params.shutdownThreshold = config_.shutdownThreshold;
+          params.outageRestartMinutes = config_.outageRestartMinutes;
+          params.adaptiveCapping = config_.adaptiveCapping;
+          return params;
+      }()),
+      policy_(std::move(policy)),
+      lastHeat_(config_.numServers(), Kilowatts(0.0)),
+      lastMetered_(config_.numServers(), Kilowatts(0.0))
+{
+    ECOLO_ASSERT(policy_ != nullptr, "simulation needs an attack policy");
+    ECOLO_ASSERT(layout_.numServers() == config_.numServers(),
+                 "layout/server-count mismatch");
+    buildTenants();
+
+    pdu_.addCircuit("attacker", config_.attackerSubscription);
+    for (const auto &tenant : benignTenants_)
+        pdu_.addCircuit(tenant.name(), tenant.subscribedCapacity());
+}
+
+void
+Simulation::buildTenants()
+{
+    const std::size_t per_tenant = config_.serversPerBenignTenant();
+    benignTenants_.reserve(config_.numBenignTenants);
+    Rng trace_rng = rng_.fork();
+    // The alternate (Google-style) trace models ONE recorded cluster
+    // trace driving the whole site (the paper's "alternate total power
+    // trace"), so every tenant shares it; the default diurnal trace is
+    // per-tenant with jitter.
+    trace::UtilizationTrace shared_alternate;
+    if (config_.traceKind == TraceKind::GoogleStyle &&
+        config_.externalBenignTraces.empty()) {
+        shared_alternate = makeBenignTrace(config_, 0, trace_rng);
+    }
+    for (std::size_t k = 0; k < config_.numBenignTenants; ++k) {
+        benignTenants_.emplace_back("tenant-" + std::to_string(k + 1),
+                                    config_.benignSubscription(),
+                                    per_tenant, config_.serverSpec);
+        if (!config_.externalBenignTraces.empty()) {
+            benignTenants_.back().setTrace(
+                config_.externalBenignTraces[k]);
+        } else if (!shared_alternate.empty()) {
+            benignTenants_.back().setTrace(shared_alternate);
+        } else {
+            benignTenants_.back().setTrace(
+                makeBenignTrace(config_, k, trace_rng));
+        }
+    }
+
+    // Scale so that the *whole* data center (attacker idling on dummy
+    // workloads included) averages the configured utilization of capacity.
+    const Kilowatts attacker_standby =
+        config_.serverSpec.powerAt(config_.attackerStandbyUtilization) *
+        static_cast<double>(config_.attackerNumServers);
+    const Kilowatts target =
+        config_.capacity * config_.averageUtilization - attacker_standby;
+    ECOLO_ASSERT(target.value() > 0.0,
+                 "average utilization target leaves no benign power");
+    std::vector<power::Tenant *> tenant_ptrs;
+    for (auto &tenant : benignTenants_)
+        tenant_ptrs.push_back(&tenant);
+    power::scaleTenantsToMeanPower(tenant_ptrs, target);
+}
+
+Kilowatts
+Simulation::benignActualPower() const
+{
+    Kilowatts total(0.0);
+    for (const auto &tenant : benignTenants_)
+        total += tenant.actualPower();
+    return total;
+}
+
+AttackObservation
+Simulation::makeObservation(bool capping, bool outage)
+{
+    AttackObservation obs;
+    obs.time = now_;
+    obs.batterySoc = attackerSupply_.battery().soc();
+    obs.cappingActive = capping;
+    obs.outage = outage;
+
+    if (outage) {
+        obs.estimatedLoad = config_.attackerSubscription;
+    } else {
+        // The attacker estimates the benign aggregate via the voltage side
+        // channel (it knows and subtracts its own draw), then reasons in
+        // terms of "benign load + my subscription" as in the paper. The
+        // per-minute estimate averages several ripple samples.
+        const int samples =
+            std::max(1, config_.sideChannel.samplesPerEstimate);
+        const Kilowatts benign_power = benignActualPower();
+        double estimate_kw = 0.0;
+        for (int i = 0; i < samples; ++i)
+            estimate_kw += channel_.estimateTotalLoad(benign_power).value();
+        obs.estimatedLoad = Kilowatts(estimate_kw / samples) +
+                            config_.attackerSubscription;
+    }
+
+    // The attacker's own inlet sensors: its servers are the first
+    // attackerNumServers global indices (bottom of rack 0).
+    double hottest = -1e30;
+    for (std::size_t i = 0; i < config_.attackerNumServers; ++i)
+        hottest = std::max(hottest,
+                           thermal_.inletTemperature(i).value());
+    obs.inletTemperature = Celsius(hottest);
+    return obs;
+}
+
+void
+Simulation::stepMinute()
+{
+    const bool capping = command_.capServers;
+    const bool outage = command_.outage;
+    const Kilowatts cap_level =
+        command_.capLevel.value_or(config_.perServerCap);
+    const std::size_t n_attacker = config_.attackerNumServers;
+
+    // ---- 1. Benign tenants follow their traces; operator commands. ----
+    for (auto &tenant : benignTenants_) {
+        tenant.applyTraceAt(now_);
+        tenant.setPoweredOn(!outage);
+        if (capping)
+            tenant.setPerServerCap(cap_level);
+        else
+            tenant.clearCaps();
+    }
+    attackerTenant_.setPoweredOn(!outage);
+    if (capping)
+        attackerTenant_.setPerServerCap(cap_level);
+    else
+        attackerTenant_.clearCaps();
+
+    // ---- 2. Observation, learning feedback, day boundary. ----
+    AttackObservation obs = makeObservation(capping, outage);
+    if (havePending_)
+        policy_->feedback(lastObs_, lastAction_, obs);
+    if (now_ > 0 && now_ % kMinutesPerDay == 0)
+        policy_->onDayBoundary(dayIndex(now_));
+
+    // ---- 3. Decide and enforce protocol compliance. ----
+    AttackAction action = policy_->decide(obs);
+    if (outage) {
+        action = AttackAction::Standby;
+    } else if (capping && !policy_->ignoresCapping() &&
+               action == AttackAction::Attack) {
+        action = obs.batterySoc < 1.0 ? AttackAction::Charge
+                                      : AttackAction::Standby;
+    }
+
+    // ---- 4. Attacker power execution. ----
+    battery::SupplyResult supply{Kilowatts(0.0), Kilowatts(0.0),
+                                 Kilowatts(0.0)};
+    if (!outage) {
+        std::optional<Kilowatts> grid_limit;
+        if (capping)
+            grid_limit = cap_level * static_cast<double>(n_attacker);
+        switch (action) {
+          case AttackAction::Attack: {
+            attackerTenant_.setUtilization(1.0);
+            const Kilowatts demand =
+                config_.attackerSubscription + config_.attackLoad;
+            supply = attackerSupply_.step(
+                demand, battery::SupplyMode::DischargeBattery, minutes(1),
+                grid_limit);
+            break;
+          }
+          case AttackAction::Charge: {
+            attackerTenant_.setUtilization(
+                config_.attackerStandbyUtilization);
+            supply = attackerSupply_.step(
+                attackerTenant_.actualPower(),
+                battery::SupplyMode::ChargeBattery, minutes(1), grid_limit);
+            break;
+          }
+          case AttackAction::Standby: {
+            attackerTenant_.setUtilization(
+                config_.attackerStandbyUtilization);
+            supply = attackerSupply_.step(
+                attackerTenant_.actualPower(),
+                battery::SupplyMode::GridOnly, minutes(1), grid_limit);
+            break;
+          }
+        }
+    }
+
+    // ---- 5. Per-server heat and metering. ----
+    const Kilowatts attacker_heat_per_server =
+        supply.serverPower / static_cast<double>(n_attacker);
+    const Kilowatts attacker_grid_per_server =
+        supply.gridPower / static_cast<double>(n_attacker);
+    std::size_t server = 0;
+    for (; server < n_attacker; ++server) {
+        lastHeat_[server] = attacker_heat_per_server;
+        lastMetered_[server] = attacker_grid_per_server;
+    }
+    Kilowatts benign_total(0.0);
+    for (const auto &tenant : benignTenants_) {
+        for (const auto &srv : tenant.servers()) {
+            const Kilowatts p = srv.actualPower();
+            lastHeat_[server] = p;
+            lastMetered_[server] = p;
+            benign_total += p;
+            ++server;
+        }
+    }
+    ECOLO_ASSERT(server == config_.numServers(),
+                 "server heat vector not fully populated");
+
+    pdu_.setEnergized(!outage);
+    pdu_.setCircuitDraw(0, supply.gridPower);
+    for (std::size_t k = 0; k < benignTenants_.size(); ++k)
+        pdu_.setCircuitDraw(k + 1, benignTenants_[k].actualPower());
+    const Kilowatts metered_total = pdu_.totalMeteredPower();
+
+    // ---- 6. Thermal step and operator reaction. ----
+    thermal_.stepMinute(lastHeat_);
+    // The attacker's batteries breathe the data center air; with a
+    // thermally-aware battery spec this derates their usable capacity.
+    attackerSupply_.battery().setAmbient(thermal_.inletTemperature(0));
+    const Celsius max_inlet = thermal_.maxInletTemperature();
+    // The operator trips on its own (possibly noisy) sensors; with noise
+    // configured, occasional spurious emergencies occur even without an
+    // attack -- the statistics the paper notes an attacker could hide
+    // behind (Section VII-B).
+    Celsius sensed_inlet = max_inlet;
+    if (config_.operatorSensorNoise > 0.0) {
+        sensed_inlet = max_inlet + CelsiusDelta(rng_.normal(
+                           0.0, config_.operatorSensorNoise));
+    }
+    command_ = operator_.observeMinute(sensed_inlet);
+
+    while (emergenciesSeen_ < operator_.emergenciesDeclared()) {
+        metrics_.noteEmergencyDeclared();
+        ++emergenciesSeen_;
+    }
+    while (outagesSeen_ < operator_.outages()) {
+        metrics_.noteOutage();
+        ++outagesSeen_;
+    }
+
+    // ---- 7. Performance accounting during capped minutes. ----
+    if (capping && !outage) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < benignTenants_.size(); ++k) {
+            const auto &tenant = benignTenants_[k];
+            const Kilowatts demand = tenant.demandPower();
+            const double fraction =
+                demand.value() > 1e-9
+                    ? std::clamp(tenant.actualPower() / demand, 1e-6, 1.0)
+                    : 1.0;
+            const double norm =
+                latency_.normalizedP95(tenant.utilization(), fraction);
+            metrics_.recordTenantEmergencyPerf(k, norm);
+            sum += norm;
+        }
+        metrics_.recordEmergencyPerf(
+            sum / static_cast<double>(benignTenants_.size()));
+    }
+
+    // ---- 8. Record the minute. ----
+    MinuteRecord record;
+    record.time = now_;
+    record.meteredTotal = metered_total;
+    record.actualHeat = [&] {
+        Kilowatts total(0.0);
+        for (Kilowatts h : lastHeat_)
+            total += h;
+        return total;
+    }();
+    record.attackBatteryPower =
+        std::max(Kilowatts(0.0), supply.batteryPower);
+    record.benignPower = benign_total;
+    record.maxInlet = max_inlet;
+    record.supply = thermal_.supplyTemperature();
+    record.batterySoc = attackerSupply_.battery().soc();
+    record.action = action;
+    record.cappingActive = capping;
+    record.outage = outage;
+    metrics_.recordMinute(record, config_.cooling.supplySetPoint,
+                          thermal_.meanInletTemperature());
+    if (callback_)
+        callback_(record);
+
+    lastObs_ = obs;
+    lastAction_ = action;
+    havePending_ = true;
+    ++now_;
+}
+
+void
+Simulation::run(MinuteIndex num_minutes)
+{
+    ECOLO_ASSERT(num_minutes >= 0, "negative run length");
+    for (MinuteIndex i = 0; i < num_minutes; ++i)
+        stepMinute();
+}
+
+void
+Simulation::runDays(double days)
+{
+    run(static_cast<MinuteIndex>(days * static_cast<double>(
+        kMinutesPerDay)));
+}
+
+std::unique_ptr<AttackPolicy>
+makeRandomPolicy(const SimulationConfig &config, double attack_probability)
+{
+    return std::make_unique<RandomPolicy>(
+        attack_probability, minAttackSoc(config),
+        Rng(config.seed ^ 0x7a11ba5eULL));
+}
+
+std::unique_ptr<AttackPolicy>
+makeMyopicPolicy(const SimulationConfig &config, Kilowatts threshold)
+{
+    return std::make_unique<MyopicPolicy>(threshold, minAttackSoc(config));
+}
+
+std::unique_ptr<ForesightedPolicy>
+makeForesightedPolicy(const SimulationConfig &config, double weight,
+                      bool warm_start)
+{
+    ForesightedPolicy::Params params;
+    params.weight = weight;
+    // T_0 in the reward (Eqn. 2) is the inlet temperature the operator
+    // conditions *without* attacks. The matrix model keeps inlets a few
+    // tenths of a degree above the set point even at baseline, so measure
+    // T_0 slightly above the set point; otherwise every action collects a
+    // constant reward offset that drowns the attack/no-attack contrast.
+    params.baselineInlet = config.cooling.supplySetPoint +
+                           CelsiusDelta(config.foresightedRewardMargin);
+    params.capacity = config.capacity;
+    params.attackLoad = config.attackLoad;
+    params.battery = config.batterySpec;
+    params.stateSpace.loadMin = config.capacity * 0.5;
+    params.stateSpace.loadMax = config.capacity * 1.08;
+    auto policy = std::make_unique<ForesightedPolicy>(
+        params, Rng(config.seed ^ 0xf0e51337ULL));
+    if (warm_start) {
+        policy->warmStart();
+        policy->burnInSchedules(14);
+    }
+    return policy;
+}
+
+std::unique_ptr<AttackPolicy>
+makeOneShotPolicy(const SimulationConfig &config, Kilowatts threshold,
+                  MinuteIndex arm_delay)
+{
+    (void)config;
+    return std::make_unique<OneShotPolicy>(threshold, arm_delay);
+}
+
+double
+minAttackSoc(const SimulationConfig &config)
+{
+    const double delivered_per_minute = config.attackLoad.value() / 60.0;
+    const double stored_needed =
+        delivered_per_minute / config.batterySpec.dischargeEfficiency;
+    return stored_needed / config.batterySpec.capacity.value();
+}
+
+} // namespace ecolo::core

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The discrete-time (1-minute slot) edge-colocation simulation engine.
+ *
+ * Wires together every substrate: tenant workload traces drive server
+ * power; the attacker's policy drives its dual-source power supply; the
+ * thermal environment turns actual heat into inlet temperatures; the
+ * operator's protocol turns inlet temperatures into capping and outage
+ * commands; and the latency model turns capping into tenant performance
+ * degradation. One Simulation instance corresponds to one experiment run.
+ */
+
+#ifndef ECOLO_CORE_ENGINE_HH
+#define ECOLO_CORE_ENGINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "battery/power_supply.hh"
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "core/operator.hh"
+#include "core/policies.hh"
+#include "perf/latency_model.hh"
+#include "power/layout.hh"
+#include "power/pdu.hh"
+#include "power/tenant.hh"
+#include "sidechannel/voltage_channel.hh"
+#include "thermal/environment.hh"
+#include "util/rng.hh"
+
+namespace ecolo::core {
+
+/** One configured run of the edge colocation under a given attack policy. */
+class Simulation
+{
+  public:
+    using MinuteCallback = std::function<void(const MinuteRecord &)>;
+
+    /**
+     * Build the full system. The config seeds all randomness; two runs
+     * with the same config and policy behave identically.
+     */
+    Simulation(SimulationConfig config,
+               std::unique_ptr<AttackPolicy> policy);
+
+    /** Advance the simulation by the given number of minutes. */
+    void run(MinuteIndex num_minutes);
+
+    /** Convenience: run whole days. */
+    void runDays(double days);
+
+    const SimulationMetrics &metrics() const { return metrics_; }
+    const SimulationConfig &config() const { return config_; }
+    AttackPolicy &policy() { return *policy_; }
+    const AttackPolicy &policy() const { return *policy_; }
+
+    /** Install a per-minute observer (time-series figures). */
+    void setMinuteCallback(MinuteCallback callback)
+    { callback_ = std::move(callback); }
+
+    /** Current simulated minute. */
+    MinuteIndex now() const { return now_; }
+
+    // ---- Introspection for tests and harnesses ----
+    const power::Tenant &benignTenant(std::size_t i) const
+    { return benignTenants_.at(i); }
+    std::size_t numBenignTenants() const { return benignTenants_.size(); }
+    const battery::DualSourcePowerSupply &attackerSupply() const
+    { return attackerSupply_; }
+    const thermal::ThermalEnvironment &thermalEnvironment() const
+    { return thermal_; }
+    const ColoOperator &coloOperator() const { return operator_; }
+    const power::Pdu &pdu() const { return pdu_; }
+
+    /** Per-server heat of the most recent minute (defense harnesses). */
+    const std::vector<Kilowatts> &lastServerHeat() const
+    { return lastHeat_; }
+    /** Per-server metered power of the most recent minute. */
+    const std::vector<Kilowatts> &lastServerMetered() const
+    { return lastMetered_; }
+
+  private:
+    void buildTenants();
+    void stepMinute();
+    Kilowatts benignActualPower() const;
+    AttackObservation makeObservation(bool capping, bool outage);
+
+    SimulationConfig config_;
+    power::DataCenterLayout layout_;
+    Rng rng_;
+
+    std::vector<power::Tenant> benignTenants_;
+    power::Tenant attackerTenant_;
+    battery::DualSourcePowerSupply attackerSupply_;
+
+    thermal::ThermalEnvironment thermal_;
+    sidechannel::VoltageSideChannel channel_;
+    perf::LatencyModel latency_;
+    power::Pdu pdu_;
+    ColoOperator operator_;
+
+    std::unique_ptr<AttackPolicy> policy_;
+
+    OperatorCommand command_;       //!< command in force this minute
+    AttackObservation lastObs_;
+    AttackAction lastAction_ = AttackAction::Standby;
+    bool havePending_ = false;
+
+    std::vector<Kilowatts> lastHeat_;
+    std::vector<Kilowatts> lastMetered_;
+
+    SimulationMetrics metrics_;
+    MinuteCallback callback_;
+    MinuteIndex now_ = 0;
+    std::size_t emergenciesSeen_ = 0;
+    std::size_t outagesSeen_ = 0;
+};
+
+/** Factory helpers used across examples and benches. */
+std::unique_ptr<AttackPolicy>
+makeRandomPolicy(const SimulationConfig &config, double attack_probability);
+std::unique_ptr<AttackPolicy>
+makeMyopicPolicy(const SimulationConfig &config, Kilowatts threshold);
+std::unique_ptr<ForesightedPolicy>
+makeForesightedPolicy(const SimulationConfig &config, double weight,
+                      bool warm_start = true);
+std::unique_ptr<AttackPolicy>
+makeOneShotPolicy(const SimulationConfig &config, Kilowatts threshold,
+                  MinuteIndex arm_delay);
+
+/** Minimum state of charge that funds one minute of attack. */
+double minAttackSoc(const SimulationConfig &config);
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_ENGINE_HH

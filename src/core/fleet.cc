@@ -1,0 +1,73 @@
+#include "core/fleet.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::core {
+
+FleetSimulation::FleetSimulation(SimulationConfig base_config,
+                                 std::size_t num_sites,
+                                 MinuteIndex strike_minute,
+                                 Kilowatts strike_threshold)
+    : strikeMinute_(strike_minute)
+{
+    ECOLO_ASSERT(num_sites > 0, "fleet needs at least one site");
+    ECOLO_ASSERT(strike_minute >= 0, "negative strike minute");
+
+    sites_.reserve(num_sites);
+    for (std::size_t s = 0; s < num_sites; ++s) {
+        SimulationConfig site_config = base_config;
+        // Each site has its own tenants, traces and side channel.
+        site_config.seed = base_config.seed + 0x9e3779b9ULL * (s + 1);
+        sites_.push_back(std::make_unique<Simulation>(
+            site_config,
+            makeOneShotPolicy(site_config, strike_threshold,
+                              strike_minute)));
+    }
+    downNow_.assign(num_sites, false);
+    result_.numSites = num_sites;
+    result_.siteOutageMinutes.assign(num_sites, 0);
+}
+
+void
+FleetSimulation::run(MinuteIndex minutes)
+{
+    for (MinuteIndex m = 0; m < minutes; ++m) {
+        for (std::size_t s = 0; s < sites_.size(); ++s) {
+            sites_[s]->run(1);
+            downNow_[s] =
+                sites_[s]->coloOperator().state() == OperatorState::Outage;
+        }
+        ++now_;
+
+        std::size_t down = 0;
+        for (std::size_t s = 0; s < sites_.size(); ++s) {
+            if (downNow_[s]) {
+                ++down;
+                ++result_.siteOutageMinutes[s];
+                if (result_.firstOutageDelay < 0)
+                    result_.firstOutageDelay = now_ - strikeMinute_;
+            }
+        }
+        result_.maxSimultaneousOutages =
+            std::max(result_.maxSimultaneousOutages, down);
+        if (2 * down >= sites_.size())
+            ++result_.wideAreaInterruptionMinutes;
+    }
+
+    result_.sitesWithOutage = 0;
+    for (std::size_t s = 0; s < sites_.size(); ++s)
+        result_.sitesWithOutage += sites_[s]->metrics().outages() > 0;
+}
+
+std::size_t
+FleetSimulation::sitesDownNow() const
+{
+    std::size_t down = 0;
+    for (bool b : downNow_)
+        down += b;
+    return down;
+}
+
+} // namespace ecolo::core

@@ -1,0 +1,100 @@
+#include "core/mdp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo::core {
+
+const char *
+toString(AttackAction action)
+{
+    switch (action) {
+      case AttackAction::Charge:
+        return "charge";
+      case AttackAction::Attack:
+        return "attack";
+      case AttackAction::Standby:
+        return "standby";
+    }
+    return "unknown";
+}
+
+StateSpace::StateSpace(Params params) : params_(params)
+{
+    ECOLO_ASSERT(params_.batteryBins > 0 && params_.loadBins > 0,
+                 "state space needs at least one bin per dimension");
+    ECOLO_ASSERT(params_.loadMax > params_.loadMin,
+                 "load bin range is empty");
+}
+
+std::size_t
+StateSpace::batteryBinOf(double soc) const
+{
+    const double clamped = std::clamp(soc, 0.0, 1.0);
+    const auto bin = static_cast<std::size_t>(
+        clamped * static_cast<double>(params_.batteryBins));
+    return std::min(bin, params_.batteryBins - 1);
+}
+
+std::size_t
+StateSpace::loadBinOf(Kilowatts load) const
+{
+    const double span = (params_.loadMax - params_.loadMin).value();
+    const double frac =
+        (load - params_.loadMin).value() / span;
+    const double clamped = std::clamp(frac, 0.0, 1.0);
+    const auto bin = static_cast<std::size_t>(
+        clamped * static_cast<double>(params_.loadBins));
+    return std::min(bin, params_.loadBins - 1);
+}
+
+std::size_t
+StateSpace::indexOf(double soc, Kilowatts load) const
+{
+    return indexOfBins(batteryBinOf(soc), loadBinOf(load));
+}
+
+std::size_t
+StateSpace::indexOfBins(std::size_t battery_bin, std::size_t load_bin) const
+{
+    ECOLO_ASSERT(battery_bin < params_.batteryBins &&
+                 load_bin < params_.loadBins,
+                 "state bins out of range: ", battery_bin, "/", load_bin);
+    return battery_bin * params_.loadBins + load_bin;
+}
+
+double
+StateSpace::batteryBinCenter(std::size_t bin) const
+{
+    ECOLO_ASSERT(bin < params_.batteryBins, "battery bin out of range");
+    return (static_cast<double>(bin) + 0.5) /
+           static_cast<double>(params_.batteryBins);
+}
+
+Kilowatts
+StateSpace::loadBinCenter(std::size_t bin) const
+{
+    ECOLO_ASSERT(bin < params_.loadBins, "load bin out of range");
+    const double span = (params_.loadMax - params_.loadMin).value();
+    return params_.loadMin +
+           Kilowatts(span * (static_cast<double>(bin) + 0.5) /
+                     static_cast<double>(params_.loadBins));
+}
+
+std::size_t
+StateSpace::batteryBinFromIndex(std::size_t state) const
+{
+    ECOLO_ASSERT(state < numStates(), "state index out of range");
+    return state / params_.loadBins;
+}
+
+std::size_t
+StateSpace::loadBinFromIndex(std::size_t state) const
+{
+    ECOLO_ASSERT(state < numStates(), "state index out of range");
+    return state % params_.loadBins;
+}
+
+} // namespace ecolo::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The attacker's Markov-decision-process vocabulary (Section IV-A):
+ * state s = (battery energy, estimated benign load), three actions
+ * (charge / attack / standby), and the discretized state space the
+ * Q-learning tables index.
+ */
+
+#ifndef ECOLO_CORE_MDP_HH
+#define ECOLO_CORE_MDP_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/sim_time.hh"
+#include "util/units.hh"
+
+namespace ecolo::core {
+
+/** The attacker's three actions. */
+enum class AttackAction : int
+{
+    Charge = 0,  //!< recharge built-in batteries from the PDU
+    Attack = 1,  //!< run at peak power, discharging batteries
+    Standby = 2, //!< dummy workloads, no battery activity
+};
+
+inline constexpr std::size_t kNumAttackActions = 3;
+
+/** Human-readable action name. */
+const char *toString(AttackAction action);
+
+/** What the attacker can observe each minute. */
+struct AttackObservation
+{
+    MinuteIndex time = 0;
+    /** Battery state of charge in [0, 1]. */
+    double batterySoc = 1.0;
+    /**
+     * Side-channel estimate of the total load, expressed as benign load
+     * plus the attacker's subscribed capacity (the paper's convention for
+     * thresholds like "7.4 kW of the 8 kW capacity").
+     */
+    Kilowatts estimatedLoad{0.0};
+    /** The attacker's own inlet-temperature sensor reading. */
+    Celsius inletTemperature{27.0};
+    /** True while the operator's emergency capping is in force. */
+    bool cappingActive = false;
+    /** True while the PDU is de-energized (outage). */
+    bool outage = false;
+};
+
+/** Discretization of (battery, load) into Q-table indices. */
+class StateSpace
+{
+  public:
+    struct Params
+    {
+        std::size_t batteryBins = 11;
+        std::size_t loadBins = 16;
+        Kilowatts loadMin{4.0};
+        Kilowatts loadMax{8.5};
+    };
+
+    StateSpace() : StateSpace(Params{}) {}
+    explicit StateSpace(Params params);
+
+    std::size_t numStates() const
+    { return params_.batteryBins * params_.loadBins; }
+
+    std::size_t batteryBins() const { return params_.batteryBins; }
+    std::size_t loadBins() const { return params_.loadBins; }
+
+    std::size_t batteryBinOf(double soc) const;
+    std::size_t loadBinOf(Kilowatts load) const;
+
+    /** Flat index of the (soc, load) pair. */
+    std::size_t indexOf(double soc, Kilowatts load) const;
+
+    /** Flat index from explicit bins. */
+    std::size_t indexOfBins(std::size_t battery_bin,
+                            std::size_t load_bin) const;
+
+    /** Bin representative values (for policy dumps / Fig. 10). */
+    double batteryBinCenter(std::size_t bin) const;
+    Kilowatts loadBinCenter(std::size_t bin) const;
+
+    std::size_t batteryBinFromIndex(std::size_t state) const;
+    std::size_t loadBinFromIndex(std::size_t state) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+};
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_MDP_HH

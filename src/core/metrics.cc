@@ -1,0 +1,71 @@
+#include "core/metrics.hh"
+
+namespace ecolo::core {
+
+SimulationMetrics::SimulationMetrics() : inletHistogram_(25.0, 50.0, 50)
+{
+}
+
+void
+SimulationMetrics::recordMinute(const MinuteRecord &record,
+                                Celsius supply_set_point, Celsius mean_inlet)
+{
+    ++minutes_;
+    if (record.action == AttackAction::Attack &&
+        record.attackBatteryPower.value() > 1e-9) {
+        ++attackMinutes_;
+    }
+    if (record.cappingActive)
+        ++emergencyMinutes_;
+    if (record.outage)
+        ++outageMinutes_;
+    inletRise_.add((mean_inlet - supply_set_point).value());
+    maxInlet_.add(record.maxInlet.value());
+    inletHistogram_.add(record.maxInlet.value());
+    attackerGridEnergy_ +=
+        (record.meteredTotal - record.benignPower) * ecolo::minutes(1);
+    if (record.attackBatteryPower.value() > 0.0)
+        batteryDelivered_ += record.attackBatteryPower * ecolo::minutes(1);
+}
+
+void
+SimulationMetrics::recordEmergencyPerf(double normalized_p95)
+{
+    emergencyPerf_.add(normalized_p95);
+}
+
+void
+SimulationMetrics::recordTenantEmergencyPerf(std::size_t tenant,
+                                             double normalized_p95)
+{
+    if (tenant >= tenantPerf_.size())
+        tenantPerf_.resize(tenant + 1);
+    tenantPerf_[tenant].add(normalized_p95);
+}
+
+double
+SimulationMetrics::emergencyFraction() const
+{
+    if (minutes_ == 0)
+        return 0.0;
+    return static_cast<double>(emergencyMinutes_) /
+           static_cast<double>(minutes_);
+}
+
+double
+SimulationMetrics::attackHoursPerDay() const
+{
+    if (minutes_ == 0)
+        return 0.0;
+    const double days = static_cast<double>(minutes_) /
+                        static_cast<double>(kMinutesPerDay);
+    return static_cast<double>(attackMinutes_) / 60.0 / days;
+}
+
+double
+SimulationMetrics::emergencyHoursPerYear() const
+{
+    return emergencyFraction() * 365.0 * 24.0;
+}
+
+} // namespace ecolo::core

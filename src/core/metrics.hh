@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-run metrics and the per-minute record the reproduction harnesses use
+ * to regenerate the paper's time-series figures.
+ */
+
+#ifndef ECOLO_CORE_METRICS_HH
+#define ECOLO_CORE_METRICS_HH
+
+#include <cstddef>
+
+#include <vector>
+
+#include "core/mdp.hh"
+#include "util/sim_time.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace ecolo::core {
+
+/** Everything observable about one simulated minute. */
+struct MinuteRecord
+{
+    MinuteIndex time = 0;
+    Kilowatts meteredTotal{0.0};   //!< what the operator's meters see
+    Kilowatts actualHeat{0.0};     //!< true total cooling load
+    Kilowatts attackBatteryPower{0.0}; //!< behind-the-meter injection
+    Kilowatts benignPower{0.0};
+    Celsius maxInlet{27.0};
+    Celsius supply{27.0};
+    double batterySoc = 1.0;
+    AttackAction action = AttackAction::Standby;
+    bool cappingActive = false;
+    bool outage = false;
+};
+
+/** Aggregated over a run. */
+class SimulationMetrics
+{
+  public:
+    SimulationMetrics();
+
+    /** Feed one minute's record plus the emergency-perf sample (if any). */
+    void recordMinute(const MinuteRecord &record, Celsius supply_set_point,
+                      Celsius mean_inlet);
+
+    /** Add one emergency-minute performance sample (normalized p95). */
+    void recordEmergencyPerf(double normalized_p95);
+
+    /** Add one tenant's emergency-minute performance sample. */
+    void recordTenantEmergencyPerf(std::size_t tenant,
+                                   double normalized_p95);
+
+    void noteEmergencyDeclared() { ++emergencies_; }
+    void noteOutage() { ++outages_; }
+
+    MinuteIndex minutes() const { return minutes_; }
+    MinuteIndex attackMinutes() const { return attackMinutes_; }
+    MinuteIndex emergencyMinutes() const { return emergencyMinutes_; }
+    MinuteIndex outageMinutes() const { return outageMinutes_; }
+    std::size_t emergencies() const { return emergencies_; }
+    std::size_t outages() const { return outages_; }
+
+    /** Fraction of simulated time under emergency capping. */
+    double emergencyFraction() const;
+    /** Average attack time in hours per simulated day. */
+    double attackHoursPerDay() const;
+    /** Emergency time extrapolated to hours per year. */
+    double emergencyHoursPerYear() const;
+
+    /** Mean inlet-temperature rise above the set point (Fig. 11(b)). */
+    const OnlineStats &inletRise() const { return inletRise_; }
+    /** Max-inlet distribution (per-minute hottest inlet). */
+    const OnlineStats &maxInlet() const { return maxInlet_; }
+    /** Normalized p95 during emergency minutes (Fig. 11(d)). */
+    const OnlineStats &emergencyPerf() const { return emergencyPerf_; }
+
+    /** Per-benign-tenant emergency performance (index = tenant). */
+    const std::vector<OnlineStats> &tenantEmergencyPerf() const
+    { return tenantPerf_; }
+
+    /**
+     * Distribution of the per-minute hottest inlet ("probability
+     * distribution of the temperature", one of the paper's evaluation
+     * metrics). Bins span 25-50 C.
+     */
+    const Histogram &inletHistogram() const { return inletHistogram_; }
+
+    KilowattHours attackerGridEnergy() const { return attackerGridEnergy_; }
+    KilowattHours batteryEnergyDelivered() const
+    { return batteryDelivered_; }
+
+  private:
+    MinuteIndex minutes_ = 0;
+    MinuteIndex attackMinutes_ = 0;
+    MinuteIndex emergencyMinutes_ = 0;
+    MinuteIndex outageMinutes_ = 0;
+    std::size_t emergencies_ = 0;
+    std::size_t outages_ = 0;
+    OnlineStats inletRise_;
+    OnlineStats maxInlet_;
+    OnlineStats emergencyPerf_;
+    std::vector<OnlineStats> tenantPerf_;
+    Histogram inletHistogram_;
+    KilowattHours attackerGridEnergy_{0.0};
+    KilowattHours batteryDelivered_{0.0};
+};
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_METRICS_HH

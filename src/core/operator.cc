@@ -1,0 +1,114 @@
+#include "core/operator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::core {
+
+const char *
+toString(OperatorState state)
+{
+    switch (state) {
+      case OperatorState::Normal:
+        return "normal";
+      case OperatorState::Pending:
+        return "pending";
+      case OperatorState::Emergency:
+        return "emergency";
+      case OperatorState::Outage:
+        return "outage";
+    }
+    return "unknown";
+}
+
+ColoOperator::ColoOperator(Params params) : params_(params)
+{
+    ECOLO_ASSERT(params_.sustainMinutes >= 1 && params_.cappingMinutes >= 1,
+                 "protocol durations must be at least one minute");
+    ECOLO_ASSERT(params_.emergencyThreshold < params_.shutdownThreshold,
+                 "emergency threshold must be below shutdown threshold");
+}
+
+OperatorCommand
+ColoOperator::observeMinute(Celsius max_inlet)
+{
+    // The shutdown threshold overrides everything: permanent-damage
+    // protection trips regardless of protocol state.
+    if (state_ != OperatorState::Outage &&
+        max_inlet >= params_.shutdownThreshold) {
+        state_ = OperatorState::Outage;
+        restartLeft_ = params_.outageRestartMinutes;
+        ++outages_;
+    }
+
+    switch (state_) {
+      case OperatorState::Outage:
+        ++outageMinutes_;
+        if (--restartLeft_ <= 0) {
+            state_ = OperatorState::Normal;
+            sustainCounter_ = 0;
+            cappingLeft_ = 0;
+        }
+        break;
+
+      case OperatorState::Emergency:
+        ++emergencyMinutes_;
+        if (--cappingLeft_ <= 0) {
+            state_ = OperatorState::Normal;
+            sustainCounter_ = 0;
+        }
+        break;
+
+      case OperatorState::Normal:
+      case OperatorState::Pending:
+        if (max_inlet > params_.emergencyThreshold) {
+            ++sustainCounter_;
+            state_ = OperatorState::Pending;
+            if (sustainCounter_ >= params_.sustainMinutes) {
+                state_ = OperatorState::Emergency;
+                cappingLeft_ = params_.cappingMinutes;
+                ++emergencies_;
+                ++emergencyMinutes_;
+                --cappingLeft_;
+                if (params_.adaptiveCapping) {
+                    // Scale the cap depth with the declaration overshoot.
+                    const double overshoot = std::clamp(
+                        (max_inlet - params_.emergencyThreshold).value() /
+                            params_.adaptiveFullScaleKelvin,
+                        0.0, 1.0);
+                    activeCapLevel_ =
+                        params_.adaptiveMaxCap +
+                        (params_.adaptiveMinCap - params_.adaptiveMaxCap) *
+                            overshoot;
+                }
+            }
+        } else {
+            sustainCounter_ = 0;
+            state_ = OperatorState::Normal;
+        }
+        break;
+    }
+
+    OperatorCommand command;
+    command.capServers = state_ == OperatorState::Emergency;
+    command.outage = state_ == OperatorState::Outage;
+    if (command.capServers && params_.adaptiveCapping)
+        command.capLevel = activeCapLevel_;
+    return command;
+}
+
+void
+ColoOperator::reset()
+{
+    state_ = OperatorState::Normal;
+    sustainCounter_ = 0;
+    cappingLeft_ = 0;
+    restartLeft_ = 0;
+    emergencies_ = 0;
+    outages_ = 0;
+    emergencyMinutes_ = 0;
+    outageMinutes_ = 0;
+}
+
+} // namespace ecolo::core

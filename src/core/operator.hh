@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The colocation operator's thermal-emergency protocol (Sections III-B and
+ * V-A): when the server inlet temperature exceeds 32 C for at least two
+ * consecutive minutes, a thermal emergency is declared and every server is
+ * power-capped to 60% of capacity for five minutes; if the inlet reaches
+ * 45 C the shared PDU powers off (system outage) and stays down through a
+ * restart window.
+ */
+
+#ifndef ECOLO_CORE_OPERATOR_HH
+#define ECOLO_CORE_OPERATOR_HH
+
+#include <cstddef>
+#include <optional>
+
+#include "util/sim_time.hh"
+#include "util/units.hh"
+
+namespace ecolo::core {
+
+/** Protocol state machine states. */
+enum class OperatorState
+{
+    Normal,    //!< temperatures in range
+    Pending,   //!< above threshold, sustain timer running
+    Emergency, //!< capping in force
+    Outage,    //!< PDU de-energized, restart timer running
+};
+
+const char *toString(OperatorState state);
+
+/** What the operator orders this minute. */
+struct OperatorCommand
+{
+    bool capServers = false; //!< enforce the per-server power cap
+    bool outage = false;     //!< PDU is off
+    /**
+     * Per-server cap to enforce when capServers is set; unset means "use
+     * the configured fixed cap". Populated by the adaptive capping
+     * strategy.
+     */
+    std::optional<Kilowatts> capLevel;
+};
+
+/** The operator's monitoring/enforcement loop. */
+class ColoOperator
+{
+  public:
+    struct Params
+    {
+        Celsius emergencyThreshold{32.0};
+        MinuteIndex sustainMinutes = 2;
+        MinuteIndex cappingMinutes = 5;
+        Celsius shutdownThreshold{45.0};
+        MinuteIndex outageRestartMinutes = 60;
+        /**
+         * Runtime-coordinated capping (the paper's alternative to fixed
+         * SLA-predetermined capping): the cap depth scales with the
+         * overshoot at declaration time, capping gently for marginal
+         * emergencies and hard for severe ones.
+         */
+        bool adaptiveCapping = false;
+        Kilowatts adaptiveMinCap{0.10};  //!< severe overshoot
+        Kilowatts adaptiveMaxCap{0.15};  //!< marginal overshoot
+        /** Overshoot (K above threshold) that maps to the hardest cap. */
+        double adaptiveFullScaleKelvin = 5.0;
+    };
+
+    explicit ColoOperator(Params params);
+
+    /**
+     * Feed the hottest observed inlet temperature for this minute and get
+     * the command that applies to the *next* minute.
+     */
+    OperatorCommand observeMinute(Celsius max_inlet);
+
+    OperatorState state() const { return state_; }
+
+    /** Count of emergencies declared so far. */
+    std::size_t emergenciesDeclared() const { return emergencies_; }
+    /** Count of outages so far. */
+    std::size_t outages() const { return outages_; }
+    /** Minutes spent with capping in force. */
+    MinuteIndex emergencyMinutes() const { return emergencyMinutes_; }
+    /** Minutes spent de-energized. */
+    MinuteIndex outageMinutes() const { return outageMinutes_; }
+
+    void reset();
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+    OperatorState state_ = OperatorState::Normal;
+    MinuteIndex sustainCounter_ = 0;
+    MinuteIndex cappingLeft_ = 0;
+    MinuteIndex restartLeft_ = 0;
+    std::size_t emergencies_ = 0;
+    std::size_t outages_ = 0;
+    Kilowatts activeCapLevel_{0.12};
+    MinuteIndex emergencyMinutes_ = 0;
+    MinuteIndex outageMinutes_ = 0;
+};
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_OPERATOR_HH

@@ -1,0 +1,132 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "core/cost.hh"
+#include "core/threat_assessment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace ecolo::core {
+
+namespace {
+
+/** An ASCII bar for the histogram rows. */
+std::string
+bar(double fraction, int width = 40)
+{
+    const int filled = static_cast<int>(fraction * width + 0.5);
+    return std::string(static_cast<std::size_t>(std::max(filled, 0)), '#');
+}
+
+} // namespace
+
+void
+writeMarkdownReport(std::ostream &os, const SimulationConfig &config,
+                    const SimulationMetrics &metrics,
+                    const ReportInputs &inputs)
+{
+    os << "# EdgeTherm campaign report\n\n";
+    os << "Attacker policy: **" << inputs.policyName << "** (parameter "
+       << fixed(inputs.policyParameter, 2) << "), simulated "
+       << fixed(inputs.simulatedDays, 1) << " days, seed " << config.seed
+       << ".\n\n";
+
+    os << "## Site\n\n"
+       << "| parameter | value |\n|---|---|\n"
+       << "| capacity | " << fixed(config.capacity.value(), 1)
+       << " kW |\n"
+       << "| servers (attacker-owned) | " << config.numServers() << " ("
+       << config.attackerNumServers << ") |\n"
+       << "| attacker subscription | "
+       << fixed(config.attackerSubscription.value(), 2) << " kW |\n"
+       << "| battery | " << fixed(config.batterySpec.capacity.value(), 2)
+       << " kWh, " << fixed(config.attackLoad.value(), 1)
+       << " kW attack load |\n"
+       << "| supply set point | "
+       << fixed(config.cooling.supplySetPoint.value(), 1) << " C |\n\n";
+
+    os << "## Outcome\n\n"
+       << "| metric | value |\n|---|---|\n"
+       << "| attack time | " << fixed(metrics.attackHoursPerDay(), 2)
+       << " h/day |\n"
+       << "| thermal emergencies | " << metrics.emergencies() << " |\n"
+       << "| emergency time | "
+       << fixed(100.0 * metrics.emergencyFraction(), 2) << " % ("
+       << fixed(metrics.emergencyHoursPerYear(), 0) << " h/yr) |\n"
+       << "| outages | " << metrics.outages() << " ("
+       << metrics.outageMinutes() << " min) |\n"
+       << "| mean inlet rise | " << fixed(metrics.inletRise().mean(), 2)
+       << " C |\n"
+       << "| hottest inlet | " << fixed(metrics.maxInlet().max(), 1)
+       << " C |\n";
+    if (metrics.emergencyPerf().count() > 0) {
+        os << "| norm. 95p latency in emergencies | "
+           << fixed(metrics.emergencyPerf().mean(), 2) << "x |\n";
+    }
+    os << "\n";
+
+    // Per-tenant damage.
+    const auto &per_tenant = metrics.tenantEmergencyPerf();
+    if (!per_tenant.empty()) {
+        os << "## Per-tenant damage\n\n"
+           << "| tenant | degraded minutes | mean norm. 95p |\n"
+           << "|---|---|---|\n";
+        for (std::size_t k = 0; k < per_tenant.size(); ++k) {
+            os << "| tenant-" << (k + 1) << " | "
+               << per_tenant[k].count() << " | "
+               << (per_tenant[k].count()
+                       ? fixed(per_tenant[k].mean(), 2)
+                       : std::string("-"))
+               << " |\n";
+        }
+        os << "\n";
+    }
+
+    // Temperature distribution (only rows with mass).
+    os << "## Inlet temperature distribution\n\n```\n";
+    const auto &hist = metrics.inletHistogram();
+    double max_fraction = 0.0;
+    for (std::size_t b = 0; b < hist.bins(); ++b)
+        max_fraction = std::max(max_fraction, hist.binFraction(b));
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+        const double fraction = hist.binFraction(b);
+        if (fraction < 1e-6)
+            continue;
+        os << fixed(hist.binCenter(b), 1) << " C  "
+           << bar(max_fraction > 0 ? fraction / max_fraction : 0.0)
+           << "  " << fixed(100.0 * fraction, 2) << "%\n";
+    }
+    os << "```\n\n";
+
+    // Costs.
+    const CostModel cost;
+    const auto attacker = cost.attackerAnnualCost(config, metrics);
+    const auto benign = cost.benignAnnualCost(config, metrics);
+    os << "## Annualized cost estimate\n\n"
+       << "| side | $/yr |\n|---|---|\n"
+       << "| attacker (subscription + energy + servers) | "
+       << fixed(attacker.total(), 0) << " |\n"
+       << "| benign tenants (latency + outage damage) | "
+       << fixed(benign.total(), 0) << " |\n\n";
+
+    // Threat assessment.
+    os << "## Site threat assessment (closed form)\n\n```\n";
+    printAssessment(os, config, assessThreat(config));
+    os << "```\n";
+}
+
+void
+saveMarkdownReport(const std::string &path, const SimulationConfig &config,
+                   const SimulationMetrics &metrics,
+                   const ReportInputs &inputs)
+{
+    std::ofstream out(path);
+    if (!out)
+        ECOLO_FATAL("cannot open report file for writing: ", path);
+    writeMarkdownReport(out, config, metrics, inputs);
+}
+
+} // namespace ecolo::core

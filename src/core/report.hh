@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Markdown campaign reports: turn one simulated run into a human-readable
+ * incident/assessment document (what the CLI's --report flag emits).
+ *
+ * The report contains the configuration summary, the headline attack
+ * metrics, the inlet-temperature distribution, per-tenant performance
+ * damage, the cost estimate for both sides, and the closed-form threat
+ * assessment for the site.
+ */
+
+#ifndef ECOLO_CORE_REPORT_HH
+#define ECOLO_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+
+namespace ecolo::core {
+
+/** Inputs the report is rendered from. */
+struct ReportInputs
+{
+    std::string policyName;
+    double policyParameter = 0.0;
+    double simulatedDays = 0.0;
+};
+
+/** Render the full markdown report. */
+void writeMarkdownReport(std::ostream &os, const SimulationConfig &config,
+                         const SimulationMetrics &metrics,
+                         const ReportInputs &inputs);
+
+/** Convenience file wrapper (ECOLO_FATAL on I/O failure). */
+void saveMarkdownReport(const std::string &path,
+                        const SimulationConfig &config,
+                        const SimulationMetrics &metrics,
+                        const ReportInputs &inputs);
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_REPORT_HH

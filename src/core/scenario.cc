@@ -1,0 +1,152 @@
+#include "core/scenario.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace ecolo::core {
+
+void
+applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
+              bool allow_unknown)
+{
+    auto dbl = [&](const char *key, double &target) {
+        if (const auto v = kv.getDouble(key))
+            target = *v;
+    };
+    auto kw = [&](const char *key, Kilowatts &target) {
+        if (const auto v = kv.getDouble(key))
+            target = Kilowatts(*v);
+    };
+    auto kwh = [&](const char *key, KilowattHours &target) {
+        if (const auto v = kv.getDouble(key))
+            target = KilowattHours(*v);
+    };
+    auto deg = [&](const char *key, Celsius &target) {
+        if (const auto v = kv.getDouble(key))
+            target = Celsius(*v);
+    };
+    auto mins = [&](const char *key, MinuteIndex &target) {
+        if (const auto v = kv.getInt(key))
+            target = *v;
+    };
+
+    kw("capacityKw", config.capacity);
+    kw("cooling.capacityKw", config.cooling.capacity);
+    dbl("averageUtilization", config.averageUtilization);
+    if (const auto v = kv.getInt("seed"))
+        config.seed = static_cast<std::uint64_t>(*v);
+    if (const auto v = kv.getString("traceKind")) {
+        if (*v == "diurnal")
+            config.traceKind = TraceKind::Diurnal;
+        else if (*v == "google")
+            config.traceKind = TraceKind::GoogleStyle;
+        else if (*v == "request")
+            config.traceKind = TraceKind::RequestLevel;
+        else
+            ECOLO_FATAL("unknown traceKind '", *v,
+                        "' (expected diurnal|google|request)");
+    }
+
+    if (const auto v = kv.getInt("attacker.servers"))
+        config.attackerNumServers = static_cast<std::size_t>(*v);
+    kw("attacker.subscriptionKw", config.attackerSubscription);
+    kw("attacker.attackLoadKw", config.attackLoad);
+    dbl("attacker.standbyUtilization",
+        config.attackerStandbyUtilization);
+
+    kwh("battery.capacityKwh", config.batterySpec.capacity);
+    kw("battery.chargeRateKw", config.batterySpec.maxChargeRate);
+    kw("battery.dischargeRateKw", config.batterySpec.maxDischargeRate);
+    dbl("battery.chargeEfficiency", config.batterySpec.chargeEfficiency);
+    dbl("battery.dischargeEfficiency",
+        config.batterySpec.dischargeEfficiency);
+
+    deg("cooling.setPointC", config.cooling.supplySetPoint);
+    dbl("cooling.airVolumeM3", config.cooling.airVolume);
+    dbl("cooling.deratingPerKelvin",
+        config.cooling.capacityDeratingPerKelvin);
+
+    deg("protocol.emergencyThresholdC", config.emergencyThreshold);
+    mins("protocol.sustainMinutes", config.emergencySustainMinutes);
+    mins("protocol.cappingMinutes", config.cappingMinutes);
+    kw("protocol.perServerCapKw", config.perServerCap);
+    deg("protocol.shutdownThresholdC", config.shutdownThreshold);
+    mins("protocol.outageRestartMinutes", config.outageRestartMinutes);
+
+    dbl("sidechannel.extraRelativeNoise",
+        config.sideChannel.extraRelativeNoise);
+    dbl("sidechannel.jammingNoiseVolts",
+        config.sideChannel.jammingNoiseVolts);
+
+    dbl("rl.rewardMargin", config.foresightedRewardMargin);
+
+    dbl("trace.baseUtilization", config.diurnalParams.baseUtilization);
+    dbl("trace.diurnalAmplitude", config.diurnalParams.diurnalAmplitude);
+    dbl("trace.peakHour", config.diurnalParams.peakHour);
+
+    if (!allow_unknown) {
+        const auto unknown = kv.unconsumedKeys();
+        if (!unknown.empty()) {
+            std::string joined;
+            for (const auto &key : unknown)
+                joined += (joined.empty() ? "" : ", ") + key;
+            ECOLO_FATAL("unknown scenario key(s): ", joined);
+        }
+    }
+    config.validate();
+}
+
+SimulationConfig
+loadScenarioFile(const std::string &path)
+{
+    SimulationConfig config = SimulationConfig::paperDefault();
+    const auto kv = KeyValueConfig::parseFile(path);
+    applyScenario(kv, config);
+    return config;
+}
+
+void
+describeConfig(std::ostream &os, const SimulationConfig &config)
+{
+    TextTable table({"parameter", "value"});
+    table.addRow("capacity (kW)", fixed(config.capacity.value(), 2));
+    table.addRow("benign tenants", config.numBenignTenants);
+    table.addRow("servers (total / attacker)",
+                 std::to_string(config.numServers()) + " / " +
+                     std::to_string(config.attackerNumServers));
+    table.addRow("attacker subscription (kW)",
+                 fixed(config.attackerSubscription.value(), 2));
+    table.addRow("attack load from battery (kW)",
+                 fixed(config.attackLoad.value(), 2));
+    table.addRow("battery (kWh / charge kW / discharge kW)",
+                 fixed(config.batterySpec.capacity.value(), 2) + " / " +
+                     fixed(config.batterySpec.maxChargeRate.value(), 2) +
+                     " / " +
+                     fixed(config.batterySpec.maxDischargeRate.value(),
+                           2));
+    table.addRow("cooling capacity (kW)",
+                 fixed(config.cooling.capacity.value(), 2));
+    table.addRow("supply set point (C)",
+                 fixed(config.cooling.supplySetPoint.value(), 1));
+    table.addRow("emergency threshold (C, sustained min)",
+                 fixed(config.emergencyThreshold.value(), 1) + ", " +
+                     std::to_string(config.emergencySustainMinutes));
+    table.addRow("per-server cap (kW) / capping minutes",
+                 fixed(config.perServerCap.value(), 2) + " / " +
+                     std::to_string(config.cappingMinutes));
+    table.addRow("shutdown threshold (C)",
+                 fixed(config.shutdownThreshold.value(), 1));
+    table.addRow("average utilization",
+                 fixed(config.averageUtilization, 2));
+    table.addRow("trace",
+                 config.traceKind == TraceKind::Diurnal ? "diurnal"
+                 : config.traceKind == TraceKind::GoogleStyle
+                     ? "google-style"
+                     : "request-level");
+    table.addRow("seed", config.seed);
+    table.print(os);
+}
+
+} // namespace ecolo::core

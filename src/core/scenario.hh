@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Scenario files: load/override a SimulationConfig from key=value text, so
+ * experiments can be described declaratively (used by the CLI tool and
+ * user scripts).
+ *
+ * Recognized keys (all optional; defaults are Table I):
+ *
+ *   capacityKw, averageUtilization, seed, traceKind (diurnal|google)
+ *   attacker.servers, attacker.subscriptionKw, attacker.attackLoadKw,
+ *   attacker.standbyUtilization
+ *   battery.capacityKwh, battery.chargeRateKw, battery.dischargeRateKw,
+ *   battery.chargeEfficiency, battery.dischargeEfficiency
+ *   cooling.capacityKw, cooling.setPointC, cooling.airVolumeM3,
+ *   cooling.deratingPerKelvin
+ *   protocol.emergencyThresholdC, protocol.sustainMinutes,
+ *   protocol.cappingMinutes, protocol.perServerCapKw,
+ *   protocol.shutdownThresholdC, protocol.outageRestartMinutes
+ *   sidechannel.extraRelativeNoise, sidechannel.jammingNoiseVolts
+ *   rl.rewardMargin
+ *   trace.baseUtilization, trace.diurnalAmplitude, trace.peakHour
+ */
+
+#ifndef ECOLO_CORE_SCENARIO_HH
+#define ECOLO_CORE_SCENARIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hh"
+#include "util/keyvalue.hh"
+
+namespace ecolo::core {
+
+/**
+ * Apply the recognized keys of a parsed key=value document on top of the
+ * given config. ECOLO_FATAL on unknown keys (catches typos) unless
+ * allow_unknown is set; the resulting config is validated.
+ */
+void applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
+                   bool allow_unknown = false);
+
+/** Load Table I defaults + a scenario file. */
+SimulationConfig loadScenarioFile(const std::string &path);
+
+/** Human-readable dump of a configuration (CLI --describe). */
+void describeConfig(std::ostream &os, const SimulationConfig &config);
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_SCENARIO_HH

@@ -1,0 +1,150 @@
+#include "core/threat_assessment.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "thermal/cooling.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace ecolo::core {
+
+namespace {
+
+/**
+ * Step a room replica through an attack: uncapped heat until the
+ * emergency protocol caps, then capped heat (with the battery still
+ * injecting, the one-shot behaviour). Returns minutes until the supply
+ * temperature reaches `target`, or -1 if the attack stalls first.
+ */
+double
+minutesUntil(const SimulationConfig &config, Kilowatts uncapped_heat,
+             Kilowatts capped_heat, Celsius target)
+{
+    thermal::CoolingSystem room(config.cooling);
+    long over_threshold = 0;
+    bool capped = false;
+    double previous = -1.0;
+    for (int minute = 1; minute <= 24 * 60; ++minute) {
+        room.step(capped ? capped_heat : uncapped_heat, minutes(1));
+        const double supply = room.supplyTemperature().value();
+        if (supply >= target.value())
+            return minute;
+        if (!capped) {
+            over_threshold =
+                supply > config.emergencyThreshold.value()
+                    ? over_threshold + 1
+                    : 0;
+            if (over_threshold >= config.emergencySustainMinutes)
+                capped = true; // protocol reacts from the next minute
+        } else if (supply <= previous + 1e-9) {
+            return -1.0; // capping arrested the rise
+        }
+        previous = supply;
+    }
+    return -1.0;
+}
+
+} // namespace
+
+ThreatAssessment
+assessThreat(const SimulationConfig &config, Kilowatts peak_benign_load)
+{
+    ThreatAssessment out;
+    const Kilowatts benign_subscription =
+        config.capacity - config.attackerSubscription;
+    out.peakBenignLoad = peak_benign_load.value() > 0.0
+                             ? peak_benign_load
+                             : benign_subscription * 0.95;
+
+    const Kilowatts attacker_standby =
+        config.serverSpec.powerAt(config.attackerStandbyUtilization) *
+        static_cast<double>(config.attackerNumServers);
+    out.coolingHeadroom = config.cooling.capacity -
+                          (out.peakBenignLoad + attacker_standby);
+
+    // ---- Repeated attacks ----
+    const Kilowatts attack_total =
+        out.peakBenignLoad + config.attackerSubscription +
+        config.attackLoad;
+    const Kilowatts overload = attack_total - config.cooling.capacity;
+    // The smallest battery load that produces any overload at peak, plus
+    // a working margin so the rise is not glacial.
+    out.minEmergencyAttackLoad = Kilowatts(std::max(
+        0.0, (config.cooling.capacity - out.peakBenignLoad -
+              config.attackerSubscription)
+                 .value()) +
+        0.1);
+
+    thermal::CoolingSystem room(config.cooling);
+    if (overload.value() > 0.0) {
+        const Seconds rise_time = room.timeToReach(
+            config.emergencyThreshold, overload,
+            config.cooling.supplySetPoint);
+        out.minutesToEmergency =
+            toMinutes(rise_time) +
+            static_cast<double>(config.emergencySustainMinutes);
+        out.emergencyFeasible = out.minutesToEmergency < 60.0;
+        const double stored_kwh =
+            config.attackLoad.value() * out.minutesToEmergency / 60.0 /
+            config.batterySpec.dischargeEfficiency;
+        out.minBatteryForEmergency = KilowattHours(stored_kwh);
+    }
+
+    // ---- One-shot ----
+    const Kilowatts capped_metered =
+        config.perServerCap * static_cast<double>(config.numServers());
+    const Kilowatts capped_heat = capped_metered + config.attackLoad;
+    const double shutdown_minutes = minutesUntil(
+        config, attack_total, capped_heat, config.shutdownThreshold);
+    if (shutdown_minutes > 0.0) {
+        out.outageFeasible = true;
+        out.minutesToShutdown = shutdown_minutes;
+        out.minBatteryForOutage = KilowattHours(
+            config.attackLoad.value() * shutdown_minutes / 60.0 /
+            config.batterySpec.dischargeEfficiency);
+    }
+
+    // ---- Defense sizing ----
+    out.extraCoolingToNeutralize = Kilowatts(std::max(
+        0.0, (attack_total - config.cooling.capacity).value() + 0.1));
+
+    return out;
+}
+
+void
+printAssessment(std::ostream &os, const SimulationConfig &config,
+                const ThreatAssessment &a)
+{
+    TextTable table({"threat metric", "value"});
+    table.addRow("assumed peak benign load (kW)",
+                 fixed(a.peakBenignLoad.value(), 2));
+    table.addRow("cooling headroom at peak (kW)",
+                 fixed(a.coolingHeadroom.value(), 2));
+    table.addRow("min attack load for emergencies (kW)",
+                 fixed(a.minEmergencyAttackLoad.value(), 2));
+    table.addRow("configured attack load (kW)",
+                 fixed(config.attackLoad.value(), 2));
+    if (a.emergencyFeasible) {
+        table.addRow("minutes of attack per emergency",
+                     fixed(a.minutesToEmergency, 1));
+        table.addRow("battery per emergency burst (kWh)",
+                     fixed(a.minBatteryForEmergency.value(), 3));
+    } else {
+        table.addRow("repeated attacks", "NOT feasible at this load");
+    }
+    if (a.outageFeasible) {
+        table.addRow("minutes of attack to 45 C outage",
+                     fixed(a.minutesToShutdown, 1));
+        table.addRow("battery for a one-shot strike (kWh)",
+                     fixed(a.minBatteryForOutage.value(), 3));
+    } else {
+        table.addRow("one-shot outage",
+                     "NOT feasible (capping arrests the rise)");
+    }
+    table.addRow("extra cooling to neutralize (kW)",
+                 fixed(a.extraCoolingToNeutralize.value(), 2));
+    table.print(os);
+}
+
+} // namespace ecolo::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Operator-facing threat assessment: closed-form answers to "could a
+ * battery-equipped tenant hurt *my* site, and with how much hardware?".
+ *
+ * This is the defensive counterpart of the attack policies: given a site
+ * configuration and its expected peak benign load, it computes the
+ * minimum attacker resources (attack load, battery energy) needed for a
+ * thermal emergency and for a one-shot outage, plus the time scales
+ * involved — everything Section VII's "infrastructure resilience"
+ * decisions need, without running a simulation.
+ */
+
+#ifndef ECOLO_CORE_THREAT_ASSESSMENT_HH
+#define ECOLO_CORE_THREAT_ASSESSMENT_HH
+
+#include <iosfwd>
+
+#include "core/config.hh"
+
+namespace ecolo::core {
+
+/** The assessment result. */
+struct ThreatAssessment
+{
+    /** Peak benign load assumed (kW). */
+    Kilowatts peakBenignLoad{0.0};
+    /** Headroom between peak total load and cooling capacity (kW). */
+    Kilowatts coolingHeadroom{0.0};
+
+    // ---- Repeated attacks (thermal emergencies) ----
+    /** Smallest battery attack load that can trigger an emergency. */
+    Kilowatts minEmergencyAttackLoad{0.0};
+    /** Minutes of sustained attack needed at the configured attack load. */
+    double minutesToEmergency = 0.0;
+    /** Battery energy that sustains one emergency-triggering burst. */
+    KilowattHours minBatteryForEmergency{0.0};
+    /** True if the configured attacker can trigger emergencies at all. */
+    bool emergencyFeasible = false;
+
+    // ---- One-shot attack (outage) ----
+    /** Minutes of sustained attack to reach the shutdown threshold. */
+    double minutesToShutdown = 0.0;
+    /** Battery energy for a complete one-shot strike. */
+    KilowattHours minBatteryForOutage{0.0};
+    /** True if capping alone cannot stop the configured one-shot. */
+    bool outageFeasible = false;
+
+    // ---- Defense sizing ----
+    /** Extra cooling capacity that makes the configured attacker unable
+     *  to trigger emergencies at the assumed peak load. */
+    Kilowatts extraCoolingToNeutralize{0.0};
+};
+
+/**
+ * Assess a site. peak_benign_load defaults to the benign tenants' full
+ * subscription scaled by a 0.95 coincidence factor; pass a measured value
+ * for a sharper answer.
+ */
+ThreatAssessment
+assessThreat(const SimulationConfig &config,
+             Kilowatts peak_benign_load = Kilowatts(0.0));
+
+/** Pretty-print an assessment (used by the CLI's --assess). */
+void printAssessment(std::ostream &os, const SimulationConfig &config,
+                     const ThreatAssessment &assessment);
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_THREAT_ASSESSMENT_HH

@@ -1,0 +1,86 @@
+#include "defense/suite.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ecolo::defense {
+
+DefenseSuite::DefenseSuite(Params params,
+                           const core::SimulationConfig &config)
+    : attackerServers_(config.attackerNumServers),
+      residual_(params.residual, config.cooling),
+      audit_(params.airflow, config.numServers()),
+      sla_(params.sla),
+      rng_(params.seed),
+      everFlagged_(config.numServers(), false)
+{
+}
+
+void
+DefenseSuite::attach(core::Simulation &sim)
+{
+    sim.setMinuteCallback([this, &sim](const core::MinuteRecord &record) {
+        observeMinute(sim, record);
+    });
+}
+
+void
+DefenseSuite::observeMinute(const core::Simulation &sim,
+                            const core::MinuteRecord &record)
+{
+    residual_.observeMinute(record.meteredTotal, record.supply, rng_);
+    sla_.observeMinute(record.maxInlet);
+    audit_.observeMinute(sim.lastServerHeat(), sim.lastServerMetered(),
+                         rng_);
+    for (std::size_t s : audit_.flaggedServers())
+        everFlagged_.at(s) = true;
+}
+
+DefenseReport
+DefenseSuite::report() const
+{
+    DefenseReport report;
+    report.residualAlarmed = residual_.alarmed();
+    report.residualLatencyMinutes = residual_.alarmLatencyMinutes();
+    report.slaAlarmed = sla_.alarmed();
+    report.slaLatencyMinutes = sla_.alarmLatencyMinutes();
+
+    bool any_benign_flagged = false;
+    for (std::size_t s = 0; s < everFlagged_.size(); ++s) {
+        if (everFlagged_[s]) {
+            report.flaggedServers.push_back(s);
+            if (s >= attackerServers_)
+                any_benign_flagged = true;
+        }
+    }
+    report.pinpointExact =
+        !report.flaggedServers.empty() && !any_benign_flagged;
+
+    std::ostringstream verdict;
+    if (!report.residualAlarmed && !report.slaAlarmed &&
+        report.flaggedServers.empty()) {
+        verdict << "No behind-the-meter activity detected.";
+    } else {
+        verdict << "Thermal attack indicators:";
+        if (report.residualAlarmed) {
+            verdict << " residual alarm after "
+                    << report.residualLatencyMinutes << " min;";
+        }
+        if (report.slaAlarmed) {
+            verdict << " SLA statistics alarm after "
+                    << report.slaLatencyMinutes << " min;";
+        }
+        if (!report.flaggedServers.empty()) {
+            verdict << " airflow audit flagged "
+                    << report.flaggedServers.size() << " server(s)"
+                    << (report.pinpointExact
+                            ? " (all attacker-owned -- evict)"
+                            : " (includes benign servers -- inspect)");
+        }
+    }
+    report.verdict = verdict.str();
+    return report;
+}
+
+} // namespace ecolo::defense

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * DefenseSuite: the operator's full Section-VII monitoring stack bundled
+ * into one object that attaches to a running Simulation.
+ *
+ * Wires the thermal-residual CUSUM detector, the per-server airflow
+ * audit, and the SLA statistics monitor to the engine's per-minute
+ * records, and produces a consolidated incident report (what alarmed,
+ * when, and which servers were pinpointed).
+ */
+
+#ifndef ECOLO_DEFENSE_SUITE_HH
+#define ECOLO_DEFENSE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "defense/detectors.hh"
+
+namespace ecolo::defense {
+
+/** Consolidated outcome of a monitored run. */
+struct DefenseReport
+{
+    bool residualAlarmed = false;
+    long residualLatencyMinutes = -1;
+    bool slaAlarmed = false;
+    long slaLatencyMinutes = -1;
+    /** Servers the airflow audit ever flagged. */
+    std::vector<std::size_t> flaggedServers;
+    /** True if every flagged server belongs to the attacker. */
+    bool pinpointExact = false;
+    /** Human-readable one-paragraph verdict. */
+    std::string verdict;
+};
+
+/** The bundled monitoring stack. */
+class DefenseSuite
+{
+  public:
+    struct Params
+    {
+        ThermalResidualDetector::Params residual{};
+        AirflowAudit::Params airflow{};
+        SlaMonitor::Params sla{};
+        std::uint64_t seed = 97;
+    };
+
+    /**
+     * Build a suite sized for the given configuration. The suite's room
+     * replica uses the same cooling parameters the site advertises.
+     */
+    DefenseSuite(Params params, const core::SimulationConfig &config);
+
+    /**
+     * Install the suite's observer on a simulation. Replaces any existing
+     * minute callback; to combine with your own observer, call
+     * observeMinute from it manually instead.
+     */
+    void attach(core::Simulation &sim);
+
+    /** Feed one minute manually (for custom callback arrangements). */
+    void observeMinute(const core::Simulation &sim,
+                       const core::MinuteRecord &record);
+
+    /** Consolidated report for everything observed so far. */
+    DefenseReport report() const;
+
+    const ThermalResidualDetector &residualDetector() const
+    { return residual_; }
+    const AirflowAudit &airflowAudit() const { return audit_; }
+    const SlaMonitor &slaMonitor() const { return sla_; }
+
+  private:
+    std::size_t attackerServers_;
+    ThermalResidualDetector residual_;
+    AirflowAudit audit_;
+    SlaMonitor sla_;
+    Rng rng_;
+    std::vector<bool> everFlagged_;
+};
+
+} // namespace ecolo::defense
+
+#endif // ECOLO_DEFENSE_SUITE_HH

@@ -1,0 +1,47 @@
+#include "perf/latency_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo::perf {
+
+double
+LatencyModel::normalizedP95(double utilization, double power_fraction) const
+{
+    ECOLO_ASSERT(utilization >= 0.0 && utilization <= 1.0 + 1e-9,
+                 "utilization out of [0,1]: ", utilization);
+    ECOLO_ASSERT(power_fraction > 0.0 && power_fraction <= 1.0 + 1e-9,
+                 "power fraction out of (0,1]: ", power_fraction);
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    const double f = std::clamp(power_fraction, 1e-6, 1.0);
+    const double sensitivity =
+        params_.sensitivityBase + params_.sensitivityUtil * u;
+    return 1.0 + sensitivity * std::pow(1.0 - f, params_.powerExponent);
+}
+
+double
+LatencyModel::uncappedP95Ms(double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    const double denom =
+        std::max(0.05, 1.0 - params_.baselineLoadFactor * u);
+    return params_.baseLatencyMs / denom;
+}
+
+double
+LatencyModel::p95Ms(double utilization, double power_fraction) const
+{
+    return uncappedP95Ms(utilization) *
+           normalizedP95(utilization, power_fraction);
+}
+
+double
+LatencyModel::p95OverSla(double utilization, double power_fraction) const
+{
+    ECOLO_ASSERT(params_.slaLatencyMs > 0.0, "SLA latency must be positive");
+    return p95Ms(utilization, power_fraction) / params_.slaLatencyMs;
+}
+
+} // namespace ecolo::perf

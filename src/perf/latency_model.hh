@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tenant application-performance model: 95th-percentile response time as a
+ * function of offered load and the power the (possibly capped) servers may
+ * draw.
+ *
+ * The paper measures this relationship on a real cluster running CloudSuite
+ * Web Service / Web Search (Fig. 15): at a fixed workload, lowering server
+ * power (CPU throttling for emergency capping) raises tail latency, steeply
+ * so at the 60%-of-peak cap used during thermal emergencies (~4x at the
+ * workloads shown, Fig. 14(b)). We have no hardware, so we provide a
+ * calibrated empirical surface with the same shape:
+ *
+ *   p95_norm(u, f) = 1 + A(u) * (1 - f)^B,   A(u) = a0 + a1 * u
+ *
+ * where u is offered utilization, f is the power fraction (actual/demanded
+ * dynamic power) and p95_norm is relative to the uncapped latency at the
+ * same workload. Defaults reproduce the ~4x jump at f = 0.6 and the
+ * steeper degradation at higher workloads seen in Fig. 15.
+ */
+
+#ifndef ECOLO_PERF_LATENCY_MODEL_HH
+#define ECOLO_PERF_LATENCY_MODEL_HH
+
+namespace ecolo::perf {
+
+/** Calibration of the latency surface. */
+struct LatencyModelParams
+{
+    double sensitivityBase = 8.5;   //!< a0
+    double sensitivityUtil = 5.5;   //!< a1 (workload steepening)
+    double powerExponent = 1.5;     //!< B
+    double slaLatencyMs = 100.0;    //!< SLA target (paper's Web Search SLA)
+    /** Uncapped p95 at zero load, ms (queueing baseline). */
+    double baseLatencyMs = 60.0;
+    /** Mild uncapped growth with load: base / (1 - k*u). */
+    double baselineLoadFactor = 0.45;
+};
+
+/** The latency surface. */
+class LatencyModel
+{
+  public:
+    LatencyModel() = default;
+    explicit LatencyModel(LatencyModelParams params) : params_(params) {}
+
+    /**
+     * 95th-percentile response time normalized to the uncapped latency at
+     * the same offered utilization.
+     * @param utilization offered load in [0, 1]
+     * @param power_fraction delivered/demanded power in (0, 1]
+     */
+    double normalizedP95(double utilization, double power_fraction) const;
+
+    /** Absolute uncapped p95 in milliseconds at the given utilization. */
+    double uncappedP95Ms(double utilization) const;
+
+    /** Absolute p95 in milliseconds including capping effects. */
+    double p95Ms(double utilization, double power_fraction) const;
+
+    /** p95 normalized to the SLA target (Fig. 15's y-axis). */
+    double p95OverSla(double utilization, double power_fraction) const;
+
+    const LatencyModelParams &params() const { return params_; }
+
+  private:
+    LatencyModelParams params_;
+};
+
+} // namespace ecolo::perf
+
+#endif // ECOLO_PERF_LATENCY_MODEL_HH

@@ -1,0 +1,95 @@
+#include "perf/queue_sim.hh"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ecolo::perf {
+
+QueueSimResult
+simulateQueue(const QueueSimParams &params, Rng rng)
+{
+    ECOLO_ASSERT(params.numServers > 0, "queue needs at least one server");
+    ECOLO_ASSERT(params.baseServiceRatePerServer > 0.0,
+                 "service rate must be positive");
+    ECOLO_ASSERT(params.powerFraction > 0.0 && params.powerFraction <= 1.0,
+                 "power fraction out of (0,1]");
+    ECOLO_ASSERT(params.offeredUtilization >= 0.0 &&
+                 params.offeredUtilization <= 1.0,
+                 "offered utilization out of [0,1]");
+    ECOLO_ASSERT(params.simulatedSeconds > params.warmupSeconds,
+                 "simulation shorter than its warm-up");
+
+    const double per_server_rate =
+        params.baseServiceRatePerServer * params.powerFraction;
+    const double arrival_rate = params.offeredUtilization *
+                                params.baseServiceRatePerServer *
+                                static_cast<double>(params.numServers);
+
+    QueueSimResult result;
+    if (arrival_rate <= 0.0)
+        return result;
+
+    // Event-driven simulation: next arrival time plus one completion time
+    // per busy server (min-heap over server completion times).
+    std::priority_queue<double, std::vector<double>, std::greater<>>
+        completions;
+    std::queue<double> waiting; // arrival timestamps of queued requests
+    PercentileEstimator sojourns;
+    OnlineStats mean_sojourn;
+
+    double now = 0.0;
+    double next_arrival = rng.exponential(arrival_rate);
+    while (now < params.simulatedSeconds) {
+        const bool completion_next =
+            !completions.empty() && completions.top() < next_arrival;
+        if (completion_next) {
+            now = completions.top();
+            completions.pop();
+            // A server freed up: pull the next queued request, if any.
+            if (!waiting.empty()) {
+                const double arrived = waiting.front();
+                waiting.pop();
+                const double service = rng.exponential(per_server_rate);
+                const double done = now + service;
+                completions.push(done);
+                if (done > params.warmupSeconds) {
+                    const double sojourn_ms = (done - arrived) * 1000.0;
+                    sojourns.add(sojourn_ms);
+                    mean_sojourn.add(sojourn_ms);
+                    ++result.completedRequests;
+                }
+            }
+        } else {
+            now = next_arrival;
+            next_arrival = now + rng.exponential(arrival_rate);
+            if (completions.size() < params.numServers) {
+                // Idle server available: serve immediately.
+                const double service = rng.exponential(per_server_rate);
+                const double done = now + service;
+                completions.push(done);
+                if (done > params.warmupSeconds) {
+                    const double sojourn_ms = service * 1000.0;
+                    sojourns.add(sojourn_ms);
+                    mean_sojourn.add(sojourn_ms);
+                    ++result.completedRequests;
+                }
+            } else {
+                waiting.push(now);
+            }
+        }
+    }
+
+    result.backlog = waiting.size();
+    if (sojourns.count() > 0) {
+        result.p50Ms = sojourns.percentile(50.0);
+        result.p95Ms = sojourns.percentile(95.0);
+        result.p99Ms = sojourns.percentile(99.0);
+        result.meanMs = mean_sojourn.mean();
+    }
+    return result;
+}
+
+} // namespace ecolo::perf

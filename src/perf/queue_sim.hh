@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Discrete-event M/M/k queue simulation of one tenant's serving cluster.
+ *
+ * The paper *measures* 95th-percentile response times on a real CloudSuite
+ * cluster under power capping; the calibrated LatencyModel surface stands
+ * in for those measurements in year-long runs. This simulator grounds that
+ * surface in first principles: Poisson arrivals into k servers whose
+ * service rate scales with the delivered (possibly capped) power, FCFS
+ * queueing, exact event-driven sojourn times. The perf unit tests check
+ * that the closed-form surface and the simulated queue agree on every
+ * qualitative property the paper relies on (monotonicity in load and in
+ * the power cap, super-linear tail growth).
+ */
+
+#ifndef ECOLO_PERF_QUEUE_SIM_HH
+#define ECOLO_PERF_QUEUE_SIM_HH
+
+#include <cstddef>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace ecolo::perf {
+
+/** Cluster and workload parameters for one simulation. */
+struct QueueSimParams
+{
+    std::size_t numServers = 12;      //!< k
+    double baseServiceRatePerServer = 50.0; //!< req/s at full power
+    /**
+     * Compute scales with dynamic power: a power fraction f in (0, 1]
+     * yields service rate base * servedFraction(f), matching the server
+     * power model's DVFS assumption.
+     */
+    double powerFraction = 1.0;
+    /** Offered load as a fraction of full-power cluster capacity. */
+    double offeredUtilization = 0.6;
+    double simulatedSeconds = 600.0;
+    /** Warm-up discarded before measuring, seconds. */
+    double warmupSeconds = 60.0;
+};
+
+/** Result of one queue simulation. */
+struct QueueSimResult
+{
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    std::size_t completedRequests = 0;
+    /** Requests still queued at the end (overload indicator). */
+    std::size_t backlog = 0;
+};
+
+/**
+ * Run one M/M/k simulation. Deterministic for a given (params, seed).
+ * When the capped service capacity is below the offered load the queue
+ * grows without bound; the result then reports the (finite-window) tail
+ * of an overloaded system, which is exactly what a capped 5-minute
+ * thermal emergency looks like.
+ */
+QueueSimResult simulateQueue(const QueueSimParams &params, Rng rng);
+
+} // namespace ecolo::perf
+
+#endif // ECOLO_PERF_QUEUE_SIM_HH

@@ -1,0 +1,76 @@
+#include "power/pdu.hh"
+
+#include "util/logging.hh"
+
+namespace ecolo::power {
+
+Kilowatts
+PowerMeter::read(Kilowatts true_power, Rng &rng) const
+{
+    if (relativeNoise_ <= 0.0)
+        return true_power;
+    const double noisy =
+        true_power.value() * (1.0 + rng.normal(0.0, relativeNoise_));
+    return Kilowatts(noisy < 0.0 ? 0.0 : noisy);
+}
+
+std::size_t
+Pdu::addCircuit(std::string tenant_name, Kilowatts subscription,
+                double meter_noise)
+{
+    ECOLO_ASSERT(subscription.value() > 0.0,
+                 "non-positive subscription for '", tenant_name, "'");
+    circuits_.push_back(Circuit{std::move(tenant_name), subscription,
+                                PowerMeter(meter_noise), Kilowatts(0.0)});
+    return circuits_.size() - 1;
+}
+
+const std::string &
+Pdu::circuitName(std::size_t i) const
+{
+    return circuits_.at(i).name;
+}
+
+Kilowatts
+Pdu::circuitSubscription(std::size_t i) const
+{
+    return circuits_.at(i).subscription;
+}
+
+void
+Pdu::setCircuitDraw(std::size_t i, Kilowatts grid_power)
+{
+    ECOLO_ASSERT(grid_power.value() >= -1e-9,
+                 "negative grid draw on circuit ", i);
+    circuits_.at(i).currentDraw = energized_ ? grid_power : Kilowatts(0.0);
+}
+
+Kilowatts
+Pdu::circuitMeteredPower(std::size_t i) const
+{
+    return circuits_.at(i).meter.read(circuits_.at(i).currentDraw);
+}
+
+Kilowatts
+Pdu::totalMeteredPower() const
+{
+    Kilowatts total(0.0);
+    for (std::size_t i = 0; i < circuits_.size(); ++i)
+        total += circuitMeteredPower(i);
+    return total;
+}
+
+bool
+Pdu::circuitOverSubscription(std::size_t i, double tolerance) const
+{
+    const Circuit &c = circuits_.at(i);
+    return c.currentDraw.value() > c.subscription.value() + tolerance;
+}
+
+bool
+Pdu::overCapacity(double tolerance) const
+{
+    return totalMeteredPower().value() > capacity_.value() + tolerance;
+}
+
+} // namespace ecolo::power

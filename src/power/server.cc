@@ -1,0 +1,69 @@
+#include "power/server.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::power {
+
+Kilowatts
+ServerSpec::powerAt(double utilization) const
+{
+    ECOLO_ASSERT(idlePower <= peakPower, "idle power above peak power");
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    return idlePower + (peakPower - idlePower) * u;
+}
+
+double
+ServerSpec::utilizationFor(Kilowatts p) const
+{
+    const Kilowatts dynamic_range = peakPower - idlePower;
+    if (dynamic_range.value() <= 0.0)
+        return 0.0;
+    return std::clamp((p - idlePower) / dynamic_range, 0.0, 1.0);
+}
+
+void
+Server::setUtilization(double utilization)
+{
+    ECOLO_ASSERT(utilization >= 0.0 && utilization <= 1.0 + 1e-9,
+                 "utilization out of [0,1]: ", utilization);
+    utilization_ = std::clamp(utilization, 0.0, 1.0);
+}
+
+Kilowatts
+Server::demandPower() const
+{
+    if (!poweredOn_)
+        return Kilowatts(0.0);
+    return spec_.powerAt(utilization_);
+}
+
+Kilowatts
+Server::actualPower() const
+{
+    if (!poweredOn_)
+        return Kilowatts(0.0);
+    Kilowatts p = demandPower();
+    if (cap_)
+        p = std::min(p, *cap_);
+    return p;
+}
+
+double
+Server::servedFraction() const
+{
+    if (!poweredOn_)
+        return utilization_ > 0.0 ? 0.0 : 1.0;
+    if (!cap_ || demandPower() <= *cap_)
+        return 1.0;
+    // Dynamic (above-idle) power is proportional to delivered compute.
+    const Kilowatts demanded_dynamic = demandPower() - spec_.idlePower;
+    const Kilowatts capped_dynamic =
+        std::max(Kilowatts(0.0), *cap_ - spec_.idlePower);
+    if (demanded_dynamic.value() <= 0.0)
+        return 1.0;
+    return std::clamp(capped_dynamic / demanded_dynamic, 0.0, 1.0);
+}
+
+} // namespace ecolo::power

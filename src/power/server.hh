@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Server power model.
+ *
+ * Following the linear utilization->power models validated against real
+ * systems (Fan et al., ISCA'07) that the paper also builds on, a server draws
+ * idlePower at zero utilization and peakPower at full utilization, linearly
+ * in between. Servers can be power-capped (the operator's thermal-emergency
+ * response throttles CPUs, bounding power) and powered off (outage).
+ */
+
+#ifndef ECOLO_POWER_SERVER_HH
+#define ECOLO_POWER_SERVER_HH
+
+#include <optional>
+
+#include "util/units.hh"
+
+namespace ecolo::power {
+
+/** Static electrical characteristics of one server model. */
+struct ServerSpec
+{
+    Kilowatts idlePower{0.06};
+    Kilowatts peakPower{0.20};
+
+    /** Power drawn at the given utilization in [0, 1]. */
+    Kilowatts powerAt(double utilization) const;
+
+    /** Utilization that would draw the given power (inverse model). */
+    double utilizationFor(Kilowatts power) const;
+};
+
+/**
+ * One server's dynamic state: offered utilization, an optional power cap,
+ * and an on/off state. The served fraction quantifies how much of the
+ * offered load the (possibly capped) server can actually process, which is
+ * what the latency model consumes.
+ */
+class Server
+{
+  public:
+    explicit Server(ServerSpec spec) : spec_(spec) {}
+
+    const ServerSpec &spec() const { return spec_; }
+
+    /** Offered load as a fraction of the server's full compute capacity. */
+    void setUtilization(double utilization);
+    double utilization() const { return utilization_; }
+
+    /** Limit power draw (thermal-emergency capping). */
+    void setPowerCap(Kilowatts cap) { cap_ = cap; }
+    void clearPowerCap() { cap_.reset(); }
+    std::optional<Kilowatts> powerCap() const { return cap_; }
+
+    void setPoweredOn(bool on) { poweredOn_ = on; }
+    bool poweredOn() const { return poweredOn_; }
+
+    /** Power the offered load would draw if uncapped. */
+    Kilowatts demandPower() const;
+
+    /** Power actually drawn: min(demand, cap), or zero when off. */
+    Kilowatts actualPower() const;
+
+    /**
+     * Fraction of the offered load the server can serve given its cap, in
+     * (0, 1]. Compute capacity is assumed proportional to dynamic power
+     * (power above idle), matching DVFS-style throttling. 1 when uncapped
+     * or idle; 0 when powered off with pending load.
+     */
+    double servedFraction() const;
+
+  private:
+    ServerSpec spec_;
+    double utilization_ = 0.0;
+    std::optional<Kilowatts> cap_;
+    bool poweredOn_ = true;
+};
+
+} // namespace ecolo::power
+
+#endif // ECOLO_POWER_SERVER_HH

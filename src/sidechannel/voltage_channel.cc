@@ -1,0 +1,51 @@
+#include "sidechannel/voltage_channel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo::sidechannel {
+
+VoltageSideChannel::VoltageSideChannel(SideChannelParams params, Rng rng)
+    : params_(params), rng_(rng),
+      calibrationBias_(rng_.normal(0.0, params.calibrationErrorStd))
+{
+    ECOLO_ASSERT(params_.rippleGainVoltsPerKw > 0.0,
+                 "ripple gain must be positive");
+}
+
+Kilowatts
+VoltageSideChannel::estimateTotalLoad(Kilowatts true_total)
+{
+    ECOLO_ASSERT(true_total.value() >= 0.0, "negative true load");
+
+    // Forward path: the physical ripple amplitude on the bus. The
+    // attacker's calibration error perturbs the gain it *believes* in.
+    const double true_gain = params_.rippleGainVoltsPerKw;
+    const double believed_gain = true_gain * (1.0 + calibrationBias_);
+
+    const double noise_rms = std::sqrt(
+        params_.adcNoiseVolts * params_.adcNoiseVolts +
+        params_.jammingNoiseVolts * params_.jammingNoiseVolts);
+    const double amplitude = params_.baselineRippleVolts +
+                             true_gain * true_total.value() +
+                             rng_.normal(0.0, noise_rms);
+
+    // Inverse path: the attacker's estimator.
+    double estimate =
+        (amplitude - params_.baselineRippleVolts) / believed_gain;
+    if (params_.extraRelativeNoise > 0.0) {
+        estimate += true_total.value() *
+                    rng_.normal(0.0, params_.extraRelativeNoise);
+    }
+    estimate = std::max(0.0, estimate);
+
+    lastRelativeError_ =
+        true_total.value() > 1e-9
+            ? (estimate - true_total.value()) / true_total.value()
+            : 0.0;
+    return Kilowatts(estimate);
+}
+
+} // namespace ecolo::sidechannel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The voltage side channel the attacker uses to time attacks.
+ *
+ * Following Islam & Ren (CCS'18), every server's power factor correction
+ * (PFC) circuit superimposes high-frequency voltage ripples on the shared
+ * PDU bus, with ripple amplitude strongly correlated with server load; the
+ * IR drop along the shared cable adds a DC component proportional to total
+ * current. An attacker sampling its own input voltage with an ADC can
+ * therefore estimate the *aggregate* PDU load with a few-percent error
+ * (the paper's Fig. 5(b)).
+ *
+ * The paper measured this channel with an NI DAQ on a real rack; we
+ * synthesize the signal chain instead: ripple amplitude = baseline +
+ * gain * total_load, corrupted by a one-time calibration bias, per-sample
+ * ADC noise, and (optionally) operator jamming noise, then inverted by the
+ * attacker's calibrated estimator. Parameters are chosen so the error
+ * distribution matches Fig. 5(b) (most mass within about +/-2%).
+ */
+
+#ifndef ECOLO_SIDECHANNEL_VOLTAGE_CHANNEL_HH
+#define ECOLO_SIDECHANNEL_VOLTAGE_CHANNEL_HH
+
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace ecolo::sidechannel {
+
+/** Signal-chain parameters of the voltage side channel. */
+struct SideChannelParams
+{
+    double rippleGainVoltsPerKw = 0.020; //!< PFC ripple slope
+    double baselineRippleVolts = 0.010;  //!< load-independent floor
+    double adcNoiseVolts = 0.0022;       //!< DAQ/ADC noise, rms
+    double calibrationErrorStd = 0.008;  //!< one-time gain bias, relative
+    /** Extra rms noise injected by the operator's jammer (defense). */
+    double jammingNoiseVolts = 0.0;
+    /** Extra relative estimation noise (Fig. 12(b) sensitivity knob). */
+    double extraRelativeNoise = 0.0;
+    /**
+     * Ripple samples the attacker averages per one-minute estimate. A
+     * DAQ captures many ripple periods per slot, so per-sample noise is
+     * averaged down by sqrt(N) in the per-minute estimate the policies
+     * consume (the calibration bias is NOT averaged away).
+     */
+    int samplesPerEstimate = 4;
+};
+
+/**
+ * One attacker-side channel instance. The calibration bias is drawn once at
+ * construction (it models the attacker's imperfect offline calibration) and
+ * every estimate then sees fresh measurement noise.
+ */
+class VoltageSideChannel
+{
+  public:
+    VoltageSideChannel(SideChannelParams params, Rng rng);
+
+    /**
+     * Synthesize one voltage-ripple observation for the given true total
+     * PDU load and return the attacker's load estimate.
+     */
+    Kilowatts estimateTotalLoad(Kilowatts true_total);
+
+    /** Relative error of the most recent estimate (est - true) / true. */
+    double lastRelativeError() const { return lastRelativeError_; }
+
+    const SideChannelParams &params() const { return params_; }
+
+    /** The realized calibration bias (tests / introspection). */
+    double calibrationBias() const { return calibrationBias_; }
+
+  private:
+    SideChannelParams params_;
+    Rng rng_;
+    double calibrationBias_;
+    double lastRelativeError_ = 0.0;
+};
+
+} // namespace ecolo::sidechannel
+
+#endif // ECOLO_SIDECHANNEL_VOLTAGE_CHANNEL_HH

@@ -1,0 +1,386 @@
+#include "thermal/cfd/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo::thermal {
+
+namespace {
+
+constexpr double kAirDensity = 1.18;        // kg/m^3
+constexpr double kAirHeatCapacity = 1005.0; // J/(kg K)
+
+std::size_t
+cellsFor(double meters, double cell)
+{
+    return std::max<std::size_t>(3, static_cast<std::size_t>(
+        std::ceil(meters / cell)));
+}
+
+} // namespace
+
+CfdSolver::CfdSolver(const power::DataCenterLayout &layout, CfdParams params)
+    : params_(params)
+{
+    ECOLO_ASSERT(params_.cellSize > 0.0 && params_.dt > 0.0,
+                 "bad CFD discretization");
+    const double cfl = params_.loopSpeed * params_.dt / params_.cellSize;
+    ECOLO_ASSERT(cfl <= 0.5, "advection CFL violated: ", cfl);
+    const double dif = params_.effectiveDiffusivity * params_.dt /
+                       (params_.cellSize * params_.cellSize);
+    ECOLO_ASSERT(dif <= 1.0 / 6.0, "diffusion stability violated: ", dif);
+
+    effRhoCp_ = kAirDensity * kAirHeatCapacity *
+                params_.solidHeatCapacityFactor;
+    cellVolume_ = params_.cellSize * params_.cellSize * params_.cellSize;
+
+    buildGeometry(layout);
+    buildVelocity();
+    reset(params_.supplySetPoint);
+}
+
+void
+CfdSolver::buildGeometry(const power::DataCenterLayout &layout)
+{
+    const auto &lp = layout.params();
+    const double cell = params_.cellSize;
+    const std::size_t nx = cellsFor(lp.containerLength, cell);
+    const std::size_t ny = cellsFor(lp.containerWidth, cell);
+    const std::size_t nz = cellsFor(lp.containerHeight, cell);
+
+    temp_ = Field3(nx, ny, nz, params_.supplySetPoint.value());
+    scratch_ = temp_;
+
+    // CRAC band at the near end of the container.
+    const std::size_t crac_x1 = std::max<std::size_t>(
+        2, static_cast<std::size_t>((lp.crakX + 0.9) / cell));
+    cracCells_.clear();
+    for (std::size_t i = 0; i < std::min(crac_x1, nx); ++i)
+        for (std::size_t j = 0; j < ny; ++j)
+            for (std::size_t k = 0; k < nz; ++k)
+                cracCells_.push_back(cellIndex(i, j, k));
+
+    // Rack x-bands and server source/probe cells.
+    const std::size_t n_servers = layout.numServers();
+    sourceCells_.assign(n_servers, {});
+    probeCells_.assign(n_servers, 0);
+    serverPowerWatts_.assign(n_servers, 0.0);
+
+    const std::size_t rack_y0 = ny / 3;
+    const std::size_t rack_y1 =
+        std::min(ny - 1, rack_y0 + std::max<std::size_t>(1, ny / 4));
+    // Racks occupy a vertical band between floor and ceiling layers.
+    const std::size_t z_lo = std::max<std::size_t>(1, nz / 5);
+    const std::size_t z_hi = std::max(z_lo + 1, nz - nz / 5);
+    const std::size_t rack_span_z = z_hi - z_lo;
+
+    const double rack_x0_m = lp.crakX + 1.0;
+    rackBands_.assign(lp.numRacks, {});
+    for (std::size_t r = 0; r < lp.numRacks; ++r) {
+        const double x_m = rack_x0_m + static_cast<double>(r) *
+                           lp.rackSpacing;
+        const std::size_t x0 = std::min(
+            nx - 2, static_cast<std::size_t>(x_m / cell));
+        const std::size_t x1 = std::min(
+            nx - 1, x0 + std::max<std::size_t>(1, cellsFor(0.6, cell) / 2));
+        for (std::size_t i = x0; i < x1; ++i)
+            for (std::size_t j = rack_y0; j < rack_y1; ++j)
+                for (std::size_t k = z_lo; k < z_hi; ++k)
+                    rackBands_[r].push_back(cellIndex(i, j, k));
+    }
+
+    for (std::size_t s = 0; s < n_servers; ++s) {
+        const power::RackSlot rs = layout.rackSlotOf(s);
+        const double x_m = rack_x0_m +
+                           static_cast<double>(rs.rack) * lp.rackSpacing;
+        std::size_t x0 = std::min(
+            nx - 2, static_cast<std::size_t>(x_m / cell));
+        const std::size_t x1 = std::min(
+            nx - 1, x0 + std::max<std::size_t>(1, cellsFor(0.6, cell) / 2));
+
+        const double frac = (static_cast<double>(rs.slot) + 0.5) /
+                            static_cast<double>(layout.serversPerRack());
+        const std::size_t kz = std::min(
+            z_hi - 1,
+            z_lo + static_cast<std::size_t>(
+                frac * static_cast<double>(rack_span_z)));
+
+        for (std::size_t i = x0; i < x1; ++i)
+            for (std::size_t j = rack_y0; j < rack_y1; ++j)
+                sourceCells_[s].push_back(cellIndex(i, j, kz));
+        ECOLO_ASSERT(!sourceCells_[s].empty(),
+                     "server ", s, " got no source cells");
+
+        const std::size_t probe_j = rack_y0 > 0 ? rack_y0 - 1 : 0;
+        probeCells_[s] = cellIndex((x0 + x1) / 2, probe_j, kz);
+    }
+}
+
+void
+CfdSolver::buildVelocity()
+{
+    // A single-vortex streamfunction psi(x, z) = A sin(pi x / Lx)
+    // sin(pi z / Lz) drives the canonical loop: along the floor away from
+    // the CRAC, up at the far wall, back along the ceiling, down through
+    // the CRAC. Face velocities are discrete streamfunction differences,
+    // so the discrete divergence of every cell is exactly zero and the
+    // flux-form advection below conserves energy.
+    const std::size_t nx = temp_.nx(), nz = temp_.nz();
+    const double h = params_.cellSize;
+
+    auto psi = [&](std::size_t i, std::size_t k) {
+        return std::sin(M_PI * static_cast<double>(i) /
+                        static_cast<double>(nx)) *
+               std::sin(M_PI * static_cast<double>(k) /
+                        static_cast<double>(nz));
+    };
+
+    faceUx_.assign((nx + 1) * nz, 0.0);
+    faceUz_.assign(nx * (nz + 1), 0.0);
+
+    // u_x = d(psi)/dz on x-faces; u_z = -d(psi)/dx on z-faces. psi is
+    // sampled at cell corners indexed by face positions.
+    for (std::size_t i = 0; i <= nx; ++i)
+        for (std::size_t k = 0; k < nz; ++k)
+            faceUx_[i * nz + k] = (psi(i, k + 1) - psi(i, k)) / h;
+    for (std::size_t i = 0; i < nx; ++i)
+        for (std::size_t k = 0; k <= nz; ++k)
+            faceUz_[i * (nz + 1) + k] = -(psi(i + 1, k) - psi(i, k)) / h;
+
+    // Normalize so the peak face speed equals loopSpeed.
+    double peak = 0.0;
+    for (double u : faceUx_)
+        peak = std::max(peak, std::abs(u));
+    for (double u : faceUz_)
+        peak = std::max(peak, std::abs(u));
+    ECOLO_ASSERT(peak > 0.0, "degenerate velocity field");
+    const double scale = params_.loopSpeed / peak;
+    for (double &u : faceUx_)
+        u *= scale;
+    for (double &u : faceUz_)
+        u *= scale;
+}
+
+void
+CfdSolver::setServerPower(std::size_t j, Kilowatts power)
+{
+    ECOLO_ASSERT(j < serverPowerWatts_.size(),
+                 "server index out of range: ", j);
+    ECOLO_ASSERT(power.value() >= 0.0, "negative server power");
+    serverPowerWatts_[j] = power.value() * 1000.0;
+}
+
+void
+CfdSolver::setAllServerPowers(const std::vector<Kilowatts> &powers)
+{
+    ECOLO_ASSERT(powers.size() == serverPowerWatts_.size(),
+                 "power vector size mismatch");
+    for (std::size_t j = 0; j < powers.size(); ++j)
+        setServerPower(j, powers[j]);
+}
+
+void
+CfdSolver::applyAdvection()
+{
+    // Conservative flux-form upwind transport: every unit of T that leaves
+    // one cell lands in its neighbor, so total thermal energy is conserved
+    // exactly (walls are closed; the streamfunction vanishes there).
+    const std::size_t nx = temp_.nx(), ny = temp_.ny(), nz = temp_.nz();
+    const double courant = params_.dt / params_.cellSize;
+
+    auto &t = temp_.raw();
+    auto &out = scratch_.raw();
+    out = t;
+
+    // x-direction faces (interior only; boundary faces carry psi = 0).
+    for (std::size_t i = 1; i < nx; ++i) {
+        for (std::size_t k = 0; k < nz; ++k) {
+            const double u = faceUx_[i * nz + k];
+            if (u == 0.0)
+                continue;
+            const double c = u * courant;
+            for (std::size_t j = 0; j < ny; ++j) {
+                const std::size_t left = cellIndex(i - 1, j, k);
+                const std::size_t right = cellIndex(i, j, k);
+                const double upwind = c > 0.0 ? t[left] : t[right];
+                const double flux = c * upwind;
+                out[left] -= flux;
+                out[right] += flux;
+            }
+        }
+    }
+
+    // z-direction faces.
+    for (std::size_t i = 0; i < nx; ++i) {
+        for (std::size_t k = 1; k < nz; ++k) {
+            const double u = faceUz_[i * (nz + 1) + k];
+            if (u == 0.0)
+                continue;
+            const double c = u * courant;
+            for (std::size_t j = 0; j < ny; ++j) {
+                const std::size_t below = cellIndex(i, j, k - 1);
+                const std::size_t above = cellIndex(i, j, k);
+                const double upwind = c > 0.0 ? t[below] : t[above];
+                const double flux = c * upwind;
+                out[below] -= flux;
+                out[above] += flux;
+            }
+        }
+    }
+
+    temp_.raw().swap(scratch_.raw());
+}
+
+void
+CfdSolver::applyDiffusion()
+{
+    const std::size_t nx = temp_.nx(), ny = temp_.ny(), nz = temp_.nz();
+    const double h = params_.cellSize;
+    const double a = params_.effectiveDiffusivity * params_.dt / (h * h);
+
+    const auto &t = temp_.raw();
+    auto &out = scratch_.raw();
+
+    for (std::size_t i = 0; i < nx; ++i) {
+        for (std::size_t j = 0; j < ny; ++j) {
+            for (std::size_t k = 0; k < nz; ++k) {
+                const std::size_t c = cellIndex(i, j, k);
+                const double tc = t[c];
+                // Zero-flux (adiabatic) walls: missing neighbors mirror
+                // the cell itself, which keeps diffusion conservative.
+                const double t_xm =
+                    i > 0 ? t[cellIndex(i - 1, j, k)] : tc;
+                const double t_xp =
+                    i + 1 < nx ? t[cellIndex(i + 1, j, k)] : tc;
+                const double t_ym =
+                    j > 0 ? t[cellIndex(i, j - 1, k)] : tc;
+                const double t_yp =
+                    j + 1 < ny ? t[cellIndex(i, j + 1, k)] : tc;
+                const double t_zm =
+                    k > 0 ? t[cellIndex(i, j, k - 1)] : tc;
+                const double t_zp =
+                    k + 1 < nz ? t[cellIndex(i, j, k + 1)] : tc;
+                out[c] = tc + a * (t_xm + t_xp + t_ym + t_yp + t_zm +
+                                   t_zp - 6.0 * tc);
+            }
+        }
+    }
+    temp_.raw().swap(scratch_.raw());
+}
+
+void
+CfdSolver::applyRackMixing()
+{
+    if (params_.rackMixingTimeConstant <= 0.0)
+        return;
+    const double blend = std::min(
+        1.0, params_.dt / params_.rackMixingTimeConstant);
+    auto &t = temp_.raw();
+    for (const auto &band : rackBands_) {
+        if (band.empty())
+            continue;
+        double mean = 0.0;
+        for (std::size_t c : band)
+            mean += t[c];
+        mean /= static_cast<double>(band.size());
+        for (std::size_t c : band)
+            t[c] += blend * (mean - t[c]);
+    }
+}
+
+void
+CfdSolver::applySources()
+{
+    const double dt = params_.dt;
+    for (std::size_t s = 0; s < sourceCells_.size(); ++s) {
+        const double watts = serverPowerWatts_[s];
+        if (watts <= 0.0)
+            continue;
+        const auto &cells = sourceCells_[s];
+        const double volume =
+            cellVolume_ * static_cast<double>(cells.size());
+        const double d_temp = watts * dt / (effRhoCp_ * volume);
+        for (std::size_t c : cells)
+            temp_.raw()[c] += d_temp;
+    }
+}
+
+void
+CfdSolver::applyCrac()
+{
+    const double dt = params_.dt;
+    const double t_set = params_.supplySetPoint.value();
+    const double tau = params_.exchangeTimeConstant;
+
+    double desired_watts = 0.0;
+    for (std::size_t c : cracCells_) {
+        const double excess = temp_.raw()[c] - t_set;
+        if (excess > 0.0)
+            desired_watts += effRhoCp_ * cellVolume_ * excess / tau;
+    }
+    if (desired_watts <= 0.0)
+        return;
+
+    const double capacity_watts = params_.coolingCapacity.value() * 1000.0;
+    const double scale = std::min(1.0, capacity_watts / desired_watts);
+    for (std::size_t c : cracCells_) {
+        const double excess = temp_.raw()[c] - t_set;
+        if (excess > 0.0)
+            temp_.raw()[c] -= scale * excess * dt / tau;
+    }
+}
+
+void
+CfdSolver::step()
+{
+    applyAdvection();
+    applyDiffusion();
+    applyRackMixing();
+    applySources();
+    applyCrac();
+    time_ += params_.dt;
+}
+
+void
+CfdSolver::run(Seconds duration)
+{
+    const auto steps = static_cast<std::size_t>(
+        std::ceil(duration.value() / params_.dt));
+    for (std::size_t i = 0; i < steps; ++i)
+        step();
+}
+
+Celsius
+CfdSolver::inletTemperature(std::size_t j) const
+{
+    ECOLO_ASSERT(j < probeCells_.size(), "server index out of range: ", j);
+    return Celsius(temp_.raw()[probeCells_[j]]);
+}
+
+Celsius
+CfdSolver::maxInletTemperature() const
+{
+    double best = -1e30;
+    for (std::size_t c : probeCells_)
+        best = std::max(best, temp_.raw()[c]);
+    return Celsius(best);
+}
+
+Celsius
+CfdSolver::meanTemperature() const
+{
+    return Celsius(temp_.mean());
+}
+
+void
+CfdSolver::reset(Celsius initial)
+{
+    temp_.fill(initial.value());
+    scratch_.fill(initial.value());
+    std::fill(serverPowerWatts_.begin(), serverPowerWatts_.end(), 0.0);
+    time_ = 0.0;
+}
+
+} // namespace ecolo::thermal

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * CFD-lite: a coarse-grid finite-volume advection-diffusion solver for the
+ * containerized edge colocation.
+ *
+ * The paper extracts its heat-distribution matrix from commercial CFD runs;
+ * we stand in for that tool with a deliberately simple solver that captures
+ * the transport physics that matter for the study:
+ *
+ *  - The circulation loop (CRAC -> floor-level cold supply -> racks ->
+ *    ceiling return -> CRAC) is prescribed from a streamfunction, so the
+ *    discrete velocity field is *exactly divergence-free* and the flux-form
+ *    upwind advection conserves thermal energy to machine precision.
+ *  - Temperature is advected along the loop, diffused with an effective
+ *    turbulent diffusivity, heated by per-server volumetric sources at the
+ *    servers' rack positions, and cooled in the CRAC band subject to the
+ *    unit's capacity limit.
+ *
+ * This reproduces the two behaviours the rest of the system depends on:
+ * (1) spatially structured impulse responses of inlet temperatures to
+ * server heat (the heat-distribution matrix), and (2) room-level heat
+ * build-up at the correct minutes-scale when total load exceeds the
+ * cooling capacity.
+ */
+
+#ifndef ECOLO_THERMAL_CFD_SOLVER_HH
+#define ECOLO_THERMAL_CFD_SOLVER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "power/layout.hh"
+#include "thermal/cfd/field.hh"
+#include "util/units.hh"
+
+namespace ecolo::thermal {
+
+/** Tunables for the CFD-lite solver. */
+struct CfdParams
+{
+    double cellSize = 0.2;             //!< m
+    Celsius supplySetPoint{27.0};      //!< CRAC supply temperature target
+    Kilowatts coolingCapacity{8.0};    //!< max heat removal
+    double loopSpeed = 1.2;            //!< m/s peak speed along the loop
+    double effectiveDiffusivity = 3e-2; //!< m^2/s (turbulent mixing)
+    double exchangeTimeConstant = 1.5; //!< s, CRAC coil heat exchange
+    double dt = 0.08;                  //!< s, explicit step (CFL-safe)
+    /** Racks/walls add effective thermal mass beyond the air itself. */
+    double solidHeatCapacityFactor = 1.3;
+    /**
+     * Server fans drive vigorous turbulent mixing within each rack
+     * column; cells in a rack band relax toward the band mean with this
+     * time constant (seconds). Energy-conserving redistribution.
+     */
+    double rackMixingTimeConstant = 8.0;
+};
+
+/** The solver itself; one instance per container geometry. */
+class CfdSolver
+{
+  public:
+    CfdSolver(const power::DataCenterLayout &layout, CfdParams params);
+
+    std::size_t numServers() const { return probeCells_.size(); }
+
+    /** Set the heat injected by server j (its actual power). */
+    void setServerPower(std::size_t j, Kilowatts power);
+
+    /** Set every server's heat at once. */
+    void setAllServerPowers(const std::vector<Kilowatts> &powers);
+
+    /** Advance one explicit step of params.dt seconds. */
+    void step();
+
+    /** Advance by (at least) the given duration. */
+    void run(Seconds duration);
+
+    /** Air temperature at server j's inlet probe. */
+    Celsius inletTemperature(std::size_t j) const;
+
+    /** Hottest inlet across all servers. */
+    Celsius maxInletTemperature() const;
+
+    /** Mean air temperature over the whole container. */
+    Celsius meanTemperature() const;
+
+    /** Simulated time since construction/reset. */
+    Seconds time() const { return Seconds(time_); }
+
+    /** Reset all air to the given uniform temperature, zero sources. */
+    void reset(Celsius initial);
+
+    const CfdParams &params() const { return params_; }
+
+    /** Grid dimensions (for tests / diagnostics). */
+    std::size_t nx() const { return temp_.nx(); }
+    std::size_t ny() const { return temp_.ny(); }
+    std::size_t nz() const { return temp_.nz(); }
+
+  private:
+    void buildGeometry(const power::DataCenterLayout &layout);
+    void buildVelocity();
+    void applyAdvection();
+    void applyDiffusion();
+    void applyRackMixing();
+    void applySources();
+    void applyCrac();
+
+    std::size_t
+    cellIndex(std::size_t i, std::size_t j, std::size_t k) const
+    {
+        return (i * temp_.ny() + j) * temp_.nz() + k;
+    }
+
+    CfdParams params_;
+    Field3 temp_;    //!< air temperature (deg C)
+    Field3 scratch_; //!< double-buffer for updates
+    /**
+     * Face-normal velocities from the loop streamfunction (identical for
+     * every y-slice): faceUx_[i][k] is the x-velocity on the face between
+     * cells (i-1, *, k) and (i, *, k) for i in [0, nx]; faceUz_[i][k] is
+     * the z-velocity on the face below/above analogous cells.
+     */
+    std::vector<double> faceUx_; //!< (nx+1) * nz
+    std::vector<double> faceUz_; //!< nx * (nz+1)
+    std::vector<std::size_t> cracCells_;
+    /** Per rack: the cells fan-driven mixing homogenizes. */
+    std::vector<std::vector<std::size_t>> rackBands_;
+    /** Per-server: the cells its heat is injected into. */
+    std::vector<std::vector<std::size_t>> sourceCells_;
+    /** Per-server: the cold-aisle cell its inlet samples. */
+    std::vector<std::size_t> probeCells_;
+    std::vector<double> serverPowerWatts_;
+    double effRhoCp_ = 0.0; //!< J/(m^3 K), incl. solid factor
+    double cellVolume_ = 0.0; //!< m^3
+    double time_ = 0.0;       //!< s
+};
+
+} // namespace ecolo::thermal
+
+#endif // ECOLO_THERMAL_CFD_SOLVER_HH

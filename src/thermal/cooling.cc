@@ -1,0 +1,124 @@
+#include "thermal/cooling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo::thermal {
+
+namespace {
+
+constexpr double kAirDensity = 1.18;        // kg/m^3
+constexpr double kAirHeatCapacity = 1005.0; // J/(kg K)
+
+} // namespace
+
+CoolingSystem::CoolingSystem(CoolingParams params)
+    : params_(params),
+      capacitance_(kAirDensity * kAirHeatCapacity * params.airVolume *
+                   params.thermalMassFactor)
+{
+    ECOLO_ASSERT(params_.capacity.value() > 0.0,
+                 "cooling capacity must be positive");
+    ECOLO_ASSERT(params_.airVolume > 0.0 && params_.thermalMassFactor > 0.0,
+                 "room thermal mass must be positive");
+    ECOLO_ASSERT(params_.recoveryTimeConstant > 0.0,
+                 "recovery time constant must be positive");
+}
+
+Kilowatts
+CoolingSystem::effectiveCapacity() const
+{
+    const double above_design =
+        std::max(0.0, (supplyTemperature() -
+                       params_.designReferenceTemp).value());
+    const double fraction = std::max(
+        params_.minCapacityFraction,
+        1.0 - params_.capacityDeratingPerKelvin * above_design);
+    return params_.capacity * fraction;
+}
+
+void
+CoolingSystem::step(Kilowatts total_heat, Seconds dt)
+{
+    ECOLO_ASSERT(total_heat.value() >= 0.0, "negative heat load");
+    ECOLO_ASSERT(dt.value() > 0.0, "non-positive step duration");
+
+    const double excess_watts =
+        (total_heat - effectiveCapacity()).value() * 1000.0;
+    overloaded_ = excess_watts > 0.0;
+    lastExcess_ = Kilowatts(std::max(0.0, excess_watts / 1000.0));
+
+    double delta = overload_.value();
+    if (excess_watts > 0.0) {
+        // Heat the CRAC cannot remove accumulates in the room air.
+        delta += excess_watts * dt.value() / capacitance_;
+    } else {
+        // Spare capacity pulls the room back down; near the set point the
+        // pull-down is exponential (coil effectiveness falls with the
+        // shrinking temperature difference).
+        const double spare_watts = -excess_watts;
+        const double max_rate = spare_watts / capacitance_; // K/s
+        const double exp_rate = delta / params_.recoveryTimeConstant;
+        delta -= std::min(max_rate, exp_rate) * dt.value();
+    }
+    delta = std::clamp(delta, 0.0, params_.maxOverload.value());
+    overload_ = CelsiusDelta(delta);
+}
+
+Seconds
+CoolingSystem::timeToReach(Celsius threshold, Kilowatts overload,
+                           Celsius starting_supply) const
+{
+    const double rise_needed = (threshold - starting_supply).value();
+    if (rise_needed <= 0.0)
+        return Seconds(0.0);
+    if (overload.value() <= 0.0)
+        return hours(1e9);
+
+    // Integrate dDelta/dt = (overload + derated_capacity_loss) / C
+    // numerically; the derating term makes the rise slightly superlinear.
+    const double start_delta =
+        (starting_supply - params_.supplySetPoint).value();
+    double delta = std::max(0.0, start_delta);
+    const double target = delta + rise_needed;
+    const double dt = 1.0; // s
+    double t = 0.0;
+    const double nameplate_watts = params_.capacity.value() * 1000.0;
+    const double design_offset =
+        (params_.supplySetPoint - params_.designReferenceTemp).value();
+    while (delta < target) {
+        const double above_design =
+            std::max(0.0, delta + design_offset);
+        const double fraction = std::max(
+            params_.minCapacityFraction,
+            1.0 - params_.capacityDeratingPerKelvin * above_design);
+        const double lost_watts = nameplate_watts * (1.0 - fraction);
+        const double net_watts = overload.value() * 1000.0 + lost_watts;
+        delta += net_watts * dt / capacitance_;
+        t += dt;
+        if (t > 3600.0 * 1e6)
+            return hours(1e9);
+    }
+    return Seconds(t);
+}
+
+void
+CoolingSystem::setOverloadDelta(CelsiusDelta delta)
+{
+    ECOLO_ASSERT(delta.value() >= 0.0 &&
+                 delta.value() <= params_.maxOverload.value(),
+                 "overload delta out of range: ", delta.value());
+    overload_ = delta;
+}
+
+void
+CoolingSystem::reset()
+{
+    overload_ = CelsiusDelta(0.0);
+    lastExcess_ = Kilowatts(0.0);
+    overloaded_ = false;
+}
+
+} // namespace ecolo::thermal

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The shared cooling system and the lumped room-overload model.
+ *
+ * While the heat-distribution matrix captures *spatial* coupling at
+ * sub-capacity operation, thermal emergencies are driven by the aggregate
+ * energy balance: whenever total server heat exceeds the CRAC's removal
+ * capacity, the excess accumulates in the contained air volume and the
+ * supply (and hence every inlet) temperature climbs at
+ * (load - capacity) / C_thermal -- the minutes-scale rise the paper
+ * demonstrates in Figs. 8, 11(a) and 14(a). When load drops back below
+ * capacity, the spare capacity pulls the room back toward the set point.
+ */
+
+#ifndef ECOLO_THERMAL_COOLING_HH
+#define ECOLO_THERMAL_COOLING_HH
+
+#include "util/units.hh"
+
+namespace ecolo::thermal {
+
+/** Cooling-system characteristics and lumped room thermal mass. */
+struct CoolingParams
+{
+    Kilowatts capacity{8.0};       //!< max heat removal
+    Celsius supplySetPoint{27.0};  //!< conditioned supply temperature
+    double airVolume = 28.5;       //!< m^3 of air in the enclosure
+    /** Racks/structure add effective thermal mass beyond the air. */
+    double thermalMassFactor = 1.35;
+    /** Exponential pull-down time constant near the set point, seconds. */
+    double recoveryTimeConstant = 240.0;
+    /** Physical ceiling on how far the room can climb above set point. */
+    CelsiusDelta maxOverload{40.0};
+    /**
+     * Fractional loss of removal capacity per kelvin of room overload: DX
+     * coolers lose effectiveness as the room leaves their design envelope,
+     * which is why a sustained attack can outrun the CRAC even after the
+     * operator caps the metered load (the paper's Fig. 8 behaviour:
+     * "if overloaded, the cooling system cannot remove all server heat").
+     */
+    double capacityDeratingPerKelvin = 0.01;
+    /**
+     * Absolute room temperature at which the unit delivers nameplate
+     * capacity. Derating depends on how far the *absolute* supply
+     * temperature exceeds this design point, so lowering the set point
+     * (a Section VII defense) genuinely buys thermal margin.
+     */
+    Celsius designReferenceTemp{27.0};
+    /** Floor on the derated capacity as a fraction of nameplate. */
+    double minCapacityFraction = 0.7;
+};
+
+/** Lumped cooling/room state. */
+class CoolingSystem
+{
+  public:
+    explicit CoolingSystem(CoolingParams params);
+
+    const CoolingParams &params() const { return params_; }
+    Kilowatts capacity() const { return params_.capacity; }
+
+    /** Nameplate capacity derated by the current room overload. */
+    Kilowatts effectiveCapacity() const;
+
+    /** Advance the room state given the total server heat this interval. */
+    void step(Kilowatts total_heat, Seconds dt);
+
+    /** Current room temperature rise above the supply set point. */
+    CelsiusDelta overloadDelta() const { return overload_; }
+
+    /** Effective supply temperature: set point + overload rise. */
+    Celsius supplyTemperature() const
+    { return params_.supplySetPoint + overload_; }
+
+    /** True if the last step's heat load exceeded capacity. */
+    bool overloaded() const { return overloaded_; }
+
+    /** Heat the CRAC failed to remove during the last step. */
+    Kilowatts lastExcessHeat() const { return lastExcess_; }
+
+    /** Effective thermal capacitance in J/K. */
+    double thermalCapacitance() const { return capacitance_; }
+
+    /**
+     * Closed-form time for the room to climb from the set point to the
+     * given threshold under a constant overload (Fig. 11(a)'s quantity).
+     * Returns a very large value if overload <= 0.
+     */
+    Seconds timeToReach(Celsius threshold, Kilowatts overload,
+                        Celsius starting_supply) const;
+
+    /** Force the overload state (tests / scenario setup). */
+    void setOverloadDelta(CelsiusDelta delta);
+
+    /** Reset to the set point. */
+    void reset();
+
+  private:
+    CoolingParams params_;
+    double capacitance_; //!< J/K
+    CelsiusDelta overload_{0.0};
+    Kilowatts lastExcess_{0.0};
+    bool overloaded_ = false;
+};
+
+} // namespace ecolo::thermal
+
+#endif // ECOLO_THERMAL_COOLING_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ThermalEnvironment: the facade the simulation engine talks to.
+ *
+ * Combines the heat-distribution matrix (spatial inlet structure) with the
+ * lumped cooling/room model (aggregate overload dynamics): every minute the
+ * engine hands over each server's *actual* heat output, and the environment
+ * reports each server's inlet temperature
+ *
+ *     T_inlet_i = T_setpoint + overload_rise + matrix_rise_i .
+ */
+
+#ifndef ECOLO_THERMAL_ENVIRONMENT_HH
+#define ECOLO_THERMAL_ENVIRONMENT_HH
+
+#include <vector>
+
+#include "thermal/cooling.hh"
+#include "thermal/heat_matrix.hh"
+#include "util/units.hh"
+
+namespace ecolo::thermal {
+
+/** Facade over the matrix model and the lumped cooling model. */
+class ThermalEnvironment
+{
+  public:
+    /**
+     * @param matrix spatial inlet-coupling model
+     * @param cooling lumped cooling/room parameters
+     * @param server_airflow_w_per_k per-server fan airflow expressed as
+     *        watts of heat per kelvin of inlet->outlet temperature rise
+     *        (m_dot * c_p). The default (15 W/K) gives the paper's
+     *        "outlet typically 10+ C above inlet" at ~150 W per server.
+     */
+    ThermalEnvironment(HeatDistributionMatrix matrix, CoolingParams cooling,
+                       double server_airflow_w_per_k = 15.0);
+
+    std::size_t numServers() const { return matrixModel_.numServers(); }
+
+    /** Advance one minute given every server's actual heat output. */
+    void stepMinute(const std::vector<Kilowatts> &server_heat);
+
+    /** Inlet temperature of server i after the last step. */
+    Celsius inletTemperature(std::size_t i) const;
+
+    /**
+     * Outlet (exhaust) temperature of server i: inlet plus the rise its
+     * own heat imposes on its fan airflow (the paper's Eqn. (1):
+     * T_inlet < T_outlet). What an outlet-air sensor would read.
+     */
+    Celsius outletTemperature(std::size_t i) const;
+
+    /** Hottest inlet across all servers (the operator's trip metric). */
+    Celsius maxInletTemperature() const;
+
+    /** Mean inlet temperature across servers. */
+    Celsius meanInletTemperature() const;
+
+    /** Supply temperature including room overload rise. */
+    Celsius supplyTemperature() const
+    { return cooling_.supplyTemperature(); }
+
+    CoolingSystem &cooling() { return cooling_; }
+    const CoolingSystem &cooling() const { return cooling_; }
+
+    const HeatDistributionMatrix &matrix() const
+    { return matrixModel_.matrix(); }
+
+    /** Drop all thermal history (outage restart). */
+    void reset();
+
+  private:
+    MatrixThermalModel matrixModel_;
+    CoolingSystem cooling_;
+    double serverAirflowWPerK_;
+    std::vector<double> riseCache_; //!< per-server rises, updated per step
+    std::vector<double> lastHeatKw_; //!< last step's per-server heat
+};
+
+} // namespace ecolo::thermal
+
+#endif // ECOLO_THERMAL_ENVIRONMENT_HH

@@ -1,0 +1,217 @@
+#include "thermal/heat_matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo::thermal {
+
+HeatDistributionMatrix::HeatDistributionMatrix(std::size_t num_servers,
+                                               std::size_t horizon_minutes)
+    : numServers_(num_servers), horizon_(horizon_minutes),
+      coeffs_(num_servers * num_servers * horizon_minutes, 0.0)
+{
+    ECOLO_ASSERT(num_servers > 0 && horizon_minutes > 0,
+                 "degenerate heat distribution matrix");
+}
+
+double &
+HeatDistributionMatrix::coeff(std::size_t i, std::size_t j, std::size_t tau)
+{
+    ECOLO_ASSERT(i < numServers_ && j < numServers_ && tau < horizon_,
+                 "matrix index out of range");
+    return coeffs_[(i * numServers_ + j) * horizon_ + tau];
+}
+
+double
+HeatDistributionMatrix::coeff(std::size_t i, std::size_t j,
+                              std::size_t tau) const
+{
+    ECOLO_ASSERT(i < numServers_ && j < numServers_ && tau < horizon_,
+                 "matrix index out of range");
+    return coeffs_[(i * numServers_ + j) * horizon_ + tau];
+}
+
+double
+HeatDistributionMatrix::steadyGain(std::size_t i, std::size_t j) const
+{
+    double sum = 0.0;
+    for (std::size_t tau = 0; tau < horizon_; ++tau)
+        sum += coeff(i, j, tau);
+    return sum;
+}
+
+double
+HeatDistributionMatrix::totalSteadyGain(std::size_t i) const
+{
+    double sum = 0.0;
+    for (std::size_t j = 0; j < numServers_; ++j)
+        sum += steadyGain(i, j);
+    return sum;
+}
+
+HeatDistributionMatrix
+HeatDistributionMatrix::analyticDefault(const power::DataCenterLayout &layout,
+                                        AnalyticParams params,
+                                        std::size_t horizon_minutes)
+{
+    const std::size_t n = layout.numServers();
+    HeatDistributionMatrix matrix(n, horizon_minutes);
+
+    // Temporal kernel: increments of 1 - exp(-t/T), normalized to sum 1 so
+    // the per-pair steady gain equals the spatial coefficient.
+    std::vector<double> kernel(horizon_minutes);
+    double kernel_sum = 0.0;
+    const double rise = std::max(params.riseTimeMinutes, 1e-6);
+    for (std::size_t tau = 0; tau < horizon_minutes; ++tau) {
+        const double t0 = static_cast<double>(tau);
+        kernel[tau] = std::exp(-t0 / rise) - std::exp(-(t0 + 1.0) / rise);
+        kernel_sum += kernel[tau];
+    }
+    for (double &k : kernel)
+        k /= kernel_sum;
+
+    const auto per_rack = static_cast<double>(layout.serversPerRack());
+    for (std::size_t i = 0; i < n; ++i) {
+        const power::RackSlot ri = layout.rackSlotOf(i);
+        // Containment leaks more near the top of the rack, so upper slots
+        // couple more strongly to everything.
+        const double slot_bias =
+            1.0 + params.topSlotBias * static_cast<double>(ri.slot) /
+                      std::max(1.0, per_rack - 1.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const power::RackSlot rj = layout.rackSlotOf(j);
+            double gain = params.globalGain / static_cast<double>(n);
+            if (i == j) {
+                gain += params.selfGain;
+            } else if (ri.rack == rj.rack) {
+                const double dist = std::abs(
+                    static_cast<double>(ri.slot) -
+                    static_cast<double>(rj.slot));
+                gain += params.neighborGain *
+                        std::exp(-dist / params.slotDecay);
+            } else {
+                gain += params.crossRackGain / per_rack;
+            }
+            gain *= slot_bias;
+            for (std::size_t tau = 0; tau < horizon_minutes; ++tau)
+                matrix.coeff(i, j, tau) = gain * kernel[tau];
+        }
+    }
+    return matrix;
+}
+
+HeatDistributionMatrix
+HeatDistributionMatrix::extractFromCfd(
+    const power::DataCenterLayout &layout, const CfdParams &cfd_params,
+    const std::vector<Kilowatts> &baseline_powers, Kilowatts spike,
+    std::size_t horizon_minutes, Seconds settle_time)
+{
+    const std::size_t n = layout.numServers();
+    ECOLO_ASSERT(baseline_powers.size() == n,
+                 "baseline power vector size mismatch");
+    ECOLO_ASSERT(spike.value() > 0.0, "spike must be positive");
+
+    // Bring the container to a quasi-steady state once, then reuse it as
+    // the starting point of every spike run (the solver is copyable).
+    CfdSolver steady(layout, cfd_params);
+    steady.setAllServerPowers(baseline_powers);
+    steady.run(settle_time);
+
+    HeatDistributionMatrix matrix(n, horizon_minutes);
+    for (std::size_t j = 0; j < n; ++j) {
+        CfdSolver spiked = steady;
+        CfdSolver reference = steady;
+        std::vector<Kilowatts> powers = baseline_powers;
+        powers[j] += spike;
+        spiked.setAllServerPowers(powers);
+
+        std::vector<double> prev_rise(n, 0.0);
+        for (std::size_t tau = 0; tau < horizon_minutes; ++tau) {
+            spiked.run(minutes(1));
+            reference.run(minutes(1));
+            for (std::size_t i = 0; i < n; ++i) {
+                const double rise =
+                    (spiked.inletTemperature(i) -
+                     reference.inletTemperature(i)).value();
+                matrix.coeff(i, j, tau) =
+                    (rise - prev_rise[i]) / spike.value();
+                prev_rise[i] = rise;
+            }
+        }
+    }
+    return matrix;
+}
+
+MatrixThermalModel::MatrixThermalModel(HeatDistributionMatrix matrix)
+    : matrix_(std::move(matrix)),
+      history_(matrix_.horizon(),
+               std::vector<double>(matrix_.numServers(), 0.0))
+{
+}
+
+void
+MatrixThermalModel::pushPowers(const std::vector<Kilowatts> &powers)
+{
+    ECOLO_ASSERT(powers.size() == matrix_.numServers(),
+                 "power vector size mismatch");
+    auto &slot = history_[head_];
+    for (std::size_t j = 0; j < powers.size(); ++j)
+        slot[j] = powers[j].value();
+    head_ = (head_ + 1) % history_.size();
+    filled_ = std::min(filled_ + 1, history_.size());
+}
+
+CelsiusDelta
+MatrixThermalModel::inletRise(std::size_t i) const
+{
+    const std::size_t horizon = history_.size();
+    double rise = 0.0;
+    for (std::size_t tau = 0; tau < filled_; ++tau) {
+        // tau = 0 is the most recently pushed vector.
+        const std::size_t pos = (head_ + horizon - 1 - tau) % horizon;
+        const auto &powers = history_[pos];
+        for (std::size_t j = 0; j < powers.size(); ++j)
+            rise += matrix_.coeff(i, j, tau) * powers[j];
+    }
+    return CelsiusDelta(rise);
+}
+
+void
+MatrixThermalModel::computeAllRises(std::vector<double> &rises_out) const
+{
+    const std::size_t n = matrix_.numServers();
+    const std::size_t horizon = history_.size();
+    rises_out.assign(n, 0.0);
+    for (std::size_t tau = 0; tau < filled_; ++tau) {
+        const std::size_t pos = (head_ + horizon - 1 - tau) % horizon;
+        const auto &powers = history_[pos];
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                acc += matrix_.coeff(i, j, tau) * powers[j];
+            rises_out[i] += acc;
+        }
+    }
+}
+
+CelsiusDelta
+MatrixThermalModel::maxInletRise() const
+{
+    CelsiusDelta best(0.0);
+    for (std::size_t i = 0; i < matrix_.numServers(); ++i)
+        best = std::max(best, inletRise(i));
+    return best;
+}
+
+void
+MatrixThermalModel::reset()
+{
+    for (auto &slot : history_)
+        std::fill(slot.begin(), slot.end(), 0.0);
+    head_ = 0;
+    filled_ = 0;
+}
+
+} // namespace ecolo::thermal

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The heat-distribution-matrix thermal model.
+ *
+ * Transient CFD over a year is computationally prohibitive, so -- exactly as
+ * the paper does (Section V-A, following Tang et al.) -- we extract a
+ * finite-horizon impulse-response tensor from short CFD runs and use it for
+ * long simulations: injecting a heat spike at server j and recording every
+ * server's inlet temperature for 10 minutes yields coefficients h[i][j][tau]
+ * (K per kW), after which server i's inlet temperature is the supply
+ * temperature plus the convolution of all servers' recent power with h.
+ */
+
+#ifndef ECOLO_THERMAL_HEAT_MATRIX_HH
+#define ECOLO_THERMAL_HEAT_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "power/layout.hh"
+#include "thermal/cfd/solver.hh"
+#include "util/units.hh"
+
+namespace ecolo::thermal {
+
+/** Parameters for the closed-form default heat-distribution matrix. */
+struct AnalyticMatrixParams
+{
+    double selfGain = 0.06;       //!< K/kW at a server's own inlet
+    double neighborGain = 0.04;   //!< same-rack coupling amplitude
+    double slotDecay = 3.0;       //!< e-folding distance in slots
+    double crossRackGain = 0.012; //!< other-rack coupling amplitude
+    double globalGain = 0.035;    //!< K/kW uniform return-air mixing term
+    double riseTimeMinutes = 3.0; //!< 1 - exp(-t/T) temporal build-up
+    double topSlotBias = 0.5;     //!< extra coupling for top slots
+};
+
+/** Impulse-response tensor h[i][j][tau] in K/kW at minute resolution. */
+class HeatDistributionMatrix
+{
+  public:
+    HeatDistributionMatrix(std::size_t num_servers,
+                           std::size_t horizon_minutes);
+
+    std::size_t numServers() const { return numServers_; }
+    std::size_t horizon() const { return horizon_; }
+
+    /** Response of inlet i to 1 kW at server j, tau minutes later. */
+    double &coeff(std::size_t i, std::size_t j, std::size_t tau);
+    double coeff(std::size_t i, std::size_t j, std::size_t tau) const;
+
+    /** Steady-state inlet-i gain to sustained power at j (sum over tau). */
+    double steadyGain(std::size_t i, std::size_t j) const;
+
+    /** Total steady gain of inlet i to uniform power at all servers. */
+    double totalSteadyGain(std::size_t i) const;
+
+    /** Alias so callers can say HeatDistributionMatrix::AnalyticParams. */
+    using AnalyticParams = AnalyticMatrixParams;
+
+    /**
+     * Closed-form matrix with the spatial structure CFD extraction
+     * produces (self > same-rack-decaying > cross-rack > uniform mixing;
+     * upper slots slightly hotter), used as the fast default so year-long
+     * sweeps do not need a CFD pass.
+     */
+    static HeatDistributionMatrix
+    analyticDefault(const power::DataCenterLayout &layout,
+                    AnalyticParams params = AnalyticParams(),
+                    std::size_t horizon_minutes = 10);
+
+    /**
+     * Extract the matrix from the CFD-lite solver: bring the container to a
+     * quasi-steady state under baseline_powers, then, for each server, add
+     * spike on top and record every inlet for horizon minutes against a
+     * drift-corrected no-spike reference (the paper's exact procedure).
+     */
+    static HeatDistributionMatrix
+    extractFromCfd(const power::DataCenterLayout &layout,
+                   const CfdParams &cfd_params,
+                   const std::vector<Kilowatts> &baseline_powers,
+                   Kilowatts spike,
+                   std::size_t horizon_minutes = 10,
+                   Seconds settle_time = minutes(15));
+
+  private:
+    std::size_t numServers_;
+    std::size_t horizon_;
+    std::vector<double> coeffs_; //!< [i][j][tau] flattened
+};
+
+/**
+ * Applies a HeatDistributionMatrix to a streaming per-minute power history:
+ * keeps a ring buffer of the last `horizon` power vectors and produces each
+ * server's inlet temperature rise above the supply temperature.
+ */
+class MatrixThermalModel
+{
+  public:
+    explicit MatrixThermalModel(HeatDistributionMatrix matrix);
+
+    std::size_t numServers() const { return matrix_.numServers(); }
+
+    /** Append this minute's per-server power vector. */
+    void pushPowers(const std::vector<Kilowatts> &powers);
+
+    /** Inlet rise of server i implied by the buffered history. */
+    CelsiusDelta inletRise(std::size_t i) const;
+
+    /** Compute every server's inlet rise in one pass (cheaper than
+     * calling inletRise per server). */
+    void computeAllRises(std::vector<double> &rises_out) const;
+
+    /** Largest inlet rise across servers. */
+    CelsiusDelta maxInletRise() const;
+
+    /** Clear the power history (e.g., after an outage restart). */
+    void reset();
+
+    const HeatDistributionMatrix &matrix() const { return matrix_; }
+
+  private:
+    HeatDistributionMatrix matrix_;
+    std::vector<std::vector<double>> history_; //!< ring of kW vectors
+    std::size_t head_ = 0;                     //!< next write position
+    std::size_t filled_ = 0;
+};
+
+} // namespace ecolo::thermal
+
+#endif // ECOLO_THERMAL_HEAT_MATRIX_HH

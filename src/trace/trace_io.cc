@@ -1,0 +1,72 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ecolo::trace {
+
+void
+writeCsv(std::ostream &os, const UtilizationTrace &trace)
+{
+    os << std::setprecision(12);
+    os << "minute,utilization\n";
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        os << i << "," << trace[i] << "\n";
+}
+
+UtilizationTrace
+readCsv(std::istream &is)
+{
+    std::vector<double> samples;
+    std::string line;
+    bool first = true;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        // Tolerate a header row on the first line.
+        if (first && line.find_first_not_of(
+                "0123456789.,-+eE \t") != std::string::npos) {
+            first = false;
+            continue;
+        }
+        first = false;
+        const auto comma = line.rfind(',');
+        const std::string value_str =
+            comma == std::string::npos ? line : line.substr(comma + 1);
+        try {
+            const double v = std::stod(value_str);
+            samples.push_back(std::clamp(v, 0.0, 1.0));
+        } catch (const std::exception &) {
+            ECOLO_FATAL("malformed trace line: '", line, "'");
+        }
+    }
+    if (samples.empty())
+        ECOLO_FATAL("trace file contained no samples");
+    return UtilizationTrace(std::move(samples));
+}
+
+void
+saveTrace(const std::string &path, const UtilizationTrace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        ECOLO_FATAL("cannot open trace file for writing: ", path);
+    writeCsv(out, trace);
+}
+
+UtilizationTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ECOLO_FATAL("cannot open trace file: ", path);
+    return readCsv(in);
+}
+
+} // namespace ecolo::trace

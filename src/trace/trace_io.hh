@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Plain CSV serialization for traces so experiments can be checkpointed and
+ * externally generated traces (one value per line, optional header) can be
+ * fed into the simulator.
+ */
+
+#ifndef ECOLO_TRACE_TRACE_IO_HH
+#define ECOLO_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/utilization_trace.hh"
+
+namespace ecolo::trace {
+
+/** Write one utilization sample per line ("minute,utilization" rows). */
+void writeCsv(std::ostream &os, const UtilizationTrace &trace);
+
+/**
+ * Read a utilization trace written by writeCsv (or any "index,value" /
+ * bare-value CSV). Throws via ECOLO_FATAL on malformed input.
+ */
+UtilizationTrace readCsv(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveTrace(const std::string &path, const UtilizationTrace &trace);
+UtilizationTrace loadTrace(const std::string &path);
+
+} // namespace ecolo::trace
+
+#endif // ECOLO_TRACE_TRACE_IO_HH

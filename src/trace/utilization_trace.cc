@@ -1,0 +1,109 @@
+#include "trace/utilization_trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ecolo::trace {
+
+UtilizationTrace::UtilizationTrace(std::vector<double> samples)
+    : samples_(std::move(samples))
+{
+    for (double s : samples_)
+        ECOLO_ASSERT(s >= 0.0 && s <= 1.0 + 1e-9,
+                     "utilization sample out of [0,1]: ", s);
+}
+
+double
+UtilizationTrace::at(MinuteIndex t) const
+{
+    ECOLO_ASSERT(!samples_.empty(), "empty utilization trace");
+    const auto n = static_cast<MinuteIndex>(samples_.size());
+    MinuteIndex i = t % n;
+    if (i < 0)
+        i += n;
+    return samples_[static_cast<std::size_t>(i)];
+}
+
+double
+UtilizationTrace::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+UtilizationTrace::peak() const
+{
+    double best = 0.0;
+    for (double s : samples_)
+        best = std::max(best, s);
+    return best;
+}
+
+void
+UtilizationTrace::scale(double factor)
+{
+    for (double &s : samples_)
+        s = std::clamp(s * factor, 0.0, 1.0);
+}
+
+void
+UtilizationTrace::clampAll(double lo, double hi)
+{
+    for (double &s : samples_)
+        s = std::clamp(s, lo, hi);
+}
+
+PowerTrace::PowerTrace(std::vector<Kilowatts> samples)
+    : samples_(std::move(samples))
+{
+}
+
+Kilowatts
+PowerTrace::at(MinuteIndex t) const
+{
+    ECOLO_ASSERT(!samples_.empty(), "empty power trace");
+    const auto n = static_cast<MinuteIndex>(samples_.size());
+    MinuteIndex i = t % n;
+    if (i < 0)
+        i += n;
+    return samples_[static_cast<std::size_t>(i)];
+}
+
+Kilowatts
+PowerTrace::mean() const
+{
+    if (samples_.empty())
+        return Kilowatts(0.0);
+    Kilowatts sum(0.0);
+    for (Kilowatts s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+Kilowatts
+PowerTrace::peak() const
+{
+    Kilowatts best(0.0);
+    for (Kilowatts s : samples_)
+        best = std::max(best, s);
+    return best;
+}
+
+PowerTrace &
+PowerTrace::operator+=(const PowerTrace &other)
+{
+    ECOLO_ASSERT(size() == other.size(),
+                 "summing traces of different lengths: ", size(), " vs ",
+                 other.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        samples_[i] += other.samples_[i];
+    return *this;
+}
+
+} // namespace ecolo::trace

@@ -1,0 +1,155 @@
+#include "util/keyvalue.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ecolo {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+KeyValueConfig
+KeyValueConfig::parse(std::istream &is)
+{
+    KeyValueConfig config;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto comment = line.find('#');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            ECOLO_FATAL("config line ", line_no, " has no '=': '", line,
+                        "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            ECOLO_FATAL("config line ", line_no, " has an empty key");
+        if (config.values_.count(key))
+            ECOLO_FATAL("duplicate config key '", key, "' at line ",
+                        line_no);
+        config.values_[key] = value;
+    }
+    return config;
+}
+
+KeyValueConfig
+KeyValueConfig::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ECOLO_FATAL("cannot open config file: ", path);
+    return parse(in);
+}
+
+void
+KeyValueConfig::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+KeyValueConfig::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::optional<double>
+KeyValueConfig::getDouble(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    consumed_.insert(key);
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing junk");
+        return v;
+    } catch (const std::exception &) {
+        ECOLO_FATAL("config key '", key, "' is not a number: '",
+                    it->second, "'");
+    }
+}
+
+std::optional<long>
+KeyValueConfig::getInt(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    consumed_.insert(key);
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing junk");
+        return v;
+    } catch (const std::exception &) {
+        ECOLO_FATAL("config key '", key, "' is not an integer: '",
+                    it->second, "'");
+    }
+}
+
+std::optional<bool>
+KeyValueConfig::getBool(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    consumed_.insert(key);
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    ECOLO_FATAL("config key '", key, "' is not a boolean: '", it->second,
+                "'");
+}
+
+std::optional<std::string>
+KeyValueConfig::getString(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    consumed_.insert(key);
+    return it->second;
+}
+
+std::set<std::string>
+KeyValueConfig::unconsumedKeys() const
+{
+    std::set<std::string> unread;
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        if (!consumed_.count(key))
+            unread.insert(key);
+    }
+    return unread;
+}
+
+} // namespace ecolo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal key=value configuration parsing shared by the scenario files and
+ * the command-line tool.
+ *
+ * Format: one `key = value` pair per line; `#` starts a comment; blank
+ * lines ignored; keys are dot-separated lowerCamel paths
+ * (e.g. `battery.capacityKwh = 0.2`). Unknown keys are an error by default
+ * so typos fail loudly.
+ */
+
+#ifndef ECOLO_UTIL_KEYVALUE_HH
+#define ECOLO_UTIL_KEYVALUE_HH
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace ecolo {
+
+/** A parsed key=value document with typed, consumption-tracked access. */
+class KeyValueConfig
+{
+  public:
+    KeyValueConfig() = default;
+
+    /** Parse from a stream; ECOLO_FATAL on malformed lines. */
+    static KeyValueConfig parse(std::istream &is);
+
+    /** Parse a file by path; ECOLO_FATAL if unreadable. */
+    static KeyValueConfig parseFile(const std::string &path);
+
+    /** Programmatic insertion (CLI overrides). */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters; return std::nullopt when absent, ECOLO_FATAL when
+     * present but unparseable. Every successful get marks the key
+     * consumed.
+     */
+    std::optional<double> getDouble(const std::string &key) const;
+    std::optional<long> getInt(const std::string &key) const;
+    std::optional<bool> getBool(const std::string &key) const;
+    std::optional<std::string> getString(const std::string &key) const;
+
+    /** Keys that were never read (typos); empty means all consumed. */
+    std::set<std::string> unconsumedKeys() const;
+
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> consumed_;
+};
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_KEYVALUE_HH

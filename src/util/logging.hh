@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal status/error reporting in the spirit of gem5's logging.hh.
+ *
+ * - panic():  an internal invariant was violated (a bug in EdgeTherm);
+ *             aborts so debuggers/core dumps see the failure point.
+ * - fatal():  the configuration or input is invalid (the user's fault);
+ *             exits with an error code.
+ * - warn():   something is questionable but simulation can continue.
+ * - inform(): plain status output.
+ */
+
+#ifndef ECOLO_UTIL_LOGGING_HH
+#define ECOLO_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ecolo {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Abort on an internal invariant violation. */
+#define ECOLO_PANIC(...) \
+    ::ecolo::detail::panicImpl(__FILE__, __LINE__, \
+        ::ecolo::detail::formatMessage(__VA_ARGS__))
+
+/** Exit on invalid user configuration or input. */
+#define ECOLO_FATAL(...) \
+    ::ecolo::detail::fatalImpl(__FILE__, __LINE__, \
+        ::ecolo::detail::formatMessage(__VA_ARGS__))
+
+/** Like assert, but always compiled in and with a formatted message. */
+#define ECOLO_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ECOLO_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (false)
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_LOGGING_HH

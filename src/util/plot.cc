@@ -1,0 +1,90 @@
+#include "util/plot.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace ecolo {
+
+GnuplotFigure::GnuplotFigure(std::string name, std::string title,
+                             std::string x_label, std::string y_label)
+    : name_(std::move(name)), title_(std::move(title)),
+      xLabel_(std::move(x_label)), yLabel_(std::move(y_label))
+{
+    ECOLO_ASSERT(!name_.empty(), "figure needs a name");
+    ECOLO_ASSERT(name_.find('/') == std::string::npos,
+                 "figure name must be a bare file stem: ", name_);
+}
+
+void
+GnuplotFigure::addSeries(const std::string &series_name)
+{
+    ECOLO_ASSERT(rows_.empty(), "add all series before data rows");
+    series_.push_back(series_name);
+}
+
+void
+GnuplotFigure::addRow(double x, const std::vector<double> &ys)
+{
+    ECOLO_ASSERT(ys.size() == series_.size(),
+                 "row has ", ys.size(), " values for ", series_.size(),
+                 " series");
+    rows_.emplace_back(x, ys);
+}
+
+bool
+GnuplotFigure::writeTo(const std::string &directory) const
+{
+    if (directory.empty())
+        return false;
+    ECOLO_ASSERT(!series_.empty(), "figure '", name_, "' has no series");
+
+    const std::string dat_path = directory + "/" + name_ + ".dat";
+    std::ofstream dat(dat_path);
+    if (!dat)
+        ECOLO_FATAL("cannot write plot data: ", dat_path);
+    dat << "# " << title_ << "\n# x";
+    for (const auto &s : series_)
+        dat << '\t' << s;
+    dat << '\n';
+    dat.precision(10);
+    for (const auto &[x, ys] : rows_) {
+        dat << x;
+        for (double y : ys)
+            dat << '\t' << y;
+        dat << '\n';
+    }
+
+    const std::string gp_path = directory + "/" + name_ + ".gp";
+    std::ofstream gp(gp_path);
+    if (!gp)
+        ECOLO_FATAL("cannot write plot script: ", gp_path);
+    gp << "set terminal pngcairo size 900,540 enhanced\n"
+       << "set output '" << name_ << ".png'\n"
+       << "set title '" << title_ << "'\n"
+       << "set xlabel '" << xLabel_ << "'\n"
+       << "set ylabel '" << yLabel_ << "'\n"
+       << "set key outside right\n"
+       << "set grid\n"
+       << "plot ";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        if (s > 0)
+            gp << ", \\\n     ";
+        gp << "'" << name_ << ".dat' using 1:" << (s + 2)
+           << " with linespoints title '" << series_[s] << "'";
+    }
+    gp << '\n';
+    return true;
+}
+
+std::optional<std::string>
+plotDirFromEnv()
+{
+    const char *dir = std::getenv("EDGETHERM_PLOT_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return std::nullopt;
+    return std::string(dir);
+}
+
+} // namespace ecolo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Gnuplot export: turn a bench harness's series into a .dat file plus a
+ * ready-to-run .gp script, so the regenerated figures can actually be
+ * *plotted* next to the paper's.
+ *
+ * The reproduction binaries write plots only when the EDGETHERM_PLOT_DIR
+ * environment variable names a directory (keeping default runs free of
+ * file-system side effects):
+ *
+ *   EDGETHERM_PLOT_DIR=plots ./build/bench/bench_fig8_oneshot
+ *   gnuplot plots/fig8_oneshot.gp     # renders fig8_oneshot.png
+ */
+
+#ifndef ECOLO_UTIL_PLOT_HH
+#define ECOLO_UTIL_PLOT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecolo {
+
+/** One figure: shared x axis, one or more named y series. */
+class GnuplotFigure
+{
+  public:
+    /**
+     * @param name file stem ("fig8_oneshot" -> fig8_oneshot.dat/.gp/.png)
+     * @param title plot title
+     * @param x_label, y_label axis labels
+     */
+    GnuplotFigure(std::string name, std::string title, std::string x_label,
+                  std::string y_label);
+
+    /** Register a series; all series must be added before data rows. */
+    void addSeries(const std::string &series_name);
+
+    /**
+     * Append one data row: the x value plus one y value per registered
+     * series (in registration order).
+     */
+    void addRow(double x, const std::vector<double> &ys);
+
+    /**
+     * Write <name>.dat and <name>.gp into the directory. Returns false
+     * (without touching the file system) when the directory is empty.
+     */
+    bool writeTo(const std::string &directory) const;
+
+    std::size_t numSeries() const { return series_.size(); }
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string name_;
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::vector<std::string> series_;
+    std::vector<std::pair<double, std::vector<double>>> rows_;
+};
+
+/**
+ * The plot directory from EDGETHERM_PLOT_DIR, or nullopt when unset or
+ * empty (the benches' signal to skip plot output).
+ */
+std::optional<std::string> plotDirFromEnv();
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_PLOT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Discrete simulation time. The paper's evaluation uses one-minute slots over
+ * a year-long horizon; MinuteIndex is the canonical clock, with helpers to
+ * recover calendar structure (minute-of-day, day index, weekday) that the
+ * trace generators key off.
+ */
+
+#ifndef ECOLO_UTIL_SIM_TIME_HH
+#define ECOLO_UTIL_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace ecolo {
+
+/** Index of a one-minute simulation slot since t = 0. */
+using MinuteIndex = std::int64_t;
+
+inline constexpr MinuteIndex kMinutesPerHour = 60;
+inline constexpr MinuteIndex kMinutesPerDay = 24 * kMinutesPerHour;
+inline constexpr MinuteIndex kMinutesPerWeek = 7 * kMinutesPerDay;
+inline constexpr MinuteIndex kMinutesPerYear = 365 * kMinutesPerDay;
+
+/** Minute within the day, in [0, 1440). */
+constexpr MinuteIndex
+minuteOfDay(MinuteIndex t)
+{
+    return t % kMinutesPerDay;
+}
+
+/** Fractional hour within the day, in [0, 24). */
+constexpr double
+hourOfDay(MinuteIndex t)
+{
+    return static_cast<double>(minuteOfDay(t)) / 60.0;
+}
+
+/** Whole days elapsed since t = 0. */
+constexpr MinuteIndex
+dayIndex(MinuteIndex t)
+{
+    return t / kMinutesPerDay;
+}
+
+/** Day of week in [0, 7), day 0 being a Monday by convention. */
+constexpr int
+dayOfWeek(MinuteIndex t)
+{
+    return static_cast<int>(dayIndex(t) % 7);
+}
+
+/** True on Saturday/Sunday under the Monday-epoch convention. */
+constexpr bool
+isWeekend(MinuteIndex t)
+{
+    const int dow = dayOfWeek(t);
+    return dow == 5 || dow == 6;
+}
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_SIM_TIME_HH

@@ -1,0 +1,117 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ecolo {
+
+void
+OnlineStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+PercentileEstimator::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+PercentileEstimator::percentile(double p) const
+{
+    ECOLO_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    ECOLO_ASSERT(hi > lo && bins > 0, "bad histogram domain");
+}
+
+void
+Histogram::add(double x)
+{
+    auto bin = static_cast<long>(std::floor((x - lo_) / width_));
+    bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+} // namespace ecolo

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Streaming statistics used by the simulator's metrics and by the
+ * reproduction harnesses: online mean/variance (Welford), sample-based
+ * percentile estimation, and fixed-bin histograms.
+ */
+
+#ifndef ECOLO_UTIL_STATS_HH
+#define ECOLO_UTIL_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ecolo {
+
+/** Online mean/variance/min/max accumulator (Welford's algorithm). */
+class OnlineStats
+{
+  public:
+    void add(double x);
+    void merge(const OnlineStats &other);
+    void reset();
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample-storing percentile estimator. Stores all samples (year-long minute
+ * resolution is only ~526k doubles), sorts lazily on query.
+ */
+class PercentileEstimator
+{
+  public:
+    void add(double x);
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    std::size_t count() const { return samples_.size(); }
+
+    /**
+     * Percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-width-bin histogram over [lo, hi); outliers land in edge bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+    /** Center of bin i's value range. */
+    double binCenter(std::size_t i) const;
+    /** Fraction of all samples in bin i (0 if empty histogram). */
+    double binFraction(std::size_t i) const;
+    std::size_t totalCount() const { return total_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_STATS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the reproduction harnesses to
+ * print the paper's rows/series, and a small CSV writer for post-processing.
+ */
+
+#ifndef ECOLO_UTIL_TABLE_HH
+#define ECOLO_UTIL_TABLE_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ecolo {
+
+/** Builds a table row by row, then prints it with aligned columns. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; cells are stringified with operator<<. */
+    template <typename... Cells>
+    void
+    addRow(const Cells &...cells)
+    {
+        std::vector<std::string> row;
+        row.reserve(sizeof...(cells));
+        (row.push_back(stringify(cells)), ...);
+        addRowStrings(std::move(row));
+    }
+
+    void addRowStrings(std::vector<std::string> row);
+
+    /** Render with a header underline and 2-space column gaps. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (header row first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    template <typename T>
+    static std::string
+    stringify(const T &value)
+    {
+        std::ostringstream oss;
+        oss << value;
+        return oss.str();
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string fixed(double value, int precision = 2);
+
+/** Print a section banner like "== Fig. 11(c): ... ==". */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_TABLE_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Strong unit types for the quantities that flow through EdgeTherm.
+ *
+ * The thermal-attack domain mixes power (kW), energy (kWh), temperatures
+ * (absolute degrees Celsius and temperature differences), and time (seconds,
+ * minutes, hours). Mixing these up is the classic bug class of data-center
+ * modeling code, so each is a distinct type and only physically meaningful
+ * operations compile: power * time = energy, energy / time = power,
+ * Celsius - Celsius = CelsiusDelta, and so on.
+ */
+
+#ifndef ECOLO_UTIL_UNITS_HH
+#define ECOLO_UTIL_UNITS_HH
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace ecolo {
+
+/**
+ * A dimensioned scalar. Tag types make quantities with different dimensions
+ * different C++ types; all arithmetic within one dimension is provided here,
+ * and the few meaningful cross-dimension operations are free functions below.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double v) : value_(v) {}
+
+    /** Raw magnitude in this quantity's canonical unit. */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity operator+(Quantity o) const
+    { return Quantity(value_ + o.value_); }
+    constexpr Quantity operator-(Quantity o) const
+    { return Quantity(value_ - o.value_); }
+    constexpr Quantity operator*(double s) const
+    { return Quantity(value_ * s); }
+    constexpr Quantity operator/(double s) const
+    { return Quantity(value_ / s); }
+    /** Ratio of two like quantities is dimensionless. */
+    constexpr double operator/(Quantity o) const { return value_ / o.value_; }
+
+    constexpr Quantity &operator+=(Quantity o)
+    { value_ += o.value_; return *this; }
+    constexpr Quantity &operator-=(Quantity o)
+    { value_ -= o.value_; return *this; }
+    constexpr Quantity &operator*=(double s) { value_ *= s; return *this; }
+    constexpr Quantity &operator/=(double s) { value_ /= s; return *this; }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double s, Quantity<Tag> q)
+{
+    return q * s;
+}
+
+template <typename Tag>
+std::ostream &
+operator<<(std::ostream &os, Quantity<Tag> q)
+{
+    return os << q.value();
+}
+
+struct KilowattTag {};
+struct KilowattHourTag {};
+struct CelsiusDeltaTag {};
+struct SecondsTag {};
+
+/** Electrical or thermal power in kilowatts. */
+using Kilowatts = Quantity<KilowattTag>;
+/** Energy in kilowatt-hours (battery state, consumed energy). */
+using KilowattHours = Quantity<KilowattHourTag>;
+/** A temperature *difference* in degrees Celsius (equivalently Kelvin). */
+using CelsiusDelta = Quantity<CelsiusDeltaTag>;
+/** A time duration in seconds (canonical duration unit). */
+using Seconds = Quantity<SecondsTag>;
+
+/** Convenience duration constructors. */
+constexpr Seconds
+minutes(double m)
+{
+    return Seconds(m * 60.0);
+}
+
+constexpr Seconds
+hours(double h)
+{
+    return Seconds(h * 3600.0);
+}
+
+constexpr double
+toMinutes(Seconds s)
+{
+    return s.value() / 60.0;
+}
+
+constexpr double
+toHours(Seconds s)
+{
+    return s.value() / 3600.0;
+}
+
+/**
+ * An absolute temperature in degrees Celsius. Absolute temperatures support
+ * differences and offsets by CelsiusDelta but not, e.g., addition of two
+ * absolute temperatures or scaling.
+ */
+class Celsius
+{
+  public:
+    constexpr Celsius() = default;
+    constexpr explicit Celsius(double deg) : deg_(deg) {}
+
+    constexpr double value() const { return deg_; }
+
+    constexpr CelsiusDelta operator-(Celsius o) const
+    { return CelsiusDelta(deg_ - o.deg_); }
+    constexpr Celsius operator+(CelsiusDelta d) const
+    { return Celsius(deg_ + d.value()); }
+    constexpr Celsius operator-(CelsiusDelta d) const
+    { return Celsius(deg_ - d.value()); }
+    constexpr Celsius &operator+=(CelsiusDelta d)
+    { deg_ += d.value(); return *this; }
+    constexpr Celsius &operator-=(CelsiusDelta d)
+    { deg_ -= d.value(); return *this; }
+
+    constexpr auto operator<=>(const Celsius &) const = default;
+
+  private:
+    double deg_ = 0.0;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, Celsius t)
+{
+    return os << t.value();
+}
+
+/** Energy delivered by a power over a duration. */
+constexpr KilowattHours
+operator*(Kilowatts p, Seconds t)
+{
+    return KilowattHours(p.value() * toHours(t));
+}
+
+constexpr KilowattHours
+operator*(Seconds t, Kilowatts p)
+{
+    return p * t;
+}
+
+/** Average power that delivers an energy over a duration. */
+constexpr Kilowatts
+operator/(KilowattHours e, Seconds t)
+{
+    return Kilowatts(e.value() / toHours(t));
+}
+
+/** Time to deliver an energy at a constant power. */
+constexpr Seconds
+operator/(KilowattHours e, Kilowatts p)
+{
+    return hours(e.value() / p.value());
+}
+
+namespace unit_literals {
+
+constexpr Kilowatts operator""_kW(long double v)
+{ return Kilowatts(static_cast<double>(v)); }
+constexpr Kilowatts operator""_kW(unsigned long long v)
+{ return Kilowatts(static_cast<double>(v)); }
+constexpr KilowattHours operator""_kWh(long double v)
+{ return KilowattHours(static_cast<double>(v)); }
+constexpr KilowattHours operator""_kWh(unsigned long long v)
+{ return KilowattHours(static_cast<double>(v)); }
+constexpr Celsius operator""_degC(long double v)
+{ return Celsius(static_cast<double>(v)); }
+constexpr Celsius operator""_degC(unsigned long long v)
+{ return Celsius(static_cast<double>(v)); }
+constexpr CelsiusDelta operator""_dK(long double v)
+{ return CelsiusDelta(static_cast<double>(v)); }
+constexpr CelsiusDelta operator""_dK(unsigned long long v)
+{ return CelsiusDelta(static_cast<double>(v)); }
+constexpr Seconds operator""_s(long double v)
+{ return Seconds(static_cast<double>(v)); }
+constexpr Seconds operator""_s(unsigned long long v)
+{ return Seconds(static_cast<double>(v)); }
+constexpr Seconds operator""_min(long double v)
+{ return minutes(static_cast<double>(v)); }
+constexpr Seconds operator""_min(unsigned long long v)
+{ return minutes(static_cast<double>(v)); }
+constexpr Seconds operator""_h(long double v)
+{ return hours(static_cast<double>(v)); }
+constexpr Seconds operator""_h(unsigned long long v)
+{ return hours(static_cast<double>(v)); }
+
+} // namespace unit_literals
+
+/** Clamp a power to a [lo, hi] range. */
+constexpr Kilowatts
+clamp(Kilowatts v, Kilowatts lo, Kilowatts hi)
+{
+    return v < lo ? lo : (hi < v ? hi : v);
+}
+
+constexpr KilowattHours
+clamp(KilowattHours v, KilowattHours lo, KilowattHours hi)
+{
+    return v < lo ? lo : (hi < v ? hi : v);
+}
+
+} // namespace ecolo
+
+#endif // ECOLO_UTIL_UNITS_HH

@@ -1,0 +1,212 @@
+/** @file Unit tests for the linear battery model (paper Fig. 7(b)). */
+
+#include <gtest/gtest.h>
+
+#include "battery/battery.hh"
+
+namespace ecolo::battery {
+namespace {
+
+BatterySpec
+idealSpec()
+{
+    BatterySpec spec;
+    spec.capacity = KilowattHours(0.2);
+    spec.maxChargeRate = Kilowatts(0.2);
+    spec.maxDischargeRate = Kilowatts(1.0);
+    spec.chargeEfficiency = 1.0;
+    spec.dischargeEfficiency = 1.0;
+    return spec;
+}
+
+TEST(Battery, StartsAtRequestedSoc)
+{
+    Battery full(idealSpec(), 1.0);
+    EXPECT_DOUBLE_EQ(full.soc(), 1.0);
+    EXPECT_TRUE(full.full());
+    Battery half(idealSpec(), 0.5);
+    EXPECT_DOUBLE_EQ(half.soc(), 0.5);
+    Battery empty(idealSpec(), 0.0);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(Battery, LinearDischarge)
+{
+    Battery b(idealSpec(), 1.0);
+    // 1 kW for 6 minutes = 0.1 kWh of the 0.2 kWh capacity.
+    const Kilowatts delivered = b.discharge(Kilowatts(1.0), minutes(6));
+    EXPECT_DOUBLE_EQ(delivered.value(), 1.0);
+    EXPECT_NEAR(b.soc(), 0.5, 1e-12);
+}
+
+TEST(Battery, DischargeRateClamped)
+{
+    Battery b(idealSpec(), 1.0);
+    const Kilowatts delivered = b.discharge(Kilowatts(5.0), minutes(1));
+    EXPECT_DOUBLE_EQ(delivered.value(), 1.0); // clamped to max rate
+}
+
+TEST(Battery, DischargeDegradesWhenEnergyRunsOut)
+{
+    Battery b(idealSpec(), 0.05); // 0.01 kWh stored
+    // Asking for 1 kW over 6 minutes (0.1 kWh) only yields the stored
+    // 0.01 kWh: average delivered power is 0.1 kW.
+    const Kilowatts delivered = b.discharge(Kilowatts(1.0), minutes(6));
+    EXPECT_NEAR(delivered.value(), 0.1, 1e-12);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(Battery, LinearCharge)
+{
+    Battery b(idealSpec(), 0.0);
+    // 0.2 kW for 30 minutes = 0.1 kWh.
+    const Kilowatts drawn = b.charge(Kilowatts(0.2), minutes(30));
+    EXPECT_DOUBLE_EQ(drawn.value(), 0.2);
+    EXPECT_NEAR(b.soc(), 0.5, 1e-12);
+}
+
+TEST(Battery, ChargeRateClamped)
+{
+    Battery b(idealSpec(), 0.0);
+    const Kilowatts drawn = b.charge(Kilowatts(5.0), minutes(1));
+    EXPECT_DOUBLE_EQ(drawn.value(), 0.2);
+}
+
+TEST(Battery, ChargeStopsAtFull)
+{
+    Battery b(idealSpec(), 0.99);
+    b.charge(Kilowatts(0.2), hours(10.0));
+    EXPECT_TRUE(b.full());
+    EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+    // Another charge draws nothing.
+    EXPECT_DOUBLE_EQ(b.charge(Kilowatts(0.2), minutes(1)).value(), 0.0);
+}
+
+TEST(Battery, ChargeEfficiencyLoss)
+{
+    BatterySpec spec = idealSpec();
+    spec.chargeEfficiency = 0.9;
+    Battery b(spec, 0.0);
+    b.charge(Kilowatts(0.2), hours(0.5)); // 0.1 kWh grid -> 0.09 stored
+    EXPECT_NEAR(b.energy().value(), 0.09, 1e-12);
+}
+
+TEST(Battery, DischargeEfficiencyLoss)
+{
+    BatterySpec spec = idealSpec();
+    spec.dischargeEfficiency = 0.95;
+    Battery b(spec, 1.0);
+    const Kilowatts delivered = b.discharge(Kilowatts(1.0), minutes(6));
+    EXPECT_DOUBLE_EQ(delivered.value(), 1.0);
+    // 0.1 kWh delivered costs 0.1/0.95 stored.
+    EXPECT_NEAR(b.energy().value(), 0.2 - 0.1 / 0.95, 1e-12);
+}
+
+TEST(Battery, ChargingSlowerThanDischarging)
+{
+    // The asymmetry observed in the paper's prototype (Fig. 7(b)): losses
+    // make effective charging slower than discharging.
+    BatterySpec spec = idealSpec();
+    spec.chargeEfficiency = 0.9;
+    Battery b(spec, 1.0);
+    b.discharge(Kilowatts(0.2), minutes(10));
+    const double discharged = 1.0 - b.soc();
+    const double soc_after_discharge = b.soc();
+    b.charge(Kilowatts(0.2), minutes(10));
+    const double charged = b.soc() - soc_after_discharge;
+    EXPECT_LT(charged, discharged);
+}
+
+TEST(Battery, SustainableForMatchesEnergy)
+{
+    Battery b(idealSpec(), 1.0);
+    const Seconds t = b.sustainableFor(Kilowatts(1.0));
+    EXPECT_NEAR(toMinutes(t), 12.0, 1e-9); // 0.2 kWh / 1 kW
+}
+
+TEST(Battery, SustainableForZeroPowerIsForever)
+{
+    Battery b(idealSpec(), 0.5);
+    EXPECT_GT(toHours(b.sustainableFor(Kilowatts(0.0))), 1e6);
+}
+
+TEST(Battery, SetSoc)
+{
+    Battery b(idealSpec(), 1.0);
+    b.setSoc(0.25);
+    EXPECT_DOUBLE_EQ(b.soc(), 0.25);
+}
+
+TEST(BatteryDeathTest, InvalidSpecRejected)
+{
+    BatterySpec spec = idealSpec();
+    spec.capacity = KilowattHours(0.0);
+    EXPECT_DEATH(Battery(spec, 1.0), "capacity");
+}
+
+} // namespace
+} // namespace ecolo::battery
+
+namespace ecolo::battery {
+namespace {
+
+BatterySpec
+thermalSpec()
+{
+    BatterySpec spec;
+    spec.capacity = KilowattHours(0.2);
+    spec.maxChargeRate = Kilowatts(0.2);
+    spec.maxDischargeRate = Kilowatts(1.0);
+    spec.chargeEfficiency = 1.0;
+    spec.dischargeEfficiency = 1.0;
+    spec.capacityLossPerKelvin = 0.01;
+    spec.thermalReference = Celsius(25.0);
+    return spec;
+}
+
+TEST(ThermalBattery, NoDeratingAtOrBelowReference)
+{
+    Battery b(thermalSpec(), 1.0);
+    b.setAmbient(Celsius(25.0));
+    EXPECT_DOUBLE_EQ(b.usableCapacity().value(), 0.2);
+    b.setAmbient(Celsius(20.0));
+    EXPECT_DOUBLE_EQ(b.usableCapacity().value(), 0.2);
+}
+
+TEST(ThermalBattery, CapacityShrinksWhenHot)
+{
+    Battery b(thermalSpec(), 1.0);
+    b.setAmbient(Celsius(35.0)); // +10 K -> -10%
+    EXPECT_NEAR(b.usableCapacity().value(), 0.18, 1e-12);
+    // Stored energy is curtailed to the usable capacity.
+    EXPECT_NEAR(b.energy().value(), 0.18, 1e-12);
+}
+
+TEST(ThermalBattery, DeratingHasFloor)
+{
+    Battery b(thermalSpec(), 1.0);
+    b.setAmbient(Celsius(200.0));
+    EXPECT_NEAR(b.usableCapacity().value(), 0.1, 1e-12); // 50% floor
+}
+
+TEST(ThermalBattery, ChargeStopsAtDeratedCapacity)
+{
+    Battery b(thermalSpec(), 0.0);
+    b.setAmbient(Celsius(35.0));
+    b.charge(Kilowatts(0.2), hours(10.0));
+    EXPECT_NEAR(b.energy().value(), 0.18, 1e-12);
+    EXPECT_TRUE(b.full());
+}
+
+TEST(ThermalBattery, DefaultSpecUnaffectedByAmbient)
+{
+    BatterySpec spec = thermalSpec();
+    spec.capacityLossPerKelvin = 0.0;
+    Battery b(spec, 1.0);
+    b.setAmbient(Celsius(45.0));
+    EXPECT_DOUBLE_EQ(b.usableCapacity().value(), 0.2);
+    EXPECT_DOUBLE_EQ(b.energy().value(), 0.2);
+}
+
+} // namespace
+} // namespace ecolo::battery

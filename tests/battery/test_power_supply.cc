@@ -1,0 +1,137 @@
+/** @file Unit tests for the dual-source power supply. */
+
+#include <gtest/gtest.h>
+
+#include "battery/power_supply.hh"
+
+namespace ecolo::battery {
+namespace {
+
+BatterySpec
+spec()
+{
+    BatterySpec s;
+    s.capacity = KilowattHours(0.2);
+    s.maxChargeRate = Kilowatts(0.2);
+    s.maxDischargeRate = Kilowatts(1.0);
+    s.chargeEfficiency = 1.0;
+    s.dischargeEfficiency = 1.0;
+    return s;
+}
+
+constexpr Kilowatts kGridCap{0.8};
+
+TEST(DualSourceSupply, GridOnlyServesUpToCap)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap);
+    const auto r =
+        supply.step(Kilowatts(0.5), SupplyMode::GridOnly, minutes(1));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.5);
+    EXPECT_DOUBLE_EQ(r.serverPower.value(), 0.5);
+    EXPECT_DOUBLE_EQ(r.batteryPower.value(), 0.0);
+}
+
+TEST(DualSourceSupply, GridOnlyClampsAtCap)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap);
+    const auto r =
+        supply.step(Kilowatts(1.5), SupplyMode::GridOnly, minutes(1));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.8);
+    EXPECT_DOUBLE_EQ(r.serverPower.value(), 0.8);
+}
+
+TEST(DualSourceSupply, DischargeConcealsLoadBehindTheMeter)
+{
+    // The paper's core mechanism: servers consume 1.8 kW while the meter
+    // sees only the 0.8 kW subscription.
+    DualSourcePowerSupply supply(spec(), kGridCap, 1.0);
+    const auto r = supply.step(Kilowatts(1.8),
+                               SupplyMode::DischargeBattery, minutes(1));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.8);
+    EXPECT_DOUBLE_EQ(r.batteryPower.value(), 1.0);
+    EXPECT_DOUBLE_EQ(r.serverPower.value(), 1.8);
+}
+
+TEST(DualSourceSupply, DischargeLimitedByBatteryRate)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap, 1.0);
+    const auto r = supply.step(Kilowatts(3.0),
+                               SupplyMode::DischargeBattery, minutes(1));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.8);
+    EXPECT_DOUBLE_EQ(r.batteryPower.value(), 1.0); // rate limit
+    EXPECT_DOUBLE_EQ(r.serverPower.value(), 1.8);
+}
+
+TEST(DualSourceSupply, DischargeStopsWhenEmpty)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap, 0.0);
+    const auto r = supply.step(Kilowatts(1.8),
+                               SupplyMode::DischargeBattery, minutes(1));
+    EXPECT_DOUBLE_EQ(r.batteryPower.value(), 0.0);
+    EXPECT_DOUBLE_EQ(r.serverPower.value(), 0.8);
+}
+
+TEST(DualSourceSupply, ChargeUsesHeadroomOnly)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap, 0.0);
+    const auto r = supply.step(Kilowatts(0.7), SupplyMode::ChargeBattery,
+                               minutes(1));
+    // Headroom is 0.1 kW, below the 0.2 kW max charge rate.
+    EXPECT_NEAR(r.gridPower.value(), 0.8, 1e-12);
+    EXPECT_NEAR(r.batteryPower.value(), -0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(r.serverPower.value(), 0.7);
+}
+
+TEST(DualSourceSupply, ChargeRespectsChargeRate)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap, 0.0);
+    const auto r = supply.step(Kilowatts(0.2), SupplyMode::ChargeBattery,
+                               minutes(1));
+    EXPECT_NEAR(r.batteryPower.value(), -0.2, 1e-12); // rate-limited
+    EXPECT_NEAR(r.gridPower.value(), 0.4, 1e-12);
+}
+
+TEST(DualSourceSupply, ChargeWhenFullDrawsNothingExtra)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap, 1.0);
+    const auto r = supply.step(Kilowatts(0.3), SupplyMode::ChargeBattery,
+                               minutes(1));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.3);
+    EXPECT_DOUBLE_EQ(r.batteryPower.value(), 0.0);
+}
+
+TEST(DualSourceSupply, GridLimitTightensCap)
+{
+    // Emergency capping: grid limited to 0.48 kW, battery keeps injecting
+    // (the one-shot attacker's behaviour in Fig. 8).
+    DualSourcePowerSupply supply(spec(), kGridCap, 1.0);
+    const auto r =
+        supply.step(Kilowatts(1.8), SupplyMode::DischargeBattery,
+                    minutes(1), Kilowatts(0.48));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.48);
+    EXPECT_DOUBLE_EQ(r.batteryPower.value(), 1.0);
+    EXPECT_NEAR(r.serverPower.value(), 1.48, 1e-12);
+}
+
+TEST(DualSourceSupply, GridLimitNeverRaisesCap)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap);
+    const auto r = supply.step(Kilowatts(2.0), SupplyMode::GridOnly,
+                               minutes(1), Kilowatts(5.0));
+    EXPECT_DOUBLE_EQ(r.gridPower.value(), 0.8); // subscription still binds
+}
+
+TEST(DualSourceSupply, EnergyConservationOverCycle)
+{
+    DualSourcePowerSupply supply(spec(), kGridCap, 1.0);
+    // Discharge 6 minutes at 1 kW, recharge until full; stored energy
+    // returns to capacity.
+    supply.step(Kilowatts(1.8), SupplyMode::DischargeBattery, minutes(6));
+    EXPECT_NEAR(supply.battery().soc(), 0.5, 1e-9);
+    for (int i = 0; i < 60; ++i)
+        supply.step(Kilowatts(0.2), SupplyMode::ChargeBattery, minutes(1));
+    EXPECT_NEAR(supply.battery().soc(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace ecolo::battery

@@ -1,0 +1,256 @@
+/**
+ * @file Unit tests for the batch Q-learner on small synthetic MDPs where
+ * the optimal behaviour is known.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rl/batch_q.hh"
+
+namespace ecolo::core {
+namespace {
+
+/** Identity post-state: reduces batch learning to plain bookkeeping. */
+std::size_t
+identityPost(std::size_t s, int)
+{
+    return s;
+}
+
+TEST(BatchQ, TablesStartAtZero)
+{
+    BatchQLearning learner(4, 3, identityPost);
+    for (std::size_t s = 0; s < 4; ++s) {
+        EXPECT_DOUBLE_EQ(learner.postValue(s), 0.0);
+        for (int a = 0; a < 3; ++a)
+            EXPECT_DOUBLE_EQ(learner.qValue(s, a), 0.0);
+    }
+}
+
+TEST(BatchQ, QTracksMeanReward)
+{
+    LearnerParams params;
+    params.minLearningRate = 0.05;
+    BatchQLearning learner(1, 2, identityPost, params);
+    for (int i = 0; i < 2000; ++i)
+        learner.update(0, 0, 5.0, 0);
+    EXPECT_NEAR(learner.qValue(0, 0), 5.0, 0.1);
+    EXPECT_DOUBLE_EQ(learner.qValue(0, 1), 0.0); // untouched action
+}
+
+TEST(BatchQ, LearnsToPreferRewardingAction)
+{
+    // Two actions in one state: action 1 pays 1.0, action 0 pays 0.
+    BatchQLearning learner(1, 2, identityPost);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        learner.update(0, 0, 0.0, 0);
+        learner.update(0, 1, 1.0, 0);
+    }
+    EXPECT_EQ(learner.greedyAction(0), 1);
+}
+
+TEST(BatchQ, PostStateValuePropagatesFutureReward)
+{
+    // Chain: state 0 --action 0--> post/next state 1 where the only
+    // action pays 10. The post-state value of 1 must grow, making
+    // action 0 attractive in state 0 despite zero immediate reward.
+    auto post = [](std::size_t s, int a) -> std::size_t {
+        if (s == 0 && a == 0)
+            return 1;
+        return s;
+    };
+    BatchQLearning learner(2, 2, post);
+    for (int i = 0; i < 3000; ++i) {
+        learner.update(1, 0, 10.0, 1); // state 1 pays 10 forever
+        learner.update(0, 0, 0.0, 1);  // transition into state 1
+        learner.update(0, 1, 0.2, 0);  // small immediate alternative
+    }
+    EXPECT_GT(learner.postValue(1), 5.0);
+    EXPECT_EQ(learner.greedyAction(0), 0); // future beats small immediate
+}
+
+TEST(BatchQ, ActionScoreCombinesQAndPostValue)
+{
+    auto post = [](std::size_t, int a) -> std::size_t {
+        return a == 0 ? 1 : 0;
+    };
+    BatchQLearning learner(2, 2, post);
+    learner.setQValue(0, 0, 1.0);
+    learner.setQValue(0, 1, 1.0);
+    learner.setPostValue(1, 10.0);
+    learner.setPostValue(0, 0.0);
+    EXPECT_NEAR(learner.actionScore(0, 0), 1.0 + 0.99 * 10.0, 1e-12);
+    EXPECT_NEAR(learner.actionScore(0, 1), 1.0, 1e-12);
+    EXPECT_EQ(learner.greedyAction(0), 0);
+}
+
+TEST(BatchQ, LearningRateScheduleDecays)
+{
+    BatchQLearning learner(1, 2, identityPost);
+    const double day1 = learner.learningRate();
+    EXPECT_DOUBLE_EQ(day1, 1.0); // 1 / 1^0.85
+    learner.advanceDay();
+    const double day2 = learner.learningRate();
+    EXPECT_NEAR(day2, 1.0 / std::pow(2.0, 0.85), 1e-12);
+    for (int d = 0; d < 400; ++d)
+        learner.advanceDay();
+    EXPECT_DOUBLE_EQ(learner.learningRate(), 0.02); // floor
+}
+
+TEST(BatchQ, EpsilonDecays)
+{
+    BatchQLearning learner(1, 2, identityPost);
+    const double start = learner.epsilon();
+    for (int d = 0; d < 30; ++d)
+        learner.advanceDay();
+    EXPECT_LT(learner.epsilon(), start / 4.0);
+}
+
+TEST(BatchQ, ExplorationVisitsAllActions)
+{
+    LearnerParams params;
+    params.epsilon0 = 1.0; // always explore
+    BatchQLearning learner(1, 3, identityPost, params);
+    Rng rng(5);
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 3000; ++i)
+        ++counts[learner.selectAction(0, rng, true)];
+    for (int c : counts)
+        EXPECT_GT(c, 500);
+}
+
+TEST(BatchQ, NoExplorationIsGreedy)
+{
+    BatchQLearning learner(1, 3, identityPost);
+    learner.setQValue(0, 2, 5.0);
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(learner.selectAction(0, rng, false), 2);
+}
+
+TEST(VanillaQ, LearnsSimpleChain)
+{
+    // Two states: action 1 in state 0 gives reward 1 and stays; action 0
+    // gives 0. Vanilla learner should also figure this out.
+    VanillaQLearning learner(2, 2);
+    for (int i = 0; i < 1000; ++i) {
+        learner.update(0, 0, 0.0, 0);
+        learner.update(0, 1, 1.0, 0);
+    }
+    EXPECT_EQ(learner.greedyAction(0), 1);
+    EXPECT_GT(learner.qValue(0, 1), learner.qValue(0, 0));
+}
+
+TEST(VanillaQ, BootstrapsFutureValue)
+{
+    VanillaQLearning learner(2, 1);
+    for (int i = 0; i < 4000; ++i) {
+        learner.update(1, 0, 1.0, 1); // absorbing rewarding state
+        learner.update(0, 0, 0.0, 1);
+    }
+    // Q(0) ~ gamma * Q(1) and Q(1) ~ 1/(1-gamma) (discounted chain).
+    EXPECT_GT(learner.qValue(0, 0), 10.0);
+    EXPECT_GT(learner.qValue(1, 0), learner.qValue(0, 0));
+}
+
+TEST(BatchQDeathTest, RangeChecks)
+{
+    BatchQLearning learner(2, 2, identityPost);
+    EXPECT_DEATH(learner.update(5, 0, 0.0, 0), "out of range");
+    EXPECT_DEATH(learner.update(0, 7, 0.0, 0), "out of range");
+    EXPECT_DEATH(learner.qValue(0, 9), "out of range");
+}
+
+} // namespace
+} // namespace ecolo::core
+
+#include <sstream>
+
+#include "core/engine.hh"
+
+namespace ecolo::core {
+namespace {
+
+TEST(BatchQPersistence, SaveLoadRoundTrip)
+{
+    BatchQLearning original(4, 3, identityPost);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        original.update(rng.uniformInt(4), (int)rng.uniformInt(3),
+                        rng.normal(), rng.uniformInt(4));
+    original.advanceDay();
+    original.advanceDay();
+
+    std::stringstream buffer;
+    original.save(buffer);
+
+    BatchQLearning restored(4, 3, identityPost);
+    restored.load(buffer);
+    for (std::size_t s = 0; s < 4; ++s) {
+        EXPECT_DOUBLE_EQ(restored.postValue(s), original.postValue(s));
+        for (int a = 0; a < 3; ++a)
+            EXPECT_DOUBLE_EQ(restored.qValue(s, a),
+                             original.qValue(s, a));
+    }
+    EXPECT_EQ(restored.daysElapsed(), original.daysElapsed());
+    EXPECT_DOUBLE_EQ(restored.learningRate(), original.learningRate());
+}
+
+TEST(BatchQPersistence, GreedyPolicySurvivesRoundTrip)
+{
+    BatchQLearning original(6, 3, identityPost);
+    original.setQValue(2, 1, 5.0);
+    original.setQValue(4, 2, 3.0);
+    std::stringstream buffer;
+    original.save(buffer);
+    BatchQLearning restored(6, 3, identityPost);
+    restored.load(buffer);
+    for (std::size_t s = 0; s < 6; ++s)
+        EXPECT_EQ(restored.greedyAction(s), original.greedyAction(s));
+}
+
+TEST(BatchQPersistenceDeathTest, RejectsBadFiles)
+{
+    BatchQLearning learner(2, 2, identityPost);
+    std::stringstream garbage("not a table");
+    EXPECT_DEATH(learner.load(garbage), "not a batch-Q");
+
+    BatchQLearning other(3, 2, identityPost);
+    std::stringstream mismatched;
+    other.save(mismatched);
+    EXPECT_DEATH(learner.load(mismatched), "mismatch");
+
+    std::stringstream truncated("batchq v1 2 2 1\n0.5\n");
+    EXPECT_DEATH(learner.load(truncated), "truncated");
+}
+
+TEST(ForesightedPersistence, TrainSaveReplay)
+{
+    auto config = SimulationConfig::paperDefault();
+    auto trained_owner = makeForesightedPolicy(config, 14.0);
+    ForesightedPolicy *trained = trained_owner.get();
+    // A few days of training, then snapshot the tables.
+    Simulation sim(config, std::move(trained_owner));
+    sim.runDays(5.0);
+    std::stringstream tables;
+    trained->saveTables(tables);
+
+    auto replay = makeForesightedPolicy(config, 14.0, false);
+    replay->loadTables(tables);
+    // The replayed policy's greedy map matches the trained one.
+    const auto &space = trained->stateSpace();
+    for (std::size_t bb = 0; bb < space.batteryBins(); ++bb) {
+        for (std::size_t lb = 0; lb < space.loadBins(); ++lb) {
+            const double soc = space.batteryBinCenter(bb);
+            const Kilowatts load = space.loadBinCenter(lb);
+            EXPECT_EQ(replay->greedyActionFor(soc, load),
+                      trained->greedyActionFor(soc, load));
+        }
+    }
+}
+
+} // namespace
+} // namespace ecolo::core

@@ -1,0 +1,72 @@
+/** @file Unit tests for the simulation configuration (Table I). */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace ecolo::core {
+namespace {
+
+TEST(Config, PaperDefaultMatchesTableOne)
+{
+    const auto config = SimulationConfig::paperDefault();
+    EXPECT_DOUBLE_EQ(config.capacity.value(), 8.0);
+    EXPECT_EQ(config.numBenignTenants + 1, 4u); // 4 tenants incl. attacker
+    EXPECT_EQ(config.numServers(), 40u);
+    EXPECT_EQ(config.layout.numRacks, 2u);
+    EXPECT_DOUBLE_EQ(config.attackerSubscription.value(), 0.8);
+    EXPECT_DOUBLE_EQ(config.batterySpec.capacity.value(), 0.2);
+    EXPECT_DOUBLE_EQ(config.attackLoad.value(), 1.0);
+    EXPECT_DOUBLE_EQ(config.batterySpec.maxChargeRate.value(), 0.2);
+    EXPECT_DOUBLE_EQ(config.emergencyThreshold.value(), 32.0);
+    EXPECT_DOUBLE_EQ(config.shutdownThreshold.value(), 45.0);
+    EXPECT_DOUBLE_EQ(config.cooling.supplySetPoint.value(), 27.0);
+    EXPECT_DOUBLE_EQ(config.averageUtilization, 0.75);
+}
+
+TEST(Config, DerivedQuantities)
+{
+    const auto config = SimulationConfig::paperDefault();
+    EXPECT_EQ(config.numBenignServers(), 36u);
+    EXPECT_EQ(config.serversPerBenignTenant(), 12u);
+    EXPECT_DOUBLE_EQ(config.benignSubscription().value(), 2.4);
+}
+
+TEST(Config, PrototypeScaleIsConsistent)
+{
+    const auto config = SimulationConfig::prototypeScale();
+    EXPECT_EQ(config.numServers(), 14u);
+    EXPECT_DOUBLE_EQ(config.capacity.value(), 3.0);
+    EXPECT_DOUBLE_EQ(config.attackLoad.value(), 1.5);
+    EXPECT_NO_FATAL_FAILURE(config.validate());
+}
+
+TEST(ConfigDeathTest, InvalidConfigsRejected)
+{
+    auto bad = SimulationConfig::paperDefault();
+    bad.attackerNumServers = 40;
+    EXPECT_DEATH(bad.validate(), "attacker server count");
+
+    bad = SimulationConfig::paperDefault();
+    bad.attackerNumServers = 5; // 35 benign servers / 3 tenants
+    EXPECT_DEATH(bad.validate(), "divide evenly");
+
+    bad = SimulationConfig::paperDefault();
+    bad.batterySpec.maxDischargeRate = Kilowatts(0.5);
+    EXPECT_DEATH(bad.validate(), "discharge rate");
+
+    bad = SimulationConfig::paperDefault();
+    bad.emergencyThreshold = Celsius(50.0);
+    EXPECT_DEATH(bad.validate(), "below shutdown");
+
+    bad = SimulationConfig::paperDefault();
+    bad.perServerCap = Kilowatts(0.25);
+    EXPECT_DEATH(bad.validate(), "below server peak");
+
+    bad = SimulationConfig::paperDefault();
+    bad.averageUtilization = 1.5;
+    EXPECT_DEATH(bad.validate(), "utilization");
+}
+
+} // namespace
+} // namespace ecolo::core

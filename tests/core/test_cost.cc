@@ -1,0 +1,114 @@
+/** @file Unit tests for the cost model (Section VI-C). */
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hh"
+
+namespace ecolo::core {
+namespace {
+
+SimulationMetrics
+yearWithEmergencies(double emergency_fraction, double norm_perf)
+{
+    SimulationMetrics metrics;
+    const auto total = kMinutesPerYear;
+    const auto emergency_minutes =
+        static_cast<MinuteIndex>(emergency_fraction *
+                                 static_cast<double>(total));
+    for (MinuteIndex m = 0; m < total; ++m) {
+        MinuteRecord r;
+        r.cappingActive = m < emergency_minutes;
+        r.meteredTotal = Kilowatts(6.0);
+        r.benignPower = Kilowatts(5.6); // attacker draws 0.4 kW
+        metrics.recordMinute(r, Celsius(27.0), Celsius(27.3));
+        if (r.cappingActive)
+            metrics.recordEmergencyPerf(norm_perf);
+    }
+    return metrics;
+}
+
+TEST(CostModel, AttackerSubscriptionAndServers)
+{
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    SimulationMetrics metrics; // empty run: fixed costs only
+    const auto cost = model.attackerAnnualCost(config, metrics);
+    // 0.8 kW * $150/kW/month * 12.
+    EXPECT_NEAR(cost.subscriptionUsd, 1440.0, 1e-9);
+    // 4 servers * $4500 / 4-year amortization.
+    EXPECT_NEAR(cost.serversUsd, 4500.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cost.energyUsd, 0.0);
+}
+
+TEST(CostModel, AttackerEnergyScalesWithConsumption)
+{
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    const auto metrics = yearWithEmergencies(0.0, 1.0);
+    const auto cost = model.attackerAnnualCost(config, metrics);
+    // 0.4 kW year-round = 3504 kWh at $0.1.
+    EXPECT_NEAR(cost.energyUsd, 350.4, 1.0);
+    EXPECT_NEAR(cost.total(),
+                cost.subscriptionUsd + cost.energyUsd + cost.serversUsd,
+                1e-9);
+}
+
+TEST(CostModel, BenignCostNearPaperBallpark)
+{
+    // Foresighted's default outcome: ~2.6% of the year in emergencies at
+    // ~3x normalized latency should land near the paper's $60+K/year.
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    const auto metrics = yearWithEmergencies(0.030, 4.0);
+    const auto cost = model.benignAnnualCost(config, metrics);
+    EXPECT_GT(cost.degradationUsd, 40000.0);
+    EXPECT_LT(cost.degradationUsd, 90000.0);
+}
+
+TEST(CostModel, NoEmergenciesNoCost)
+{
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    const auto metrics = yearWithEmergencies(0.0, 1.0);
+    const auto cost = model.benignAnnualCost(config, metrics);
+    EXPECT_DOUBLE_EQ(cost.degradationUsd, 0.0);
+    EXPECT_DOUBLE_EQ(cost.outageUsd, 0.0);
+}
+
+TEST(CostModel, CostGrowsWithEmergencies)
+{
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    const auto low = model.benignAnnualCost(
+        config, yearWithEmergencies(0.01, 3.0));
+    const auto high = model.benignAnnualCost(
+        config, yearWithEmergencies(0.03, 3.0));
+    EXPECT_NEAR(high.degradationUsd / low.degradationUsd, 3.0, 0.1);
+}
+
+TEST(CostModel, OutagesAreExpensive)
+{
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    SimulationMetrics metrics;
+    for (MinuteIndex m = 0; m < kMinutesPerYear; ++m) {
+        MinuteRecord r;
+        r.outage = m < 60; // one hour-long outage
+        r.meteredTotal = Kilowatts(0.0);
+        r.benignPower = Kilowatts(0.0);
+        metrics.recordMinute(r, Celsius(27.0), Celsius(27.0));
+    }
+    const auto cost = model.benignAnnualCost(config, metrics);
+    EXPECT_NEAR(cost.outageUsd, 60000.0, 1.0);
+}
+
+TEST(CostModel, EmptyMetricsSafe)
+{
+    const auto config = SimulationConfig::paperDefault();
+    CostModel model;
+    SimulationMetrics metrics;
+    EXPECT_DOUBLE_EQ(model.benignAnnualCost(config, metrics).total(), 0.0);
+}
+
+} // namespace
+} // namespace ecolo::core

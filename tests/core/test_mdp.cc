@@ -1,0 +1,86 @@
+/** @file Unit tests for the MDP state space. */
+
+#include <gtest/gtest.h>
+
+#include "core/mdp.hh"
+
+namespace ecolo::core {
+namespace {
+
+TEST(StateSpace, DefaultDimensions)
+{
+    StateSpace space;
+    EXPECT_EQ(space.batteryBins(), 11u);
+    EXPECT_EQ(space.loadBins(), 16u);
+    EXPECT_EQ(space.numStates(), 176u);
+}
+
+TEST(StateSpace, BatteryBinning)
+{
+    StateSpace space;
+    EXPECT_EQ(space.batteryBinOf(0.0), 0u);
+    EXPECT_EQ(space.batteryBinOf(1.0), 10u); // top bin, clamped
+    EXPECT_EQ(space.batteryBinOf(0.5), 5u);
+    EXPECT_EQ(space.batteryBinOf(-0.3), 0u);
+    EXPECT_EQ(space.batteryBinOf(1.7), 10u);
+}
+
+TEST(StateSpace, LoadBinning)
+{
+    StateSpace space; // 4 .. 8.5 kW over 16 bins
+    EXPECT_EQ(space.loadBinOf(Kilowatts(4.0)), 0u);
+    EXPECT_EQ(space.loadBinOf(Kilowatts(8.5)), 15u);
+    EXPECT_EQ(space.loadBinOf(Kilowatts(3.0)), 0u);   // clamped below
+    EXPECT_EQ(space.loadBinOf(Kilowatts(10.0)), 15u); // clamped above
+    const std::size_t mid = space.loadBinOf(Kilowatts(6.25));
+    EXPECT_GE(mid, 7u);
+    EXPECT_LE(mid, 8u);
+}
+
+TEST(StateSpace, IndexRoundTrip)
+{
+    StateSpace space;
+    for (std::size_t b = 0; b < space.batteryBins(); ++b) {
+        for (std::size_t l = 0; l < space.loadBins(); ++l) {
+            const std::size_t idx = space.indexOfBins(b, l);
+            EXPECT_LT(idx, space.numStates());
+            EXPECT_EQ(space.batteryBinFromIndex(idx), b);
+            EXPECT_EQ(space.loadBinFromIndex(idx), l);
+        }
+    }
+}
+
+TEST(StateSpace, BinCentersAreRepresentative)
+{
+    StateSpace space;
+    for (std::size_t b = 0; b < space.batteryBins(); ++b)
+        EXPECT_EQ(space.batteryBinOf(space.batteryBinCenter(b)), b);
+    for (std::size_t l = 0; l < space.loadBins(); ++l)
+        EXPECT_EQ(space.loadBinOf(space.loadBinCenter(l)), l);
+}
+
+TEST(StateSpace, IndexOfMatchesBins)
+{
+    StateSpace space;
+    const std::size_t idx = space.indexOf(0.8, Kilowatts(7.4));
+    EXPECT_EQ(space.batteryBinFromIndex(idx), space.batteryBinOf(0.8));
+    EXPECT_EQ(space.loadBinFromIndex(idx),
+              space.loadBinOf(Kilowatts(7.4)));
+}
+
+TEST(Actions, Names)
+{
+    EXPECT_STREQ(toString(AttackAction::Charge), "charge");
+    EXPECT_STREQ(toString(AttackAction::Attack), "attack");
+    EXPECT_STREQ(toString(AttackAction::Standby), "standby");
+}
+
+TEST(StateSpaceDeathTest, BadBins)
+{
+    StateSpace space;
+    EXPECT_DEATH(space.indexOfBins(11, 0), "out of range");
+    EXPECT_DEATH(space.loadBinCenter(16), "out of range");
+}
+
+} // namespace
+} // namespace ecolo::core

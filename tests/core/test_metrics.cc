@@ -1,0 +1,153 @@
+/** @file Unit tests for the metrics accumulator. */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+
+namespace ecolo::core {
+namespace {
+
+MinuteRecord
+record(bool attack, bool capping, double battery_kw = 1.0)
+{
+    MinuteRecord r;
+    r.action = attack ? AttackAction::Attack : AttackAction::Standby;
+    r.attackBatteryPower = Kilowatts(attack ? battery_kw : 0.0);
+    r.cappingActive = capping;
+    r.meteredTotal = Kilowatts(6.0);
+    r.benignPower = Kilowatts(5.5);
+    r.maxInlet = Celsius(28.0);
+    return r;
+}
+
+TEST(Metrics, CountsAttackAndEmergencyMinutes)
+{
+    SimulationMetrics metrics;
+    for (int m = 0; m < 60; ++m)
+        metrics.recordMinute(record(m < 15, m < 6), Celsius(27.0),
+                             Celsius(27.5));
+    EXPECT_EQ(metrics.minutes(), 60);
+    EXPECT_EQ(metrics.attackMinutes(), 15);
+    EXPECT_EQ(metrics.emergencyMinutes(), 6);
+    EXPECT_DOUBLE_EQ(metrics.emergencyFraction(), 0.1);
+}
+
+TEST(Metrics, AttackWithDeadBatteryNotCounted)
+{
+    SimulationMetrics metrics;
+    metrics.recordMinute(record(true, false, /*battery_kw=*/0.0),
+                         Celsius(27.0), Celsius(27.5));
+    EXPECT_EQ(metrics.attackMinutes(), 0);
+}
+
+TEST(Metrics, AttackHoursPerDay)
+{
+    SimulationMetrics metrics;
+    // One full day with 90 attack minutes = 1.5 h/day.
+    for (int m = 0; m < kMinutesPerDay; ++m)
+        metrics.recordMinute(record(m < 90, false), Celsius(27.0),
+                             Celsius(27.2));
+    EXPECT_NEAR(metrics.attackHoursPerDay(), 1.5, 1e-9);
+}
+
+TEST(Metrics, EmergencyHoursPerYearExtrapolates)
+{
+    SimulationMetrics metrics;
+    for (int m = 0; m < kMinutesPerDay; ++m)
+        metrics.recordMinute(record(false, m < 144), Celsius(27.0),
+                             Celsius(27.2));
+    // 10% of the day -> 876 h/year.
+    EXPECT_NEAR(metrics.emergencyHoursPerYear(), 876.0, 1.0);
+}
+
+TEST(Metrics, InletRiseTracked)
+{
+    SimulationMetrics metrics;
+    metrics.recordMinute(record(false, false), Celsius(27.0),
+                         Celsius(28.5));
+    metrics.recordMinute(record(false, false), Celsius(27.0),
+                         Celsius(27.5));
+    EXPECT_NEAR(metrics.inletRise().mean(), 1.0, 1e-12);
+}
+
+TEST(Metrics, EnergyAccounting)
+{
+    SimulationMetrics metrics;
+    // Attacker grid draw = metered - benign = 0.5 kW for 60 minutes.
+    for (int m = 0; m < 60; ++m)
+        metrics.recordMinute(record(true, false), Celsius(27.0),
+                             Celsius(27.2));
+    EXPECT_NEAR(metrics.attackerGridEnergy().value(), 0.5, 1e-9);
+    EXPECT_NEAR(metrics.batteryEnergyDelivered().value(), 1.0, 1e-9);
+}
+
+TEST(Metrics, EmergencyPerfSamples)
+{
+    SimulationMetrics metrics;
+    metrics.recordEmergencyPerf(3.0);
+    metrics.recordEmergencyPerf(4.0);
+    EXPECT_DOUBLE_EQ(metrics.emergencyPerf().mean(), 3.5);
+    EXPECT_EQ(metrics.emergencyPerf().count(), 2u);
+}
+
+TEST(Metrics, EventCounts)
+{
+    SimulationMetrics metrics;
+    metrics.noteEmergencyDeclared();
+    metrics.noteEmergencyDeclared();
+    metrics.noteOutage();
+    EXPECT_EQ(metrics.emergencies(), 2u);
+    EXPECT_EQ(metrics.outages(), 1u);
+}
+
+TEST(Metrics, EmptyMetricsSafe)
+{
+    SimulationMetrics metrics;
+    EXPECT_DOUBLE_EQ(metrics.emergencyFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.attackHoursPerDay(), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.emergencyHoursPerYear(), 0.0);
+}
+
+} // namespace
+} // namespace ecolo::core
+
+namespace ecolo::core {
+namespace {
+
+TEST(Metrics, InletHistogramTracksDistribution)
+{
+    SimulationMetrics metrics;
+    for (int m = 0; m < 100; ++m) {
+        MinuteRecord r;
+        r.maxInlet = Celsius(m < 90 ? 27.5 : 33.0);
+        metrics.recordMinute(r, Celsius(27.0), Celsius(27.2));
+    }
+    const auto &h = metrics.inletHistogram();
+    EXPECT_EQ(h.totalCount(), 100u);
+    // ~90% of mass near 27.5, ~10% near 33.
+    double below_30 = 0.0, above_32 = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+        if (h.binCenter(b) < 30.0)
+            below_30 += h.binFraction(b);
+        if (h.binCenter(b) > 32.0)
+            above_32 += h.binFraction(b);
+    }
+    EXPECT_NEAR(below_30, 0.9, 0.01);
+    EXPECT_NEAR(above_32, 0.1, 0.01);
+}
+
+TEST(Metrics, PerTenantPerfSamples)
+{
+    SimulationMetrics metrics;
+    metrics.recordTenantEmergencyPerf(0, 3.0);
+    metrics.recordTenantEmergencyPerf(2, 5.0);
+    metrics.recordTenantEmergencyPerf(0, 4.0);
+    const auto &per_tenant = metrics.tenantEmergencyPerf();
+    ASSERT_EQ(per_tenant.size(), 3u);
+    EXPECT_DOUBLE_EQ(per_tenant[0].mean(), 3.5);
+    EXPECT_EQ(per_tenant[1].count(), 0u);
+    EXPECT_DOUBLE_EQ(per_tenant[2].mean(), 5.0);
+}
+
+} // namespace
+} // namespace ecolo::core

@@ -1,0 +1,199 @@
+/** @file Unit tests for the operator's emergency protocol state machine. */
+
+#include <gtest/gtest.h>
+
+#include "core/operator.hh"
+
+namespace ecolo::core {
+namespace {
+
+ColoOperator::Params
+defaults()
+{
+    return ColoOperator::Params{Celsius(32.0), 2, 5, Celsius(45.0), 60};
+}
+
+TEST(Operator, StaysNormalWhenCool)
+{
+    ColoOperator op(defaults());
+    for (int m = 0; m < 100; ++m) {
+        const auto cmd = op.observeMinute(Celsius(28.0));
+        EXPECT_FALSE(cmd.capServers);
+        EXPECT_FALSE(cmd.outage);
+    }
+    EXPECT_EQ(op.state(), OperatorState::Normal);
+    EXPECT_EQ(op.emergenciesDeclared(), 0u);
+}
+
+TEST(Operator, RequiresSustainedViolation)
+{
+    ColoOperator op(defaults());
+    // One hot minute, then cool: no emergency.
+    op.observeMinute(Celsius(33.0));
+    EXPECT_EQ(op.state(), OperatorState::Pending);
+    op.observeMinute(Celsius(30.0));
+    EXPECT_EQ(op.state(), OperatorState::Normal);
+    EXPECT_EQ(op.emergenciesDeclared(), 0u);
+}
+
+TEST(Operator, DeclaresEmergencyAfterTwoMinutes)
+{
+    ColoOperator op(defaults());
+    op.observeMinute(Celsius(33.0));
+    const auto cmd = op.observeMinute(Celsius(33.0));
+    EXPECT_EQ(op.state(), OperatorState::Emergency);
+    EXPECT_TRUE(cmd.capServers);
+    EXPECT_EQ(op.emergenciesDeclared(), 1u);
+}
+
+TEST(Operator, CappingLastsFiveMinutes)
+{
+    ColoOperator op(defaults());
+    op.observeMinute(Celsius(33.0));
+    op.observeMinute(Celsius(33.0)); // declared; minute 1 of capping
+    int capped_minutes = 1;
+    // Remain hot-ish; capping rides through its fixed window.
+    while (op.state() == OperatorState::Emergency && capped_minutes < 20) {
+        op.observeMinute(Celsius(30.0));
+        ++capped_minutes;
+    }
+    EXPECT_EQ(capped_minutes, 5);
+    EXPECT_EQ(op.state(), OperatorState::Normal);
+    EXPECT_EQ(op.emergencyMinutes(), 5);
+}
+
+TEST(Operator, RepeatedEmergenciesCount)
+{
+    ColoOperator op(defaults());
+    for (int round = 0; round < 3; ++round) {
+        // Heat until declared.
+        while (op.state() != OperatorState::Emergency)
+            op.observeMinute(Celsius(33.0));
+        // Cool down through the capping window.
+        while (op.state() == OperatorState::Emergency)
+            op.observeMinute(Celsius(28.0));
+    }
+    EXPECT_EQ(op.emergenciesDeclared(), 3u);
+}
+
+TEST(Operator, ShutdownAtFortyFive)
+{
+    ColoOperator op(defaults());
+    const auto cmd = op.observeMinute(Celsius(45.0));
+    EXPECT_TRUE(cmd.outage);
+    EXPECT_EQ(op.state(), OperatorState::Outage);
+    EXPECT_EQ(op.outages(), 1u);
+}
+
+TEST(Operator, ShutdownOverridesEmergency)
+{
+    ColoOperator op(defaults());
+    op.observeMinute(Celsius(33.0));
+    op.observeMinute(Celsius(33.0));
+    EXPECT_EQ(op.state(), OperatorState::Emergency);
+    op.observeMinute(Celsius(46.0));
+    EXPECT_EQ(op.state(), OperatorState::Outage);
+}
+
+TEST(Operator, OutageLastsRestartWindow)
+{
+    ColoOperator op(defaults());
+    op.observeMinute(Celsius(45.0));
+    int outage_minutes = 1;
+    while (op.state() == OperatorState::Outage && outage_minutes < 200) {
+        op.observeMinute(Celsius(27.0));
+        ++outage_minutes;
+    }
+    EXPECT_EQ(outage_minutes, 60);
+    EXPECT_EQ(op.outageMinutes(), 60);
+    EXPECT_EQ(op.state(), OperatorState::Normal);
+}
+
+TEST(Operator, ResetClearsEverything)
+{
+    ColoOperator op(defaults());
+    op.observeMinute(Celsius(45.0));
+    op.reset();
+    EXPECT_EQ(op.state(), OperatorState::Normal);
+    EXPECT_EQ(op.outages(), 0u);
+    EXPECT_EQ(op.outageMinutes(), 0);
+}
+
+TEST(Operator, StateNames)
+{
+    EXPECT_STREQ(toString(OperatorState::Normal), "normal");
+    EXPECT_STREQ(toString(OperatorState::Emergency), "emergency");
+    EXPECT_STREQ(toString(OperatorState::Outage), "outage");
+    EXPECT_STREQ(toString(OperatorState::Pending), "pending");
+}
+
+TEST(OperatorDeathTest, BadParams)
+{
+    auto params = defaults();
+    params.sustainMinutes = 0;
+    EXPECT_DEATH(ColoOperator{params}, "at least one minute");
+    params = defaults();
+    params.emergencyThreshold = Celsius(50.0);
+    EXPECT_DEATH(ColoOperator{params}, "below shutdown");
+}
+
+} // namespace
+} // namespace ecolo::core
+
+namespace ecolo::core {
+namespace {
+
+ColoOperator::Params
+adaptiveParams()
+{
+    ColoOperator::Params params;
+    params.adaptiveCapping = true;
+    return params;
+}
+
+TEST(AdaptiveCapping, GentleCapForMarginalOvershoot)
+{
+    ColoOperator op(adaptiveParams());
+    op.observeMinute(Celsius(32.1));
+    const auto cmd = op.observeMinute(Celsius(32.1));
+    ASSERT_TRUE(cmd.capServers);
+    ASSERT_TRUE(cmd.capLevel.has_value());
+    // Barely above threshold -> near the gentle end (0.15 kW).
+    EXPECT_GT(cmd.capLevel->value(), 0.14);
+}
+
+TEST(AdaptiveCapping, HardCapForSevereOvershoot)
+{
+    ColoOperator op(adaptiveParams());
+    op.observeMinute(Celsius(38.0));
+    const auto cmd = op.observeMinute(Celsius(38.0));
+    ASSERT_TRUE(cmd.capServers);
+    ASSERT_TRUE(cmd.capLevel.has_value());
+    // 6 K overshoot saturates at the hard end (0.10 kW).
+    EXPECT_NEAR(cmd.capLevel->value(), 0.10, 1e-9);
+}
+
+TEST(AdaptiveCapping, DisabledMeansNoCapLevel)
+{
+    ColoOperator op(ColoOperator::Params{});
+    op.observeMinute(Celsius(38.0));
+    const auto cmd = op.observeMinute(Celsius(38.0));
+    ASSERT_TRUE(cmd.capServers);
+    EXPECT_FALSE(cmd.capLevel.has_value());
+}
+
+TEST(AdaptiveCapping, LevelScalesMonotonically)
+{
+    double previous = 1.0;
+    for (double temp : {32.5, 33.5, 34.5, 36.0}) {
+        ColoOperator op(adaptiveParams());
+        op.observeMinute(Celsius(temp));
+        const auto cmd = op.observeMinute(Celsius(temp));
+        ASSERT_TRUE(cmd.capLevel.has_value());
+        EXPECT_LE(cmd.capLevel->value(), previous);
+        previous = cmd.capLevel->value();
+    }
+}
+
+} // namespace
+} // namespace ecolo::core

@@ -1,0 +1,287 @@
+/** @file Unit tests for the attack policies. */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+
+namespace ecolo::core {
+namespace {
+
+AttackObservation
+obs(double soc, double load_kw, bool capping = false, bool outage = false)
+{
+    AttackObservation o;
+    o.batterySoc = soc;
+    o.estimatedLoad = Kilowatts(load_kw);
+    o.cappingActive = capping;
+    o.outage = outage;
+    o.inletTemperature = Celsius(27.0);
+    return o;
+}
+
+TEST(StandbyPolicy, NeverAttacks)
+{
+    StandbyPolicy policy;
+    for (double load = 4.0; load < 9.0; load += 0.5)
+        EXPECT_NE(policy.decide(obs(1.0, load)), AttackAction::Attack);
+}
+
+TEST(StandbyPolicy, ChargesWhenDepleted)
+{
+    StandbyPolicy policy;
+    EXPECT_EQ(policy.decide(obs(0.4, 6.0)), AttackAction::Charge);
+    EXPECT_EQ(policy.decide(obs(1.0, 6.0)), AttackAction::Standby);
+}
+
+TEST(RandomPolicy, AttackFrequencyMatchesProbability)
+{
+    RandomPolicy policy(0.25, 0.05, Rng(1));
+    int attacks = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        attacks += policy.decide(obs(1.0, 5.0)) == AttackAction::Attack;
+    EXPECT_NEAR(static_cast<double>(attacks) / n, 0.25, 0.02);
+}
+
+TEST(RandomPolicy, NeedsBatteryEnergy)
+{
+    RandomPolicy policy(1.0, 0.10, Rng(2));
+    EXPECT_NE(policy.decide(obs(0.05, 8.0)), AttackAction::Attack);
+    EXPECT_EQ(policy.decide(obs(0.5, 8.0)), AttackAction::Attack);
+}
+
+TEST(RandomPolicy, CompliesWithCapping)
+{
+    RandomPolicy policy(1.0, 0.0, Rng(3));
+    EXPECT_NE(policy.decide(obs(1.0, 8.0, /*capping=*/true)),
+              AttackAction::Attack);
+}
+
+TEST(RandomPolicy, IsLoadOblivious)
+{
+    // Statistically identical behaviour at low and high load.
+    RandomPolicy policy(0.5, 0.0, Rng(4));
+    int low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        low += policy.decide(obs(1.0, 4.5)) == AttackAction::Attack;
+        high += policy.decide(obs(1.0, 8.0)) == AttackAction::Attack;
+    }
+    EXPECT_NEAR(static_cast<double>(low) / 10000.0,
+                static_cast<double>(high) / 10000.0, 0.03);
+}
+
+TEST(MyopicPolicy, ThresholdGatesAttack)
+{
+    MyopicPolicy policy(Kilowatts(7.4), 0.09);
+    EXPECT_EQ(policy.decide(obs(1.0, 7.5)), AttackAction::Attack);
+    EXPECT_NE(policy.decide(obs(1.0, 7.3)), AttackAction::Attack);
+}
+
+TEST(MyopicPolicy, BatteryGatesAttack)
+{
+    MyopicPolicy policy(Kilowatts(7.4), 0.09);
+    EXPECT_NE(policy.decide(obs(0.01, 8.0)), AttackAction::Attack);
+}
+
+TEST(MyopicPolicy, RechargesBelowThreshold)
+{
+    MyopicPolicy policy(Kilowatts(7.4), 0.09);
+    EXPECT_EQ(policy.decide(obs(0.5, 6.0)), AttackAction::Charge);
+    EXPECT_EQ(policy.decide(obs(1.0, 6.0)), AttackAction::Standby);
+}
+
+TEST(MyopicPolicy, CompliesWithCappingAndOutage)
+{
+    MyopicPolicy policy(Kilowatts(7.4), 0.09);
+    EXPECT_NE(policy.decide(obs(1.0, 8.0, true)), AttackAction::Attack);
+    EXPECT_NE(policy.decide(obs(1.0, 8.0, false, true)),
+              AttackAction::Attack);
+    EXPECT_FALSE(policy.ignoresCapping());
+}
+
+ForesightedPolicy::Params
+foresightedParams(double weight = 14.0)
+{
+    ForesightedPolicy::Params params;
+    params.weight = weight;
+    params.capacity = Kilowatts(8.0);
+    params.attackLoad = Kilowatts(1.0);
+    params.learner.epsilon0 = 0.0; // deterministic for unit tests
+    return params;
+}
+
+TEST(ForesightedPolicy, WarmStartYieldsThresholdStructure)
+{
+    ForesightedPolicy policy(foresightedParams(), Rng(5));
+    policy.warmStart();
+    // With a full battery: attack at high load, not at low load.
+    EXPECT_EQ(policy.greedyActionFor(0.95, Kilowatts(8.2)),
+              AttackAction::Attack);
+    EXPECT_NE(policy.greedyActionFor(0.95, Kilowatts(5.0)),
+              AttackAction::Attack);
+    // With an empty battery: never attack.
+    EXPECT_NE(policy.greedyActionFor(0.0, Kilowatts(8.2)),
+              AttackAction::Attack);
+}
+
+TEST(ForesightedPolicy, CompliesWithCapping)
+{
+    ForesightedPolicy policy(foresightedParams(), Rng(6));
+    policy.warmStart();
+    EXPECT_NE(policy.decide(obs(1.0, 8.2, /*capping=*/true)),
+              AttackAction::Attack);
+}
+
+TEST(ForesightedPolicy, LearnsFromRewardFeedback)
+{
+    // Reward attacking at high load, punish attacking at low load (via
+    // temperature responses), and check the learned structure.
+    auto params = foresightedParams(14.0);
+    params.learner.minLearningRate = 0.05;
+    ForesightedPolicy policy(params, Rng(7));
+
+    AttackObservation high = obs(1.0, 8.2);
+    AttackObservation high_hot = high;
+    high_hot.inletTemperature = Celsius(28.5); // attack worked: +1.5 K
+    AttackObservation low = obs(1.0, 5.0);
+    AttackObservation low_cold = low;
+    low_cold.inletTemperature = Celsius(27.0); // attack wasted
+
+    for (int i = 0; i < 800; ++i) {
+        policy.feedback(high, AttackAction::Attack, high_hot);
+        policy.feedback(high, AttackAction::Standby, high);
+        policy.feedback(low, AttackAction::Attack, low_cold);
+        policy.feedback(low, AttackAction::Standby, low);
+        policy.feedback(low, AttackAction::Charge, low);
+    }
+    EXPECT_EQ(policy.greedyActionFor(1.0, Kilowatts(8.2)),
+              AttackAction::Attack);
+    EXPECT_NE(policy.greedyActionFor(1.0, Kilowatts(5.0)),
+              AttackAction::Attack);
+}
+
+TEST(ForesightedPolicy, DayBoundaryAdvancesSchedules)
+{
+    ForesightedPolicy policy(foresightedParams(), Rng(8));
+    const double before = policy.learner().learningRate();
+    policy.onDayBoundary(1);
+    EXPECT_LT(policy.learner().learningRate(), before);
+}
+
+TEST(OneShotPolicy, WaitsForFullBatteryAndHighLoad)
+{
+    OneShotPolicy policy(Kilowatts(7.0), 0);
+    EXPECT_NE(policy.decide(obs(0.8, 7.5)), AttackAction::Attack);
+    EXPECT_NE(policy.decide(obs(1.0, 6.0)), AttackAction::Attack);
+    EXPECT_EQ(policy.decide(obs(1.0, 7.5)), AttackAction::Attack);
+    EXPECT_TRUE(policy.fired());
+}
+
+TEST(OneShotPolicy, RespectsArmDelay)
+{
+    OneShotPolicy policy(Kilowatts(7.0), 100);
+    AttackObservation o = obs(1.0, 7.5);
+    o.time = 50;
+    EXPECT_NE(policy.decide(o), AttackAction::Attack);
+    o.time = 100;
+    EXPECT_EQ(policy.decide(o), AttackAction::Attack);
+}
+
+TEST(OneShotPolicy, PressesThroughCappingUntilExhausted)
+{
+    OneShotPolicy policy(Kilowatts(7.0), 0);
+    EXPECT_EQ(policy.decide(obs(1.0, 7.5)), AttackAction::Attack);
+    EXPECT_TRUE(policy.ignoresCapping());
+    // Capping is in force but the strike continues.
+    EXPECT_EQ(policy.decide(obs(0.5, 7.5, /*capping=*/true)),
+              AttackAction::Attack);
+    // Battery empty: done for good.
+    EXPECT_EQ(policy.decide(obs(0.0, 7.5)), AttackAction::Standby);
+    EXPECT_TRUE(policy.exhausted());
+    EXPECT_EQ(policy.decide(obs(1.0, 8.0)), AttackAction::Standby);
+}
+
+} // namespace
+} // namespace ecolo::core
+
+namespace ecolo::core {
+namespace {
+
+TEST(MyopicPolicy, BurstHysteresis)
+{
+    // Starts a burst only with a >= 50% reserve, then continues down to
+    // the one-minute floor.
+    MyopicPolicy policy(Kilowatts(7.4), 0.09, 0.5);
+    EXPECT_NE(policy.decide(obs(0.3, 8.0)), AttackAction::Attack);
+    EXPECT_EQ(policy.decide(obs(0.6, 8.0)), AttackAction::Attack);
+    // Mid-burst the battery drains below the start threshold: continue.
+    EXPECT_EQ(policy.decide(obs(0.2, 8.0)), AttackAction::Attack);
+    EXPECT_EQ(policy.decide(obs(0.10, 8.0)), AttackAction::Attack);
+    // Below the continue floor: the burst ends...
+    EXPECT_NE(policy.decide(obs(0.05, 8.0)), AttackAction::Attack);
+    // ...and does not restart until the reserve is rebuilt.
+    EXPECT_NE(policy.decide(obs(0.3, 8.0)), AttackAction::Attack);
+    EXPECT_EQ(policy.decide(obs(0.55, 8.0)), AttackAction::Attack);
+}
+
+TEST(MyopicPolicy, BurstEndsWhenLoadDrops)
+{
+    MyopicPolicy policy(Kilowatts(7.4), 0.09, 0.5);
+    EXPECT_EQ(policy.decide(obs(1.0, 8.0)), AttackAction::Attack);
+    EXPECT_NE(policy.decide(obs(0.9, 7.0)), AttackAction::Attack);
+    // Restarting needs the start reserve again (0.4 < 0.5).
+    EXPECT_NE(policy.decide(obs(0.4, 8.0)), AttackAction::Attack);
+}
+
+TEST(MyopicPolicy, CappingEndsBurst)
+{
+    MyopicPolicy policy(Kilowatts(7.4), 0.09, 0.5);
+    EXPECT_EQ(policy.decide(obs(1.0, 8.0)), AttackAction::Attack);
+    EXPECT_NE(policy.decide(obs(0.8, 8.0, /*capping=*/true)),
+              AttackAction::Attack);
+    // After capping, the burst must re-qualify against the start reserve.
+    EXPECT_NE(policy.decide(obs(0.3, 8.0)), AttackAction::Attack);
+}
+
+TEST(MyopicPolicyDeathTest, BadHysteresisRejected)
+{
+    EXPECT_DEATH(MyopicPolicy(Kilowatts(7.4), 0.6, 0.5),
+                 "continue threshold");
+}
+
+TEST(VanillaRlPolicy, LearnsTheSameContrast)
+{
+    ForesightedPolicy::Params params;
+    params.weight = 14.0;
+    params.baselineInlet = Celsius(27.5);
+    params.learner.epsilon0 = 0.0;
+    params.learner.minLearningRate = 0.05;
+    VanillaRlPolicy policy(params, Rng(3));
+
+    AttackObservation high = obs(1.0, 8.2);
+    AttackObservation high_hot = high;
+    high_hot.inletTemperature = Celsius(29.5);
+    AttackObservation low = obs(1.0, 5.0);
+
+    for (int i = 0; i < 800; ++i) {
+        policy.feedback(high, AttackAction::Attack, high_hot);
+        policy.feedback(high, AttackAction::Standby, high);
+        policy.feedback(low, AttackAction::Attack, low);
+        policy.feedback(low, AttackAction::Standby, low);
+    }
+    EXPECT_EQ(policy.decide(high), AttackAction::Attack);
+    EXPECT_NE(policy.decide(low), AttackAction::Attack);
+}
+
+TEST(VanillaRlPolicy, CompliesWithProtocol)
+{
+    ForesightedPolicy::Params params;
+    VanillaRlPolicy policy(params, Rng(4));
+    EXPECT_NE(policy.decide(obs(1.0, 8.2, /*capping=*/true)),
+              AttackAction::Attack);
+    EXPECT_NE(policy.decide(obs(1.0, 8.2, false, /*outage=*/true)),
+              AttackAction::Attack);
+}
+
+} // namespace
+} // namespace ecolo::core

@@ -1,0 +1,74 @@
+/** @file Unit tests for the markdown campaign report. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.hh"
+#include "core/report.hh"
+
+namespace ecolo::core {
+namespace {
+
+TEST(Report, ContainsAllSections)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    sim.runDays(7.0);
+
+    ReportInputs inputs{"myopic", 7.4, 7.0};
+    std::ostringstream oss;
+    writeMarkdownReport(oss, config, sim.metrics(), inputs);
+    const std::string out = oss.str();
+
+    EXPECT_NE(out.find("# EdgeTherm campaign report"), std::string::npos);
+    EXPECT_NE(out.find("## Site"), std::string::npos);
+    EXPECT_NE(out.find("## Outcome"), std::string::npos);
+    EXPECT_NE(out.find("## Per-tenant damage"), std::string::npos);
+    EXPECT_NE(out.find("## Inlet temperature distribution"),
+              std::string::npos);
+    EXPECT_NE(out.find("## Annualized cost estimate"), std::string::npos);
+    EXPECT_NE(out.find("## Site threat assessment"), std::string::npos);
+    EXPECT_NE(out.find("**myopic**"), std::string::npos);
+}
+
+TEST(Report, QuietRunOmitsLatencyRow)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, std::make_unique<StandbyPolicy>());
+    sim.runDays(2.0);
+    ReportInputs inputs{"standby", 0.0, 2.0};
+    std::ostringstream oss;
+    writeMarkdownReport(oss, config, sim.metrics(), inputs);
+    EXPECT_EQ(oss.str().find("norm. 95p latency in emergencies"),
+              std::string::npos);
+}
+
+TEST(Report, FileWrapperWrites)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, std::make_unique<StandbyPolicy>());
+    sim.run(200);
+    const std::string path =
+        ::testing::TempDir() + "/edgetherm_report_test.md";
+    saveMarkdownReport(path, config, sim.metrics(),
+                       ReportInputs{"standby", 0.0, 0.14});
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line, "# EdgeTherm campaign report");
+}
+
+TEST(ReportDeathTest, UnwritablePathFatal)
+{
+    auto config = SimulationConfig::paperDefault();
+    SimulationMetrics metrics;
+    EXPECT_DEATH(saveMarkdownReport("/nonexistent/dir/report.md", config,
+                                    metrics, ReportInputs{}),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace ecolo::core

@@ -1,0 +1,127 @@
+/** @file Unit tests for scenario-file application. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hh"
+
+namespace ecolo::core {
+namespace {
+
+KeyValueConfig
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return KeyValueConfig::parse(in);
+}
+
+TEST(Scenario, EmptyScenarioKeepsDefaults)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(KeyValueConfig{}, config);
+    EXPECT_DOUBLE_EQ(config.capacity.value(), 8.0);
+    EXPECT_DOUBLE_EQ(config.batterySpec.capacity.value(), 0.2);
+}
+
+TEST(Scenario, OverridesBatteryAndAttack)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(parse("battery.capacityKwh = 0.4\n"
+                        "battery.dischargeRateKw = 2.0\n"
+                        "attacker.attackLoadKw = 2.0\n"),
+                  config);
+    EXPECT_DOUBLE_EQ(config.batterySpec.capacity.value(), 0.4);
+    EXPECT_DOUBLE_EQ(config.attackLoad.value(), 2.0);
+}
+
+TEST(Scenario, OverridesCoolingAndProtocol)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(parse("cooling.capacityKw = 8.8\n"
+                        "cooling.setPointC = 20\n"
+                        "protocol.cappingMinutes = 10\n"
+                        "protocol.outageRestartMinutes = 30\n"),
+                  config);
+    EXPECT_DOUBLE_EQ(config.cooling.capacity.value(), 8.8);
+    EXPECT_DOUBLE_EQ(config.cooling.supplySetPoint.value(), 20.0);
+    EXPECT_EQ(config.cappingMinutes, 10);
+    EXPECT_EQ(config.outageRestartMinutes, 30);
+}
+
+TEST(Scenario, TraceKindParsing)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(parse("traceKind = google\n"), config);
+    EXPECT_EQ(config.traceKind, TraceKind::GoogleStyle);
+    applyScenario(parse("traceKind = diurnal\n"), config);
+    EXPECT_EQ(config.traceKind, TraceKind::Diurnal);
+}
+
+TEST(Scenario, SeedAndUtilization)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(parse("seed = 777\naverageUtilization = 0.8\n"), config);
+    EXPECT_EQ(config.seed, 777u);
+    EXPECT_DOUBLE_EQ(config.averageUtilization, 0.8);
+}
+
+TEST(ScenarioDeathTest, UnknownKeyRejected)
+{
+    auto config = SimulationConfig::paperDefault();
+    EXPECT_DEATH(applyScenario(parse("batery.capacityKwh = 0.4\n"),
+                               config),
+                 "unknown scenario key");
+}
+
+TEST(Scenario, UnknownKeyToleratedWhenAsked)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(parse("custom.key = 1\n"), config,
+                  /*allow_unknown=*/true);
+    EXPECT_DOUBLE_EQ(config.capacity.value(), 8.0);
+}
+
+TEST(ScenarioDeathTest, InvalidResultRejected)
+{
+    // Overrides that individually parse but produce an invalid config
+    // must fail validation.
+    auto config = SimulationConfig::paperDefault();
+    EXPECT_DEATH(applyScenario(
+                     parse("battery.dischargeRateKw = 0.5\n"), config),
+                 "discharge rate");
+}
+
+TEST(ScenarioDeathTest, BadTraceKind)
+{
+    auto config = SimulationConfig::paperDefault();
+    EXPECT_DEATH(applyScenario(parse("traceKind = sinusoid\n"), config),
+                 "unknown traceKind");
+}
+
+TEST(Scenario, DescribePrintsKeyFields)
+{
+    const auto config = SimulationConfig::paperDefault();
+    std::ostringstream oss;
+    describeConfig(oss, config);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("capacity (kW)"), std::string::npos);
+    EXPECT_NE(out.find("8.00"), std::string::npos);
+    EXPECT_NE(out.find("40 / 4"), std::string::npos);
+}
+
+} // namespace
+} // namespace ecolo::core
+
+namespace ecolo::core {
+namespace {
+
+TEST(Scenario, RequestTraceKind)
+{
+    auto config = SimulationConfig::paperDefault();
+    applyScenario(parse("traceKind = request\n"), config);
+    EXPECT_EQ(config.traceKind, TraceKind::RequestLevel);
+}
+
+} // namespace
+} // namespace ecolo::core

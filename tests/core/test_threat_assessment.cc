@@ -1,0 +1,100 @@
+/** @file Unit tests for the operator threat assessment. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hh"
+#include "core/threat_assessment.hh"
+
+namespace ecolo::core {
+namespace {
+
+TEST(ThreatAssessment, DefaultSiteEmergenciesFeasibleOutagesNot)
+{
+    const auto config = SimulationConfig::paperDefault();
+    const auto a = assessThreat(config);
+    // With a 1 kW attack load: repeated emergencies feasible...
+    EXPECT_TRUE(a.emergencyFeasible);
+    EXPECT_GT(a.minutesToEmergency, 2.0);
+    EXPECT_LT(a.minutesToEmergency, 15.0);
+    // ...and the required burst fits inside the Table I 0.2 kWh battery.
+    EXPECT_LT(a.minBatteryForEmergency.value(),
+              config.batterySpec.capacity.value());
+    // But the capping protocol arrests a 1 kW one-shot.
+    EXPECT_FALSE(a.outageFeasible);
+}
+
+TEST(ThreatAssessment, OneShotConfigurationIsFeasible)
+{
+    auto config = SimulationConfig::paperDefault();
+    config.attackLoad = Kilowatts(3.0);
+    config.batterySpec.maxDischargeRate = Kilowatts(3.0);
+    config.batterySpec.capacity = KilowattHours(0.5);
+    const auto a = assessThreat(config);
+    EXPECT_TRUE(a.outageFeasible);
+    EXPECT_GT(a.minutesToShutdown, 2.0);
+    EXPECT_LT(a.minutesToShutdown, 30.0);
+    // The strike fits in the configured battery.
+    EXPECT_LT(a.minBatteryForOutage.value(),
+              config.batterySpec.capacity.value());
+}
+
+TEST(ThreatAssessment, ExtraCoolingNeutralizes)
+{
+    auto config = SimulationConfig::paperDefault();
+    const auto a = assessThreat(config);
+    ASSERT_TRUE(a.emergencyFeasible);
+    // Apply the recommended extra capacity: the attack should no longer
+    // overload at peak.
+    config.cooling.capacity =
+        config.cooling.capacity + a.extraCoolingToNeutralize;
+    const auto after = assessThreat(config);
+    EXPECT_FALSE(after.emergencyFeasible);
+}
+
+TEST(ThreatAssessment, LowerPeakLoadWeakensTheThreat)
+{
+    const auto config = SimulationConfig::paperDefault();
+    const auto busy = assessThreat(config, Kilowatts(7.0));
+    const auto quiet = assessThreat(config, Kilowatts(5.0));
+    EXPECT_TRUE(busy.emergencyFeasible);
+    EXPECT_FALSE(quiet.emergencyFeasible);
+    EXPECT_GT(quiet.coolingHeadroom.value(),
+              busy.coolingHeadroom.value());
+}
+
+TEST(ThreatAssessment, MinAttackLoadMatchesHeadroom)
+{
+    const auto config = SimulationConfig::paperDefault();
+    const auto a = assessThreat(config, Kilowatts(6.5));
+    // capacity 8 - benign 6.5 - subscription 0.8 + 0.1 margin = 0.8.
+    EXPECT_NEAR(a.minEmergencyAttackLoad.value(), 0.8, 1e-9);
+}
+
+TEST(ThreatAssessment, AssessmentAgreesWithSimulation)
+{
+    // The closed-form emergency feasibility must agree with what the
+    // engine actually produces under a Myopic campaign.
+    const auto config = SimulationConfig::paperDefault();
+    const auto a = assessThreat(config);
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    sim.runDays(20.0);
+    EXPECT_EQ(a.emergencyFeasible, sim.metrics().emergencies() > 0);
+    EXPECT_EQ(a.outageFeasible, sim.metrics().outages() > 0);
+}
+
+TEST(ThreatAssessment, PrintsAllSections)
+{
+    const auto config = SimulationConfig::paperDefault();
+    std::ostringstream oss;
+    printAssessment(oss, config, assessThreat(config));
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("cooling headroom"), std::string::npos);
+    EXPECT_NE(out.find("minutes of attack per emergency"),
+              std::string::npos);
+    EXPECT_NE(out.find("one-shot outage"), std::string::npos);
+}
+
+} // namespace
+} // namespace ecolo::core

@@ -1,0 +1,268 @@
+/** @file Unit tests for the operator-side defenses. */
+
+#include <gtest/gtest.h>
+
+#include "defense/detectors.hh"
+
+namespace ecolo::defense {
+namespace {
+
+thermal::CoolingParams
+roomModel()
+{
+    thermal::CoolingParams p;
+    p.capacity = Kilowatts(8.0);
+    p.supplySetPoint = Celsius(27.0);
+    return p;
+}
+
+TEST(ResidualDetector, QuietWithoutAttack)
+{
+    ThermalResidualDetector detector({}, roomModel());
+    thermal::CoolingSystem room(roomModel());
+    Rng rng(1);
+    for (int m = 0; m < 24 * 60; ++m) {
+        const Kilowatts load(6.0);
+        room.step(load, minutes(1));
+        detector.observeMinute(load, room.supplyTemperature(), rng);
+    }
+    EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(ResidualDetector, CatchesBehindTheMeterHeat)
+{
+    ThermalResidualDetector detector({}, roomModel());
+    thermal::CoolingSystem room(roomModel());
+    Rng rng(2);
+    bool alarmed = false;
+    int minute = 0;
+    // Metered 7.5 kW but true heat 8.5 kW (1 kW hidden): the room heats
+    // while the operator's expectation stays at the set point.
+    for (; minute < 60 && !alarmed; ++minute) {
+        room.step(Kilowatts(8.5), minutes(1));
+        alarmed = detector.observeMinute(Kilowatts(7.5),
+                                         room.supplyTemperature(), rng);
+    }
+    EXPECT_TRUE(alarmed);
+    EXPECT_LT(detector.alarmLatencyMinutes(), 30);
+}
+
+TEST(ResidualDetector, ResetClearsAlarm)
+{
+    ThermalResidualDetector detector({}, roomModel());
+    thermal::CoolingSystem room(roomModel());
+    Rng rng(3);
+    for (int m = 0; m < 30; ++m) {
+        room.step(Kilowatts(9.0), minutes(1));
+        detector.observeMinute(Kilowatts(7.0), room.supplyTemperature(),
+                               rng);
+    }
+    ASSERT_TRUE(detector.alarmed());
+    detector.reset();
+    EXPECT_FALSE(detector.alarmed());
+    EXPECT_DOUBLE_EQ(detector.cusum(), 0.0);
+}
+
+TEST(AirflowAudit, FlagsOnlyTheHiddenLoadServer)
+{
+    AirflowAudit audit({}, 40);
+    Rng rng(4);
+    std::vector<Kilowatts> heat(40, Kilowatts(0.15));
+    std::vector<Kilowatts> metered(40, Kilowatts(0.15));
+    heat[3] = Kilowatts(0.45);    // attacker server: heat 450 W
+    metered[3] = Kilowatts(0.20); // but metered only 200 W
+    for (int m = 0; m < 30; ++m)
+        audit.observeMinute(heat, metered, rng);
+    const auto flagged = audit.flaggedServers();
+    ASSERT_EQ(flagged.size(), 1u);
+    EXPECT_EQ(flagged[0], 3u);
+}
+
+TEST(AirflowAudit, NoFalsePositivesAtModerateNoise)
+{
+    AirflowAudit audit({}, 40);
+    Rng rng(5);
+    const std::vector<Kilowatts> heat(40, Kilowatts(0.18));
+    const std::vector<Kilowatts> metered = heat;
+    for (int m = 0; m < 24 * 60; ++m)
+        audit.observeMinute(heat, metered, rng);
+    EXPECT_TRUE(audit.flaggedServers().empty());
+}
+
+TEST(AirflowAudit, EwmaDecaysAfterAttackStops)
+{
+    AirflowAudit audit({}, 4);
+    Rng rng(6);
+    std::vector<Kilowatts> heat(4, Kilowatts(0.45));
+    std::vector<Kilowatts> metered(4, Kilowatts(0.20));
+    for (int m = 0; m < 20; ++m)
+        audit.observeMinute(heat, metered, rng);
+    EXPECT_FALSE(audit.flaggedServers().empty());
+    for (int m = 0; m < 60; ++m)
+        audit.observeMinute(metered, metered, rng); // heat == metered now
+    EXPECT_TRUE(audit.flaggedServers().empty());
+}
+
+TEST(SlaMonitor, QuietUnderNormalOperation)
+{
+    SlaMonitor monitor(SlaMonitor::Params{});
+    for (int m = 0; m < 14 * 24 * 60; ++m)
+        monitor.observeMinute(Celsius(27.0));
+    EXPECT_FALSE(monitor.alarmed());
+    EXPECT_DOUBLE_EQ(monitor.windowViolationRate(), 0.0);
+}
+
+TEST(SlaMonitor, ToleratesBudgetedViolations)
+{
+    SlaMonitor::Params params;
+    params.slaBudget = 0.01;
+    params.alarmFactor = 2.0;
+    SlaMonitor monitor(params);
+    // 0.5% of minutes hot: inside the 1% budget.
+    for (int m = 0; m < 14 * 24 * 60; ++m)
+        monitor.observeMinute(m % 200 == 0 ? Celsius(33.0)
+                                           : Celsius(27.0));
+    EXPECT_FALSE(monitor.alarmed());
+}
+
+TEST(SlaMonitor, AlarmsOnExcessViolations)
+{
+    SlaMonitor::Params params;
+    params.slaBudget = 0.01;
+    params.alarmFactor = 2.0;
+    SlaMonitor monitor(params);
+    bool alarmed = false;
+    // 5% of minutes hot: 5x the budget.
+    for (int m = 0; m < 14 * 24 * 60 && !alarmed; ++m)
+        alarmed = monitor.observeMinute(m % 20 == 0 ? Celsius(33.0)
+                                                    : Celsius(27.0));
+    EXPECT_TRUE(alarmed);
+    EXPECT_GE(monitor.alarmLatencyMinutes(), 24 * 60); // cold-start guard
+}
+
+TEST(SlaMonitor, WindowSlidesViolationsOut)
+{
+    SlaMonitor::Params params;
+    params.windowMinutes = 100;
+    SlaMonitor monitor(params);
+    for (int m = 0; m < 50; ++m)
+        monitor.observeMinute(Celsius(33.0));
+    EXPECT_GT(monitor.windowViolationRate(), 0.9);
+    for (int m = 0; m < 200; ++m)
+        monitor.observeMinute(Celsius(27.0));
+    EXPECT_DOUBLE_EQ(monitor.windowViolationRate(), 0.0);
+}
+
+TEST(MoveInInspection, EffortRaisesDetection)
+{
+    MoveInInspection lax{0.1};
+    MoveInInspection thorough{0.9};
+    EXPECT_LT(lax.detectionProbability(),
+              thorough.detectionProbability());
+    EXPECT_GT(thorough.detectionProbability(), 0.9);
+}
+
+TEST(MoveInInspection, ZeroEffortNeverCatches)
+{
+    MoveInInspection none{0.0};
+    EXPECT_DOUBLE_EQ(none.detectionProbability(), 0.0);
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(none.catchesBattery(rng));
+}
+
+TEST(MoveInInspection, FrequencyMatchesProbability)
+{
+    MoveInInspection inspection{0.5};
+    Rng rng(8);
+    int caught = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        caught += inspection.catchesBattery(rng);
+    EXPECT_NEAR(static_cast<double>(caught) / n,
+                inspection.detectionProbability(), 0.02);
+}
+
+} // namespace
+} // namespace ecolo::defense
+
+namespace ecolo::defense {
+namespace {
+
+std::vector<Celsius>
+outletsFor(const std::vector<Kilowatts> &heat, double airflow_w_per_k)
+{
+    std::vector<Celsius> outlets;
+    outlets.reserve(heat.size());
+    for (Kilowatts h : heat)
+        outlets.emplace_back(27.0 + h.value() * 1000.0 / airflow_w_per_k);
+    return outlets;
+}
+
+TEST(ThermalCameraAudit, FlagsHiddenLoadServer)
+{
+    ThermalCameraAudit audit({}, 40);
+    Rng rng(21);
+    std::vector<Kilowatts> heat(40, Kilowatts(0.15));
+    std::vector<Kilowatts> metered(40, Kilowatts(0.15));
+    heat[5] = Kilowatts(0.45);    // 30 K outlet rise...
+    metered[5] = Kilowatts(0.20); // ...but meters only 200 W (13.3 K)
+    const std::vector<Celsius> inlets(40, Celsius(27.0));
+    for (int m = 0; m < 40; ++m)
+        audit.observeMinute(outletsFor(heat, 15.0), inlets, metered, rng);
+    const auto flagged = audit.flaggedServers();
+    ASSERT_EQ(flagged.size(), 1u);
+    EXPECT_EQ(flagged[0], 5u);
+}
+
+TEST(ThermalCameraAudit, QuietWhenMetersExplainTheHeat)
+{
+    ThermalCameraAudit audit({}, 40);
+    Rng rng(23);
+    const std::vector<Kilowatts> heat(40, Kilowatts(0.18));
+    const std::vector<Celsius> inlets(40, Celsius(27.0));
+    for (int m = 0; m < 24 * 60; ++m)
+        audit.observeMinute(outletsFor(heat, 15.0), inlets, heat, rng);
+    EXPECT_TRUE(audit.flaggedServers().empty());
+}
+
+TEST(ThermalCameraAudit, HasADetectionFloor)
+{
+    // The camera's suspicion threshold (3 C of unexplained outlet rise)
+    // sets a floor: a 40 W hidden load (2.7 K) stays invisible, while a
+    // 200 W one (13 K) is flagged -- the paper's point that cameras help
+    // localize *running-hot* servers but airflow meters measure the load.
+    ThermalCameraAudit audit({}, 4);
+    Rng rng(29);
+    const std::vector<Celsius> inlets(4, Celsius(27.0));
+
+    std::vector<Kilowatts> heat(4, Kilowatts(0.19));
+    std::vector<Kilowatts> metered(4, Kilowatts(0.15)); // 40 W hidden
+    for (int m = 0; m < 200; ++m)
+        audit.observeMinute(outletsFor(heat, 15.0), inlets, metered, rng);
+    EXPECT_TRUE(audit.flaggedServers().empty());
+
+    audit.reset();
+    heat.assign(4, Kilowatts(0.35)); // 200 W hidden
+    for (int m = 0; m < 60; ++m)
+        audit.observeMinute(outletsFor(heat, 15.0), inlets, metered, rng);
+    EXPECT_EQ(audit.flaggedServers().size(), 4u);
+}
+
+TEST(ThermalCameraAudit, ResetClears)
+{
+    ThermalCameraAudit audit({}, 2);
+    Rng rng(31);
+    std::vector<Kilowatts> heat(2, Kilowatts(0.45));
+    std::vector<Kilowatts> metered(2, Kilowatts(0.15));
+    const std::vector<Celsius> inlets(2, Celsius(27.0));
+    for (int m = 0; m < 30; ++m)
+        audit.observeMinute(outletsFor(heat, 15.0), inlets, metered, rng);
+    ASSERT_FALSE(audit.flaggedServers().empty());
+    audit.reset();
+    EXPECT_TRUE(audit.flaggedServers().empty());
+    EXPECT_DOUBLE_EQ(audit.excessEwma(0), 0.0);
+}
+
+} // namespace
+} // namespace ecolo::defense

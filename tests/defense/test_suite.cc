@@ -1,0 +1,57 @@
+/** @file Integration tests for the bundled DefenseSuite. */
+
+#include <gtest/gtest.h>
+
+#include "defense/suite.hh"
+
+namespace ecolo::defense {
+namespace {
+
+using core::SimulationConfig;
+
+TEST(DefenseSuite, QuietWithoutAttack)
+{
+    const auto config = SimulationConfig::paperDefault();
+    core::Simulation sim(config, std::make_unique<core::StandbyPolicy>());
+    DefenseSuite suite({}, config);
+    suite.attach(sim);
+    sim.runDays(14.0);
+    const auto report = suite.report();
+    EXPECT_FALSE(report.residualAlarmed);
+    EXPECT_FALSE(report.slaAlarmed);
+    EXPECT_TRUE(report.flaggedServers.empty());
+    EXPECT_NE(report.verdict.find("No behind-the-meter"),
+              std::string::npos);
+}
+
+TEST(DefenseSuite, DetectsAndPinpointsAttack)
+{
+    const auto config = SimulationConfig::paperDefault();
+    core::Simulation sim(config,
+                         core::makeMyopicPolicy(config, Kilowatts(7.3)));
+    DefenseSuite suite({}, config);
+    suite.attach(sim);
+    sim.runDays(14.0);
+    const auto report = suite.report();
+    EXPECT_TRUE(report.residualAlarmed);
+    EXPECT_GT(report.residualLatencyMinutes, 0);
+    EXPECT_FALSE(report.flaggedServers.empty());
+    EXPECT_TRUE(report.pinpointExact);
+    EXPECT_NE(report.verdict.find("evict"), std::string::npos);
+}
+
+TEST(DefenseSuite, ManualObservationWorks)
+{
+    const auto config = SimulationConfig::paperDefault();
+    core::Simulation sim(config,
+                         core::makeMyopicPolicy(config, Kilowatts(7.3)));
+    DefenseSuite suite({}, config);
+    sim.setMinuteCallback([&](const core::MinuteRecord &r) {
+        suite.observeMinute(sim, r);
+    });
+    sim.runDays(10.0);
+    EXPECT_TRUE(suite.report().residualAlarmed);
+}
+
+} // namespace
+} // namespace ecolo::defense

@@ -1,0 +1,109 @@
+/** @file Integration tests wiring the defenses to live attack runs. */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "defense/detectors.hh"
+
+namespace ecolo::core {
+namespace {
+
+TEST(DefenseIntegration, ResidualDetectorCatchesRepeatedAttacks)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.2)));
+
+    defense::ThermalResidualDetector detector({}, config.cooling);
+    Rng rng(99);
+    bool alarmed = false;
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        if (!alarmed) {
+            alarmed = detector.observeMinute(r.meteredTotal, r.supply, rng);
+        }
+    });
+    sim.runDays(30.0);
+    EXPECT_TRUE(alarmed);
+}
+
+TEST(DefenseIntegration, ResidualDetectorQuietWithoutAttack)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, std::make_unique<StandbyPolicy>());
+
+    defense::ThermalResidualDetector detector({}, config.cooling);
+    Rng rng(100);
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        detector.observeMinute(r.meteredTotal, r.supply, rng);
+    });
+    sim.runDays(30.0);
+    EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(DefenseIntegration, AirflowAuditPinpointsAttackerServers)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.2)));
+
+    defense::AirflowAudit audit({}, config.numServers());
+    Rng rng(101);
+    sim.setMinuteCallback([&](const MinuteRecord &) {
+        audit.observeMinute(sim.lastServerHeat(), sim.lastServerMetered(),
+                            rng);
+    });
+    sim.runDays(30.0);
+    const auto flagged = audit.flaggedServers();
+    // Whatever is flagged must be attacker-owned (global indices
+    // 0..attackerNumServers-1).
+    for (std::size_t s : flagged)
+        EXPECT_LT(s, config.attackerNumServers);
+}
+
+TEST(DefenseIntegration, SlaMonitorSeesRepeatedAttackCampaign)
+{
+    auto config = SimulationConfig::paperDefault();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.2)));
+
+    defense::SlaMonitor::Params params;
+    params.slaTemperature = Celsius(27.5);
+    params.slaBudget = 0.005;
+    defense::SlaMonitor monitor(params);
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        monitor.observeMinute(r.maxInlet);
+    });
+    sim.runDays(45.0);
+    EXPECT_TRUE(monitor.alarmed());
+}
+
+TEST(DefenseIntegration, JammingReducesAttackEffectiveness)
+{
+    auto clean = SimulationConfig::paperDefault();
+    auto jammed = SimulationConfig::paperDefault();
+    jammed.sideChannel.extraRelativeNoise = 0.15;
+
+    Simulation sim_clean(clean, makeMyopicPolicy(clean, Kilowatts(7.3)));
+    Simulation sim_jammed(jammed,
+                          makeMyopicPolicy(jammed, Kilowatts(7.3)));
+    sim_clean.runDays(40.0);
+    sim_jammed.runDays(40.0);
+    EXPECT_GE(sim_clean.metrics().emergencyMinutes(),
+              sim_jammed.metrics().emergencyMinutes());
+}
+
+TEST(DefenseIntegration, LowerSetPointBuysTime)
+{
+    // Prevention knob from Section VII-A: a 20 C set point gives more
+    // margin before 32 C than the efficiency-friendly 27 C.
+    auto cool = SimulationConfig::paperDefault();
+    cool.cooling.supplySetPoint = Celsius(20.0);
+    auto warm = SimulationConfig::paperDefault();
+
+    Simulation sim_cool(cool, makeMyopicPolicy(cool, Kilowatts(7.3)));
+    Simulation sim_warm(warm, makeMyopicPolicy(warm, Kilowatts(7.3)));
+    sim_cool.runDays(30.0);
+    sim_warm.runDays(30.0);
+    EXPECT_LT(sim_cool.metrics().emergencyMinutes(),
+              sim_warm.metrics().emergencyMinutes());
+}
+
+} // namespace
+} // namespace ecolo::core

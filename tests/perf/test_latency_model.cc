@@ -1,0 +1,86 @@
+/** @file Unit tests for the latency model (paper Figs. 14(b) and 15). */
+
+#include <gtest/gtest.h>
+
+#include "perf/latency_model.hh"
+
+namespace ecolo::perf {
+namespace {
+
+TEST(LatencyModel, NoCapNoDegradation)
+{
+    LatencyModel model;
+    EXPECT_DOUBLE_EQ(model.normalizedP95(0.5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.normalizedP95(0.9, 1.0), 1.0);
+}
+
+TEST(LatencyModel, SixtyPercentCapRoughlyQuadruplesLatency)
+{
+    // Fig. 14(b): capping to 60% of peak under a busy workload takes the
+    // 95th-percentile response time to ~4x.
+    LatencyModel model;
+    const double factor = model.normalizedP95(0.6, 0.6);
+    EXPECT_GT(factor, 3.0);
+    EXPECT_LT(factor, 5.5);
+}
+
+TEST(LatencyModel, MonotoneInPowerReduction)
+{
+    LatencyModel model;
+    double previous = model.normalizedP95(0.7, 1.0);
+    for (double f = 0.95; f >= 0.4; f -= 0.05) {
+        const double factor = model.normalizedP95(0.7, f);
+        EXPECT_GE(factor, previous);
+        previous = factor;
+    }
+}
+
+TEST(LatencyModel, HigherWorkloadDegradesMore)
+{
+    // Fig. 15: at the same power cap, the busier configuration suffers a
+    // larger relative latency hit.
+    LatencyModel model;
+    EXPECT_GT(model.normalizedP95(0.9, 0.6), model.normalizedP95(0.5, 0.6));
+}
+
+TEST(LatencyModel, UncappedLatencyGrowsWithLoad)
+{
+    LatencyModel model;
+    EXPECT_GT(model.uncappedP95Ms(0.9), model.uncappedP95Ms(0.3));
+}
+
+TEST(LatencyModel, AbsoluteLatencyComposes)
+{
+    LatencyModel model;
+    const double base = model.uncappedP95Ms(0.6);
+    const double capped = model.p95Ms(0.6, 0.6);
+    EXPECT_NEAR(capped / base, model.normalizedP95(0.6, 0.6), 1e-12);
+}
+
+TEST(LatencyModel, SlaRatioUsesConfiguredSla)
+{
+    LatencyModelParams params;
+    params.slaLatencyMs = 100.0;
+    LatencyModel model(params);
+    EXPECT_NEAR(model.p95OverSla(0.6, 1.0),
+                model.uncappedP95Ms(0.6) / 100.0, 1e-12);
+}
+
+TEST(LatencyModel, IdleWorkloadBarelyAffected)
+{
+    LatencyModel model;
+    const double idle_hit = model.normalizedP95(0.05, 0.6);
+    const double busy_hit = model.normalizedP95(0.9, 0.6);
+    EXPECT_LT(idle_hit, busy_hit);
+}
+
+TEST(LatencyModelDeathTest, RejectsBadInputs)
+{
+    LatencyModel model;
+    EXPECT_DEATH(model.normalizedP95(1.5, 0.6), "out of");
+    EXPECT_DEATH(model.normalizedP95(0.5, 0.0), "out of");
+    EXPECT_DEATH(model.normalizedP95(0.5, -0.1), "out of");
+}
+
+} // namespace
+} // namespace ecolo::perf

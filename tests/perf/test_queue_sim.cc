@@ -1,0 +1,117 @@
+/** @file Unit tests for the M/M/k queue simulator and its agreement with
+ * the calibrated latency surface. */
+
+#include <gtest/gtest.h>
+
+#include "perf/latency_model.hh"
+#include "perf/queue_sim.hh"
+
+namespace ecolo::perf {
+namespace {
+
+QueueSimParams
+base()
+{
+    QueueSimParams p;
+    p.numServers = 12;
+    p.baseServiceRatePerServer = 50.0;
+    p.simulatedSeconds = 400.0;
+    p.warmupSeconds = 40.0;
+    return p;
+}
+
+TEST(QueueSim, DeterministicForSameSeed)
+{
+    const auto a = simulateQueue(base(), Rng(3));
+    const auto b = simulateQueue(base(), Rng(3));
+    EXPECT_EQ(a.completedRequests, b.completedRequests);
+    EXPECT_DOUBLE_EQ(a.p95Ms, b.p95Ms);
+}
+
+TEST(QueueSim, LightLoadSojournNearServiceTime)
+{
+    auto p = base();
+    p.offeredUtilization = 0.1;
+    const auto r = simulateQueue(p, Rng(5));
+    ASSERT_GT(r.completedRequests, 1000u);
+    // Mean service time is 20 ms; with rho = 0.1 queueing is negligible.
+    EXPECT_NEAR(r.meanMs, 20.0, 2.0);
+    EXPECT_EQ(r.backlog, 0u);
+}
+
+TEST(QueueSim, TailGrowsWithLoad)
+{
+    double previous = 0.0;
+    for (double util : {0.3, 0.6, 0.8, 0.92}) {
+        auto p = base();
+        p.offeredUtilization = util;
+        const auto r = simulateQueue(p, Rng(7));
+        EXPECT_GT(r.p95Ms, previous);
+        previous = r.p95Ms;
+    }
+}
+
+TEST(QueueSim, PowerCapInflatesTail)
+{
+    // The paper's emergency capping scenario: the same workload on a
+    // cluster whose power (and so service rate) is cut to 60%.
+    auto p = base();
+    p.offeredUtilization = 0.55;
+    const auto full = simulateQueue(p, Rng(9));
+    p.powerFraction = 0.6;
+    const auto capped = simulateQueue(p, Rng(9));
+    EXPECT_GT(capped.p95Ms, 2.0 * full.p95Ms);
+}
+
+TEST(QueueSim, OverloadBuildsBacklog)
+{
+    auto p = base();
+    p.offeredUtilization = 0.9;
+    p.powerFraction = 0.6; // capacity 0.6 < offered 0.9: overloaded
+    const auto r = simulateQueue(p, Rng(11));
+    EXPECT_GT(r.backlog, 0u);
+    EXPECT_GT(r.p95Ms, 100.0); // tail blows up within the window
+}
+
+TEST(QueueSim, AgreesWithLatencySurfaceQualitatively)
+{
+    // Both models must rank (utilization, power fraction) configurations
+    // the same way -- the property the year-long simulations depend on.
+    const LatencyModel surface;
+    struct Config { double util, fraction; };
+    const Config configs[] = {{0.4, 1.0}, {0.4, 0.7}, {0.7, 0.7}};
+    double prev_sim = 0.0, prev_surface = 0.0;
+    for (const auto &c : configs) {
+        auto p = base();
+        p.offeredUtilization = c.util;
+        p.powerFraction = c.fraction;
+        const auto r = simulateQueue(p, Rng(13));
+        const double s = surface.normalizedP95(c.util, c.fraction);
+        EXPECT_GT(r.p95Ms, prev_sim);
+        EXPECT_GE(s, prev_surface);
+        prev_sim = r.p95Ms;
+        prev_surface = s;
+    }
+}
+
+TEST(QueueSim, ZeroLoadIsEmpty)
+{
+    auto p = base();
+    p.offeredUtilization = 0.0;
+    const auto r = simulateQueue(p, Rng(15));
+    EXPECT_EQ(r.completedRequests, 0u);
+    EXPECT_DOUBLE_EQ(r.p95Ms, 0.0);
+}
+
+TEST(QueueSimDeathTest, InvalidParamsRejected)
+{
+    auto p = base();
+    p.powerFraction = 0.0;
+    EXPECT_DEATH(simulateQueue(p, Rng(1)), "power fraction");
+    p = base();
+    p.warmupSeconds = p.simulatedSeconds + 1.0;
+    EXPECT_DEATH(simulateQueue(p, Rng(1)), "warm-up");
+}
+
+} // namespace
+} // namespace ecolo::perf

@@ -1,0 +1,97 @@
+/** @file Unit tests for the data center layout. */
+
+#include <gtest/gtest.h>
+
+#include "power/layout.hh"
+
+namespace ecolo::power {
+namespace {
+
+TEST(Layout, DefaultMatchesPaper)
+{
+    DataCenterLayout layout;
+    EXPECT_EQ(layout.numRacks(), 2u);
+    EXPECT_EQ(layout.serversPerRack(), 20u);
+    EXPECT_EQ(layout.numServers(), 40u);
+}
+
+TEST(Layout, RackSlotRoundTrip)
+{
+    DataCenterLayout layout;
+    for (std::size_t s = 0; s < layout.numServers(); ++s) {
+        const RackSlot rs = layout.rackSlotOf(s);
+        EXPECT_EQ(layout.indexOf(rs), s);
+        EXPECT_LT(rs.rack, layout.numRacks());
+        EXPECT_LT(rs.slot, layout.serversPerRack());
+    }
+}
+
+TEST(Layout, RackBoundaries)
+{
+    DataCenterLayout layout;
+    EXPECT_EQ(layout.rackSlotOf(0).rack, 0u);
+    EXPECT_EQ(layout.rackSlotOf(19).rack, 0u);
+    EXPECT_EQ(layout.rackSlotOf(20).rack, 1u);
+    EXPECT_EQ(layout.rackSlotOf(20).slot, 0u);
+    EXPECT_EQ(layout.rackSlotOf(39).slot, 19u);
+}
+
+TEST(Layout, HigherSlotsAreHigherUp)
+{
+    DataCenterLayout layout;
+    const Position low = layout.inletPositionOf(0);
+    const Position high = layout.inletPositionOf(19);
+    EXPECT_LT(low.z, high.z);
+    EXPECT_DOUBLE_EQ(low.x, high.x); // same rack column
+}
+
+TEST(Layout, RacksAtDistinctPositions)
+{
+    DataCenterLayout layout;
+    const Position rack0 = layout.inletPositionOf(0);
+    const Position rack1 = layout.inletPositionOf(20);
+    EXPECT_GT(rack1.x, rack0.x);
+}
+
+TEST(Layout, PositionsInsideContainer)
+{
+    DataCenterLayout layout;
+    const auto &params = layout.params();
+    for (std::size_t s = 0; s < layout.numServers(); ++s) {
+        const Position pos = layout.inletPositionOf(s);
+        EXPECT_GE(pos.x, 0.0);
+        EXPECT_LE(pos.x, params.containerLength);
+        EXPECT_GE(pos.z, 0.0);
+        EXPECT_LE(pos.z, params.containerHeight);
+    }
+}
+
+TEST(Layout, AirVolumePositiveAndBounded)
+{
+    DataCenterLayout layout;
+    const auto &params = layout.params();
+    const double shell = params.containerLength * params.containerWidth *
+                         params.containerHeight;
+    EXPECT_GT(layout.airVolume(), 0.0);
+    EXPECT_LT(layout.airVolume(), shell);
+}
+
+TEST(Layout, PrototypeScaleWorks)
+{
+    DataCenterLayout::Params params;
+    params.numRacks = 1;
+    params.serversPerRack = 14;
+    params.containerLength = 3.0;
+    DataCenterLayout layout(params);
+    EXPECT_EQ(layout.numServers(), 14u);
+    EXPECT_EQ(layout.rackSlotOf(13).slot, 13u);
+}
+
+TEST(LayoutDeathTest, OutOfRangeServer)
+{
+    DataCenterLayout layout;
+    EXPECT_DEATH(layout.rackSlotOf(40), "out of range");
+}
+
+} // namespace
+} // namespace ecolo::power

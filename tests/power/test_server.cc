@@ -1,0 +1,104 @@
+/** @file Unit tests for the server power model. */
+
+#include <gtest/gtest.h>
+
+#include "power/server.hh"
+
+namespace ecolo::power {
+namespace {
+
+const ServerSpec kSpec{Kilowatts(0.06), Kilowatts(0.20)};
+
+TEST(ServerSpec, LinearPowerModel)
+{
+    EXPECT_DOUBLE_EQ(kSpec.powerAt(0.0).value(), 0.06);
+    EXPECT_DOUBLE_EQ(kSpec.powerAt(1.0).value(), 0.20);
+    EXPECT_DOUBLE_EQ(kSpec.powerAt(0.5).value(), 0.13);
+}
+
+TEST(ServerSpec, PowerClampsUtilization)
+{
+    EXPECT_DOUBLE_EQ(kSpec.powerAt(-1.0).value(), 0.06);
+    EXPECT_DOUBLE_EQ(kSpec.powerAt(2.0).value(), 0.20);
+}
+
+TEST(ServerSpec, InverseModel)
+{
+    EXPECT_DOUBLE_EQ(kSpec.utilizationFor(Kilowatts(0.13)), 0.5);
+    EXPECT_DOUBLE_EQ(kSpec.utilizationFor(Kilowatts(0.06)), 0.0);
+    EXPECT_DOUBLE_EQ(kSpec.utilizationFor(Kilowatts(0.20)), 1.0);
+    EXPECT_DOUBLE_EQ(kSpec.utilizationFor(Kilowatts(0.50)), 1.0);
+}
+
+TEST(Server, UncappedActualEqualsDemand)
+{
+    Server s(kSpec);
+    s.setUtilization(0.75);
+    EXPECT_DOUBLE_EQ(s.demandPower().value(), 0.165);
+    EXPECT_DOUBLE_EQ(s.actualPower().value(), 0.165);
+    EXPECT_DOUBLE_EQ(s.servedFraction(), 1.0);
+}
+
+TEST(Server, CapLimitsPower)
+{
+    Server s(kSpec);
+    s.setUtilization(1.0);
+    s.setPowerCap(Kilowatts(0.12)); // the 60% emergency cap
+    EXPECT_DOUBLE_EQ(s.demandPower().value(), 0.20);
+    EXPECT_DOUBLE_EQ(s.actualPower().value(), 0.12);
+}
+
+TEST(Server, CapReducesServedFraction)
+{
+    Server s(kSpec);
+    s.setUtilization(1.0);
+    s.setPowerCap(Kilowatts(0.12));
+    // dynamic: demanded 0.14, allowed 0.06 -> 3/7 served.
+    EXPECT_NEAR(s.servedFraction(), 0.06 / 0.14, 1e-12);
+}
+
+TEST(Server, CapAboveDemandIsHarmless)
+{
+    Server s(kSpec);
+    s.setUtilization(0.2);
+    s.setPowerCap(Kilowatts(0.18));
+    EXPECT_DOUBLE_EQ(s.actualPower().value(), s.demandPower().value());
+    EXPECT_DOUBLE_EQ(s.servedFraction(), 1.0);
+}
+
+TEST(Server, ClearCapRestoresFullPower)
+{
+    Server s(kSpec);
+    s.setUtilization(1.0);
+    s.setPowerCap(Kilowatts(0.12));
+    s.clearPowerCap();
+    EXPECT_DOUBLE_EQ(s.actualPower().value(), 0.20);
+}
+
+TEST(Server, PoweredOffDrawsNothing)
+{
+    Server s(kSpec);
+    s.setUtilization(0.9);
+    s.setPoweredOn(false);
+    EXPECT_DOUBLE_EQ(s.demandPower().value(), 0.0);
+    EXPECT_DOUBLE_EQ(s.actualPower().value(), 0.0);
+    EXPECT_DOUBLE_EQ(s.servedFraction(), 0.0);
+}
+
+TEST(Server, PoweredOffIdleServesTrivially)
+{
+    Server s(kSpec);
+    s.setUtilization(0.0);
+    s.setPoweredOn(false);
+    EXPECT_DOUBLE_EQ(s.servedFraction(), 1.0); // nothing to serve
+}
+
+TEST(ServerDeathTest, RejectsBadUtilization)
+{
+    Server s(kSpec);
+    EXPECT_DEATH(s.setUtilization(1.5), "out of");
+    EXPECT_DEATH(s.setUtilization(-0.1), "out of");
+}
+
+} // namespace
+} // namespace ecolo::power

@@ -1,0 +1,112 @@
+/** @file Unit tests for tenants and trace scaling. */
+
+#include <gtest/gtest.h>
+
+#include "power/tenant.hh"
+#include "trace/generators.hh"
+#include "util/rng.hh"
+#include "util/sim_time.hh"
+
+namespace ecolo::power {
+namespace {
+
+const ServerSpec kSpec{Kilowatts(0.06), Kilowatts(0.20)};
+
+Tenant
+makeTenant(std::size_t servers = 12)
+{
+    return Tenant("t", Kilowatts(2.4), servers, kSpec);
+}
+
+TEST(Tenant, AggregatesPowerAcrossServers)
+{
+    Tenant t = makeTenant();
+    t.setUtilization(1.0);
+    EXPECT_DOUBLE_EQ(t.demandPower().value(), 2.4);
+    t.setUtilization(0.0);
+    EXPECT_DOUBLE_EQ(t.demandPower().value(), 12 * 0.06);
+}
+
+TEST(Tenant, TraceDrivesUtilization)
+{
+    Tenant t = makeTenant();
+    t.setTrace(trace::UtilizationTrace({0.0, 1.0}));
+    t.applyTraceAt(0);
+    EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+    t.applyTraceAt(1);
+    EXPECT_DOUBLE_EQ(t.utilization(), 1.0);
+    t.applyTraceAt(2); // wraps
+    EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+}
+
+TEST(Tenant, CappingAllServers)
+{
+    Tenant t = makeTenant();
+    t.setUtilization(1.0);
+    t.setPerServerCap(Kilowatts(0.12));
+    EXPECT_DOUBLE_EQ(t.actualPower().value(), 12 * 0.12);
+    EXPECT_LT(t.servedFraction(), 1.0);
+    t.clearCaps();
+    EXPECT_DOUBLE_EQ(t.actualPower().value(), 2.4);
+    EXPECT_DOUBLE_EQ(t.servedFraction(), 1.0);
+}
+
+TEST(Tenant, PowerOnOff)
+{
+    Tenant t = makeTenant();
+    t.setUtilization(0.5);
+    t.setPoweredOn(false);
+    EXPECT_DOUBLE_EQ(t.actualPower().value(), 0.0);
+    t.setPoweredOn(true);
+    EXPECT_GT(t.actualPower().value(), 0.0);
+}
+
+TEST(ScaleTenantsToMeanPower, HitsAggregateTarget)
+{
+    Rng rng(3);
+    std::vector<Tenant> tenants;
+    for (int k = 0; k < 3; ++k) {
+        tenants.push_back(makeTenant());
+        trace::DiurnalTraceGenerator gen;
+        tenants.back().setTrace(gen.generate(7 * kMinutesPerDay, rng));
+    }
+    std::vector<Tenant *> ptrs{&tenants[0], &tenants[1], &tenants[2]};
+    scaleTenantsToMeanPower(ptrs, Kilowatts(5.5));
+
+    // Measure the achieved mean by replaying the traces.
+    double sum_kw = 0.0;
+    const MinuteIndex horizon = 7 * kMinutesPerDay;
+    for (MinuteIndex m = 0; m < horizon; ++m) {
+        for (auto &t : tenants) {
+            t.applyTraceAt(m);
+            sum_kw += t.actualPower().value();
+        }
+    }
+    EXPECT_NEAR(sum_kw / static_cast<double>(horizon), 5.5, 0.05);
+}
+
+TEST(ScaleTenantsToMeanPower, SaturatesGracefully)
+{
+    Rng rng(5);
+    Tenant t = makeTenant();
+    t.setTrace(trace::DiurnalTraceGenerator().generate(kMinutesPerDay, rng));
+    // Peak power of 12 servers is 2.4 kW; demand 2.4 kW mean means all-on.
+    std::vector<Tenant *> ptrs{&t};
+    scaleTenantsToMeanPower(ptrs, Kilowatts(2.4));
+    EXPECT_GT(t.traceRef().mean(), 0.99);
+}
+
+TEST(TenantDeathTest, ApplyTraceWithoutTrace)
+{
+    Tenant t = makeTenant();
+    EXPECT_DEATH(t.applyTraceAt(0), "no trace");
+}
+
+TEST(TenantDeathTest, EmptyTraceRejected)
+{
+    Tenant t = makeTenant();
+    EXPECT_DEATH(t.setTrace(trace::UtilizationTrace()), "empty trace");
+}
+
+} // namespace
+} // namespace ecolo::power

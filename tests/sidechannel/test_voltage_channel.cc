@@ -1,0 +1,121 @@
+/** @file Unit tests for the voltage side channel. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sidechannel/voltage_channel.hh"
+#include "util/stats.hh"
+
+namespace ecolo::sidechannel {
+namespace {
+
+TEST(SideChannel, EstimatesAreUnbiasedAndTight)
+{
+    VoltageSideChannel channel(SideChannelParams{}, Rng(1));
+    OnlineStats errors;
+    for (int i = 0; i < 20000; ++i) {
+        channel.estimateTotalLoad(Kilowatts(6.0));
+        errors.add(channel.lastRelativeError());
+    }
+    // Fig. 5(b): error distribution centered near zero, few-percent wide.
+    EXPECT_NEAR(errors.mean(), 0.0, 0.02);
+    EXPECT_LT(errors.stddev(), 0.05);
+    EXPECT_GT(errors.stddev(), 0.001);
+}
+
+TEST(SideChannel, MostErrorsWithinTwoPercent)
+{
+    VoltageSideChannel channel(SideChannelParams{}, Rng(2));
+    int within = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        channel.estimateTotalLoad(Kilowatts(6.0));
+        if (std::abs(channel.lastRelativeError()) < 0.05)
+            ++within;
+    }
+    EXPECT_GT(static_cast<double>(within) / n, 0.95);
+}
+
+TEST(SideChannel, DeterministicForSameSeed)
+{
+    VoltageSideChannel a(SideChannelParams{}, Rng(7));
+    VoltageSideChannel b(SideChannelParams{}, Rng(7));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.estimateTotalLoad(Kilowatts(5.0)).value(),
+                         b.estimateTotalLoad(Kilowatts(5.0)).value());
+}
+
+TEST(SideChannel, JammingWidensErrors)
+{
+    SideChannelParams quiet;
+    SideChannelParams jammed = quiet;
+    jammed.jammingNoiseVolts = 0.02;
+    VoltageSideChannel c1(quiet, Rng(3)), c2(jammed, Rng(3));
+    OnlineStats e1, e2;
+    for (int i = 0; i < 10000; ++i) {
+        c1.estimateTotalLoad(Kilowatts(6.0));
+        e1.add(c1.lastRelativeError());
+        c2.estimateTotalLoad(Kilowatts(6.0));
+        e2.add(c2.lastRelativeError());
+    }
+    EXPECT_GT(e2.stddev(), 2.0 * e1.stddev());
+}
+
+TEST(SideChannel, ExtraRelativeNoiseKnob)
+{
+    SideChannelParams noisy;
+    noisy.extraRelativeNoise = 0.10;
+    VoltageSideChannel channel(noisy, Rng(4));
+    OnlineStats errors;
+    for (int i = 0; i < 10000; ++i) {
+        channel.estimateTotalLoad(Kilowatts(6.0));
+        errors.add(channel.lastRelativeError());
+    }
+    EXPECT_GT(errors.stddev(), 0.08);
+}
+
+TEST(SideChannel, EstimatesNeverNegative)
+{
+    SideChannelParams params;
+    params.jammingNoiseVolts = 0.5; // extreme noise
+    VoltageSideChannel channel(params, Rng(5));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(channel.estimateTotalLoad(Kilowatts(0.1)).value(), 0.0);
+}
+
+TEST(SideChannel, ZeroLoadHandled)
+{
+    VoltageSideChannel channel(SideChannelParams{}, Rng(6));
+    const Kilowatts est = channel.estimateTotalLoad(Kilowatts(0.0));
+    EXPECT_GE(est.value(), 0.0);
+    EXPECT_DOUBLE_EQ(channel.lastRelativeError(), 0.0);
+}
+
+TEST(SideChannel, TracksLoadAcrossRange)
+{
+    VoltageSideChannel channel(SideChannelParams{}, Rng(8));
+    for (double load = 2.0; load <= 8.0; load += 1.0) {
+        OnlineStats est;
+        for (int i = 0; i < 2000; ++i)
+            est.add(channel.estimateTotalLoad(Kilowatts(load)).value());
+        EXPECT_NEAR(est.mean(), load, 0.15);
+    }
+}
+
+TEST(SideChannel, CalibrationBiasWithinSpec)
+{
+    SideChannelParams params;
+    params.calibrationErrorStd = 0.01;
+    // Across many channel instances, the realized bias is ~N(0, 0.01).
+    OnlineStats biases;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+        VoltageSideChannel channel(params, Rng(seed));
+        biases.add(channel.calibrationBias());
+    }
+    EXPECT_NEAR(biases.mean(), 0.0, 0.003);
+    EXPECT_NEAR(biases.stddev(), 0.01, 0.004);
+}
+
+} // namespace
+} // namespace ecolo::sidechannel

@@ -1,0 +1,154 @@
+/** @file Unit tests for the CFD-lite solver. */
+
+#include <gtest/gtest.h>
+
+#include "power/layout.hh"
+#include "thermal/cfd/solver.hh"
+
+namespace ecolo::thermal {
+namespace {
+
+power::DataCenterLayout
+layout()
+{
+    return power::DataCenterLayout();
+}
+
+CfdParams
+fastParams()
+{
+    CfdParams p;
+    p.cellSize = 0.3; // coarse grid for test speed
+    p.dt = 0.12;
+    return p;
+}
+
+TEST(Cfd, StartsAtSetPoint)
+{
+    CfdSolver solver(layout(), fastParams());
+    EXPECT_NEAR(solver.meanTemperature().value(), 27.0, 1e-9);
+    EXPECT_NEAR(solver.maxInletTemperature().value(), 27.0, 1e-9);
+    EXPECT_EQ(solver.numServers(), 40u);
+}
+
+TEST(Cfd, NoHeatStaysAtSetPoint)
+{
+    CfdSolver solver(layout(), fastParams());
+    solver.run(minutes(5));
+    EXPECT_NEAR(solver.meanTemperature().value(), 27.0, 0.01);
+}
+
+TEST(Cfd, HeatRaisesTemperatures)
+{
+    CfdSolver solver(layout(), fastParams());
+    solver.setAllServerPowers(std::vector<Kilowatts>(40, Kilowatts(0.15)));
+    solver.run(minutes(10));
+    EXPECT_GT(solver.meanTemperature().value(), 27.0);
+}
+
+TEST(Cfd, UnderCapacityInletsStayNearSupply)
+{
+    CfdSolver solver(layout(), fastParams());
+    // 6 kW of the 8 kW capacity: with working cooling, no inlet reaches
+    // the 32 C emergency level (the coarse grid runs a few degrees warmer
+    // than a real contained aisle, but stays below the trip point).
+    solver.setAllServerPowers(std::vector<Kilowatts>(40, Kilowatts(0.15)));
+    solver.run(minutes(15));
+    EXPECT_LT(solver.maxInletTemperature().value(), 32.0);
+}
+
+TEST(Cfd, OverCapacityHeatsTheRoom)
+{
+    CfdParams p = fastParams();
+    p.coolingCapacity = Kilowatts(8.0);
+    CfdSolver solver(layout(), p);
+    // 10 kW load against 8 kW of cooling: room-wide build-up.
+    solver.setAllServerPowers(std::vector<Kilowatts>(40, Kilowatts(0.25)));
+    solver.run(minutes(10));
+    EXPECT_GT(solver.meanTemperature().value(), 29.0);
+    EXPECT_GT(solver.maxInletTemperature().value(), 29.0);
+}
+
+TEST(Cfd, SpikeWarmsItsOwnInletMost)
+{
+    CfdSolver solver(layout(), fastParams());
+    std::vector<Kilowatts> powers(40, Kilowatts(0.15));
+    solver.setAllServerPowers(powers);
+    solver.run(minutes(8));
+    CfdSolver reference = solver;
+
+    powers[10] += Kilowatts(1.0);
+    solver.setAllServerPowers(powers);
+    solver.run(minutes(5));
+    reference.run(minutes(5));
+
+    const double self_rise = (solver.inletTemperature(10) -
+                              reference.inletTemperature(10)).value();
+    const double far_rise = (solver.inletTemperature(35) -
+                             reference.inletTemperature(35)).value();
+    EXPECT_GT(self_rise, 0.0);
+    EXPECT_GE(self_rise, far_rise - 1e-9);
+}
+
+TEST(Cfd, EnergyBalanceRoughlyConserved)
+{
+    // With all cooling off, the mean temperature rise should track the
+    // injected energy over the air thermal mass within a factor ~2 (the
+    // prescribed velocity field is not exactly conservative).
+    CfdParams p = fastParams();
+    p.coolingCapacity = Kilowatts(0.0001);
+    CfdSolver solver(layout(), p);
+    const double power_kw = 4.0;
+    solver.setAllServerPowers(
+        std::vector<Kilowatts>(40, Kilowatts(power_kw / 40.0)));
+    solver.run(minutes(5));
+    const double rise = solver.meanTemperature().value() - 27.0;
+    // Expected: P*t/C. C = rho*cp*V*factor.
+    const auto lay = layout();
+    const double volume =
+        lay.params().containerLength * lay.params().containerWidth *
+        lay.params().containerHeight;
+    const double capacitance = 1.18 * 1005.0 * volume * 1.3;
+    const double expected = power_kw * 1000.0 * 300.0 / capacitance;
+    EXPECT_GT(rise, expected * 0.5);
+    EXPECT_LT(rise, expected * 2.0);
+}
+
+TEST(Cfd, ResetRestoresInitialState)
+{
+    CfdSolver solver(layout(), fastParams());
+    solver.setAllServerPowers(std::vector<Kilowatts>(40, Kilowatts(0.3)));
+    solver.run(minutes(3));
+    solver.reset(Celsius(27.0));
+    EXPECT_NEAR(solver.meanTemperature().value(), 27.0, 1e-9);
+    EXPECT_DOUBLE_EQ(solver.time().value(), 0.0);
+}
+
+TEST(Cfd, TimeAdvances)
+{
+    CfdSolver solver(layout(), fastParams());
+    solver.run(minutes(2));
+    EXPECT_GE(solver.time().value(), 120.0);
+}
+
+TEST(CfdDeathTest, CflViolationRejected)
+{
+    CfdParams p;
+    p.cellSize = 0.1;
+    p.dt = 2.0;
+    p.loopSpeed = 1.0;
+    EXPECT_DEATH(CfdSolver(layout(), p), "CFL");
+}
+
+TEST(CfdDeathTest, DiffusionStabilityRejected)
+{
+    CfdParams p;
+    p.cellSize = 0.1;
+    p.dt = 0.09;
+    p.loopSpeed = 0.35;
+    p.effectiveDiffusivity = 0.05;
+    EXPECT_DEATH(CfdSolver(layout(), p), "stability");
+}
+
+} // namespace
+} // namespace ecolo::thermal

@@ -1,0 +1,180 @@
+/** @file Unit tests for the cooling system / lumped room model. */
+
+#include <gtest/gtest.h>
+
+#include "thermal/cooling.hh"
+
+namespace ecolo::thermal {
+namespace {
+
+CoolingParams
+defaults()
+{
+    CoolingParams p;
+    p.capacity = Kilowatts(8.0);
+    p.supplySetPoint = Celsius(27.0);
+    return p;
+}
+
+TEST(Cooling, StaysAtSetPointUnderCapacity)
+{
+    CoolingSystem cooling(defaults());
+    for (int m = 0; m < 60; ++m)
+        cooling.step(Kilowatts(6.0), minutes(1));
+    EXPECT_DOUBLE_EQ(cooling.overloadDelta().value(), 0.0);
+    EXPECT_DOUBLE_EQ(cooling.supplyTemperature().value(), 27.0);
+    EXPECT_FALSE(cooling.overloaded());
+}
+
+TEST(Cooling, OverloadRaisesSupplyTemperature)
+{
+    CoolingSystem cooling(defaults());
+    cooling.step(Kilowatts(9.0), minutes(1));
+    EXPECT_TRUE(cooling.overloaded());
+    EXPECT_GT(cooling.supplyTemperature().value(), 27.0);
+    EXPECT_NEAR(cooling.lastExcessHeat().value(), 1.0, 1e-9);
+}
+
+TEST(Cooling, OneKilowattOverloadCrosses32InUnderFourMinutes)
+{
+    // The paper's headline number (Fig. 11(a)): 27 C -> 32 C in < 4 min
+    // with 1 kW of overload.
+    CoolingSystem cooling(defaults());
+    int minutes_to_cross = 0;
+    while (cooling.supplyTemperature() < Celsius(32.0) &&
+           minutes_to_cross < 30) {
+        cooling.step(Kilowatts(9.0), minutes(1));
+        ++minutes_to_cross;
+    }
+    EXPECT_LE(minutes_to_cross, 4);
+    EXPECT_GE(minutes_to_cross, 2); // not instantaneous either
+}
+
+TEST(Cooling, TimeToReachMatchesStepping)
+{
+    CoolingSystem cooling(defaults());
+    const Seconds predicted =
+        cooling.timeToReach(Celsius(32.0), Kilowatts(1.0), Celsius(27.0));
+    // Step with 9 kW total (1 kW above nameplate) at fine resolution.
+    CoolingSystem stepped(defaults());
+    double t = 0.0;
+    while (stepped.supplyTemperature() < Celsius(32.0)) {
+        stepped.step(Kilowatts(9.0), Seconds(1.0));
+        t += 1.0;
+    }
+    EXPECT_NEAR(t, predicted.value(), 10.0);
+}
+
+TEST(Cooling, HigherOverloadIsFaster)
+{
+    CoolingSystem cooling(defaults());
+    const double t1 = cooling
+        .timeToReach(Celsius(32.0), Kilowatts(1.0), Celsius(27.0)).value();
+    const double t3 = cooling
+        .timeToReach(Celsius(32.0), Kilowatts(3.0), Celsius(27.0)).value();
+    EXPECT_LT(t3, t1 / 2.2);
+}
+
+TEST(Cooling, HotterStartIsFaster)
+{
+    CoolingSystem cooling(defaults());
+    const double from27 = cooling
+        .timeToReach(Celsius(32.0), Kilowatts(1.0), Celsius(27.0)).value();
+    const double from29 = cooling
+        .timeToReach(Celsius(32.0), Kilowatts(1.0), Celsius(29.0)).value();
+    EXPECT_LT(from29, from27);
+}
+
+TEST(Cooling, TimeToReachZeroOverloadIsForever)
+{
+    CoolingSystem cooling(defaults());
+    EXPECT_GT(toHours(cooling.timeToReach(Celsius(32.0), Kilowatts(0.0),
+                                          Celsius(27.0))),
+              1e6);
+}
+
+TEST(Cooling, RecoversAfterOverload)
+{
+    CoolingSystem cooling(defaults());
+    for (int m = 0; m < 5; ++m)
+        cooling.step(Kilowatts(9.0), minutes(1));
+    const double hot = cooling.overloadDelta().value();
+    EXPECT_GT(hot, 3.0);
+    for (int m = 0; m < 60; ++m)
+        cooling.step(Kilowatts(5.0), minutes(1));
+    EXPECT_LT(cooling.overloadDelta().value(), 0.5);
+}
+
+TEST(Cooling, RecoveryRateLimitedBySpareCapacity)
+{
+    CoolingSystem cooling(defaults());
+    cooling.setOverloadDelta(CelsiusDelta(10.0));
+    // With load just barely under effective capacity, pull-down is slow.
+    cooling.step(Kilowatts(7.9), minutes(5));
+    EXPECT_GT(cooling.overloadDelta().value(), 5.0);
+}
+
+TEST(Cooling, CapacityDeratesWhenHot)
+{
+    CoolingSystem cooling(defaults());
+    EXPECT_DOUBLE_EQ(cooling.effectiveCapacity().value(), 8.0);
+    cooling.setOverloadDelta(CelsiusDelta(10.0));
+    EXPECT_NEAR(cooling.effectiveCapacity().value(), 8.0 * 0.9, 1e-9);
+}
+
+TEST(Cooling, DeratingHasFloor)
+{
+    CoolingParams p = defaults();
+    p.maxOverload = CelsiusDelta(40.0);
+    CoolingSystem cooling(p);
+    cooling.setOverloadDelta(CelsiusDelta(40.0));
+    EXPECT_NEAR(cooling.effectiveCapacity().value(), 8.0 * 0.7, 1e-9);
+}
+
+TEST(Cooling, DeratingSustainsRunawayDespiteCapping)
+{
+    // The Fig. 8 mechanism: after capping, the total heat (7.8 kW) is
+    // below nameplate (8 kW) but above the derated capacity once the room
+    // is hot, so the temperature keeps climbing toward shutdown.
+    CoolingSystem cooling(defaults());
+    cooling.setOverloadDelta(CelsiusDelta(12.0)); // 39 C, emergency past
+    const double before = cooling.overloadDelta().value();
+    for (int m = 0; m < 10; ++m)
+        cooling.step(Kilowatts(7.8), minutes(1));
+    EXPECT_GT(cooling.overloadDelta().value(), before);
+}
+
+TEST(Cooling, OverloadCeilingEnforced)
+{
+    CoolingSystem cooling(defaults());
+    for (int m = 0; m < 600; ++m)
+        cooling.step(Kilowatts(20.0), minutes(1));
+    EXPECT_LE(cooling.overloadDelta().value(),
+              cooling.params().maxOverload.value() + 1e-9);
+}
+
+TEST(Cooling, ResetClearsState)
+{
+    CoolingSystem cooling(defaults());
+    cooling.step(Kilowatts(12.0), minutes(5));
+    cooling.reset();
+    EXPECT_DOUBLE_EQ(cooling.overloadDelta().value(), 0.0);
+    EXPECT_FALSE(cooling.overloaded());
+}
+
+TEST(Cooling, ExtraCapacityDelaysCrossing)
+{
+    CoolingParams more = defaults();
+    more.capacity = Kilowatts(8.8); // +10% cooling capacity
+    CoolingSystem base(defaults()), upgraded(more);
+    const double t_base = base
+        .timeToReach(Celsius(32.0), Kilowatts(1.0), Celsius(27.0)).value();
+    // Same 9 kW total load means only 0.2 kW overload for the upgraded
+    // system.
+    const double t_up = upgraded
+        .timeToReach(Celsius(32.0), Kilowatts(0.2), Celsius(27.0)).value();
+    EXPECT_GT(t_up, 2.0 * t_base);
+}
+
+} // namespace
+} // namespace ecolo::thermal

@@ -1,0 +1,83 @@
+/** @file Unit tests for trace serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generators.hh"
+#include "trace/trace_io.hh"
+
+namespace ecolo::trace {
+namespace {
+
+TEST(TraceIo, RoundTrip)
+{
+    Rng rng(21);
+    const auto original = DiurnalTraceGenerator().generate(500, rng);
+    std::stringstream buffer;
+    writeCsv(buffer, original);
+    const auto restored = readCsv(buffer);
+    ASSERT_EQ(restored.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_NEAR(restored[i], original[i], 1e-9);
+}
+
+TEST(TraceIo, ReadsBareValues)
+{
+    std::stringstream buffer("0.25\n0.5\n0.75\n");
+    const auto t = readCsv(buffer);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t[0], 0.25);
+    EXPECT_DOUBLE_EQ(t[2], 0.75);
+}
+
+TEST(TraceIo, SkipsHeaderRow)
+{
+    std::stringstream buffer("minute,utilization\n0,0.3\n1,0.4\n");
+    const auto t = readCsv(buffer);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t[0], 0.3);
+    EXPECT_DOUBLE_EQ(t[1], 0.4);
+}
+
+TEST(TraceIo, ClampsOutOfRangeInput)
+{
+    std::stringstream buffer("0,1.7\n1,-0.2\n");
+    const auto t = readCsv(buffer);
+    EXPECT_DOUBLE_EQ(t[0], 1.0);
+    EXPECT_DOUBLE_EQ(t[1], 0.0);
+}
+
+TEST(TraceIo, IgnoresBlankLines)
+{
+    std::stringstream buffer("0,0.1\n\n1,0.2\n\n");
+    const auto t = readCsv(buffer);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+} // namespace
+} // namespace ecolo::trace
+
+namespace ecolo::trace {
+namespace {
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Rng rng(31);
+    const auto original = DiurnalTraceGenerator().generate(300, rng);
+    const std::string path =
+        ::testing::TempDir() + "/edgetherm_trace_roundtrip.csv";
+    saveTrace(path, original);
+    const auto restored = loadTrace(path);
+    ASSERT_EQ(restored.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_NEAR(restored[i], original[i], 1e-9);
+}
+
+TEST(TraceIoDeathTest, MissingFileFatal)
+{
+    EXPECT_DEATH(loadTrace("/nonexistent/trace.csv"), "cannot open");
+}
+
+} // namespace
+} // namespace ecolo::trace

@@ -1,0 +1,97 @@
+/** @file Unit tests for the key=value configuration parser. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/keyvalue.hh"
+
+namespace ecolo {
+namespace {
+
+KeyValueConfig
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return KeyValueConfig::parse(in);
+}
+
+TEST(KeyValue, ParsesBasicPairs)
+{
+    const auto kv = parse("a = 1\nb.c = hello\n");
+    EXPECT_EQ(kv.size(), 2u);
+    EXPECT_TRUE(kv.has("a"));
+    EXPECT_EQ(*kv.getString("b.c"), "hello");
+}
+
+TEST(KeyValue, IgnoresCommentsAndBlankLines)
+{
+    const auto kv = parse("# header\n\n  a = 1  # trailing\n\n");
+    EXPECT_EQ(kv.size(), 1u);
+    EXPECT_DOUBLE_EQ(*kv.getDouble("a"), 1.0);
+}
+
+TEST(KeyValue, TrimsWhitespace)
+{
+    const auto kv = parse("  key.name   =   0.25  \n");
+    EXPECT_DOUBLE_EQ(*kv.getDouble("key.name"), 0.25);
+}
+
+TEST(KeyValue, TypedGetters)
+{
+    const auto kv = parse("d = 3.5\ni = -7\nb1 = true\nb2 = off\ns = x\n");
+    EXPECT_DOUBLE_EQ(*kv.getDouble("d"), 3.5);
+    EXPECT_EQ(*kv.getInt("i"), -7);
+    EXPECT_TRUE(*kv.getBool("b1"));
+    EXPECT_FALSE(*kv.getBool("b2"));
+    EXPECT_EQ(*kv.getString("s"), "x");
+}
+
+TEST(KeyValue, MissingKeysReturnNullopt)
+{
+    const auto kv = parse("a = 1\n");
+    EXPECT_FALSE(kv.getDouble("missing").has_value());
+    EXPECT_FALSE(kv.getInt("missing").has_value());
+    EXPECT_FALSE(kv.getBool("missing").has_value());
+    EXPECT_FALSE(kv.getString("missing").has_value());
+}
+
+TEST(KeyValue, UnconsumedKeysTracked)
+{
+    const auto kv = parse("used = 1\nunused = 2\n");
+    kv.getDouble("used");
+    const auto unread = kv.unconsumedKeys();
+    ASSERT_EQ(unread.size(), 1u);
+    EXPECT_EQ(*unread.begin(), "unused");
+}
+
+TEST(KeyValue, SetOverrides)
+{
+    KeyValueConfig kv;
+    kv.set("x", "42");
+    EXPECT_EQ(*kv.getInt("x"), 42);
+    kv.set("x", "43");
+    EXPECT_EQ(*kv.getInt("x"), 43);
+}
+
+TEST(KeyValueDeathTest, MalformedInputs)
+{
+    EXPECT_DEATH(parse("no equals sign\n"), "no '='");
+    EXPECT_DEATH(parse("= value\n"), "empty key");
+    EXPECT_DEATH(parse("a = 1\na = 2\n"), "duplicate");
+    const auto kv = parse("n = notanumber\n");
+    EXPECT_DEATH(kv.getDouble("n"), "not a number");
+    const auto kv2 = parse("n = 1.5\n");
+    EXPECT_DEATH(kv2.getInt("n"), "not an integer");
+    const auto kv3 = parse("b = maybe\n");
+    EXPECT_DEATH(kv3.getBool("b"), "not a boolean");
+}
+
+TEST(KeyValueDeathTest, MissingFile)
+{
+    EXPECT_DEATH(KeyValueConfig::parseFile("/nonexistent/path.cfg"),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace ecolo

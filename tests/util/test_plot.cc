@@ -1,0 +1,83 @@
+/** @file Unit tests for the gnuplot exporter. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/plot.hh"
+
+namespace ecolo {
+namespace {
+
+TEST(GnuplotFigure, WritesDatAndScript)
+{
+    GnuplotFigure figure("unit_test_fig", "A title", "x", "y");
+    figure.addSeries("alpha");
+    figure.addSeries("beta");
+    figure.addRow(0.0, {1.0, 2.0});
+    figure.addRow(1.0, {3.0, 4.0});
+    ASSERT_TRUE(figure.writeTo(::testing::TempDir()));
+
+    std::ifstream dat(::testing::TempDir() + "/unit_test_fig.dat");
+    ASSERT_TRUE(dat.good());
+    std::stringstream content;
+    content << dat.rdbuf();
+    EXPECT_NE(content.str().find("alpha\tbeta"), std::string::npos);
+    EXPECT_NE(content.str().find("1\t3\t4"), std::string::npos);
+
+    std::ifstream gp(::testing::TempDir() + "/unit_test_fig.gp");
+    ASSERT_TRUE(gp.good());
+    std::stringstream script;
+    script << gp.rdbuf();
+    EXPECT_NE(script.str().find("set title 'A title'"),
+              std::string::npos);
+    EXPECT_NE(script.str().find("using 1:2"), std::string::npos);
+    EXPECT_NE(script.str().find("using 1:3"), std::string::npos);
+}
+
+TEST(GnuplotFigure, EmptyDirectoryIsNoop)
+{
+    GnuplotFigure figure("noop_fig", "t", "x", "y");
+    figure.addSeries("s");
+    figure.addRow(0.0, {1.0});
+    EXPECT_FALSE(figure.writeTo(""));
+}
+
+TEST(GnuplotFigure, CountsRowsAndSeries)
+{
+    GnuplotFigure figure("counts", "t", "x", "y");
+    figure.addSeries("a");
+    EXPECT_EQ(figure.numSeries(), 1u);
+    figure.addRow(0.0, {1.0});
+    figure.addRow(1.0, {2.0});
+    EXPECT_EQ(figure.numRows(), 2u);
+}
+
+TEST(GnuplotFigureDeathTest, RowWidthMustMatchSeries)
+{
+    GnuplotFigure figure("bad", "t", "x", "y");
+    figure.addSeries("a");
+    EXPECT_DEATH(figure.addRow(0.0, {1.0, 2.0}), "values for");
+}
+
+TEST(GnuplotFigureDeathTest, NoSlashInName)
+{
+    EXPECT_DEATH(GnuplotFigure("a/b", "t", "x", "y"), "bare file stem");
+}
+
+TEST(PlotDirFromEnv, ReflectsEnvironment)
+{
+    unsetenv("EDGETHERM_PLOT_DIR");
+    EXPECT_FALSE(plotDirFromEnv().has_value());
+    setenv("EDGETHERM_PLOT_DIR", "/tmp/somewhere", 1);
+    ASSERT_TRUE(plotDirFromEnv().has_value());
+    EXPECT_EQ(*plotDirFromEnv(), "/tmp/somewhere");
+    setenv("EDGETHERM_PLOT_DIR", "", 1);
+    EXPECT_FALSE(plotDirFromEnv().has_value());
+    unsetenv("EDGETHERM_PLOT_DIR");
+}
+
+} // namespace
+} // namespace ecolo

@@ -1,0 +1,53 @@
+/** @file Unit tests for simulation-time helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hh"
+
+namespace ecolo {
+namespace {
+
+TEST(SimTime, Constants)
+{
+    EXPECT_EQ(kMinutesPerDay, 1440);
+    EXPECT_EQ(kMinutesPerWeek, 10080);
+    EXPECT_EQ(kMinutesPerYear, 525600);
+}
+
+TEST(SimTime, MinuteOfDayWraps)
+{
+    EXPECT_EQ(minuteOfDay(0), 0);
+    EXPECT_EQ(minuteOfDay(1439), 1439);
+    EXPECT_EQ(minuteOfDay(1440), 0);
+    EXPECT_EQ(minuteOfDay(1500), 60);
+}
+
+TEST(SimTime, HourOfDay)
+{
+    EXPECT_DOUBLE_EQ(hourOfDay(0), 0.0);
+    EXPECT_DOUBLE_EQ(hourOfDay(90), 1.5);
+    EXPECT_DOUBLE_EQ(hourOfDay(kMinutesPerDay + 720), 12.0);
+}
+
+TEST(SimTime, DayIndex)
+{
+    EXPECT_EQ(dayIndex(0), 0);
+    EXPECT_EQ(dayIndex(1439), 0);
+    EXPECT_EQ(dayIndex(1440), 1);
+    EXPECT_EQ(dayIndex(10 * kMinutesPerDay + 5), 10);
+}
+
+TEST(SimTime, WeekStructure)
+{
+    // Day 0 is a Monday by convention.
+    EXPECT_EQ(dayOfWeek(0), 0);
+    EXPECT_EQ(dayOfWeek(4 * kMinutesPerDay), 4); // Friday
+    EXPECT_FALSE(isWeekend(0));
+    EXPECT_FALSE(isWeekend(4 * kMinutesPerDay));
+    EXPECT_TRUE(isWeekend(5 * kMinutesPerDay));  // Saturday
+    EXPECT_TRUE(isWeekend(6 * kMinutesPerDay));  // Sunday
+    EXPECT_FALSE(isWeekend(7 * kMinutesPerDay)); // next Monday
+}
+
+} // namespace
+} // namespace ecolo

@@ -1,0 +1,143 @@
+/** @file Unit tests for the streaming statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace ecolo {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownSequence)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream)
+{
+    Rng rng(3);
+    OnlineStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineStats, Reset)
+{
+    OnlineStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(PercentileEstimator, ExactSmallSet)
+{
+    PercentileEstimator p;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        p.add(x);
+    EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 3.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100.0), 5.0);
+    EXPECT_DOUBLE_EQ(p.percentile(25.0), 2.0);
+    EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(PercentileEstimator, Interpolates)
+{
+    PercentileEstimator p;
+    p.add(0.0);
+    p.add(10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(p.percentile(95.0), 9.5);
+}
+
+TEST(PercentileEstimator, UniformStream)
+{
+    Rng rng(5);
+    PercentileEstimator p;
+    for (int i = 0; i < 100000; ++i)
+        p.add(rng.uniform());
+    EXPECT_NEAR(p.percentile(95.0), 0.95, 0.01);
+    EXPECT_NEAR(p.median(), 0.5, 0.01);
+}
+
+TEST(PercentileEstimator, QueryThenAddThenQuery)
+{
+    PercentileEstimator p;
+    p.add(1.0);
+    EXPECT_DOUBLE_EQ(p.median(), 1.0);
+    p.add(3.0);
+    EXPECT_DOUBLE_EQ(p.median(), 2.0); // re-sorts after new samples
+}
+
+TEST(Histogram, BinsAndFractions)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_EQ(h.totalCount(), 10u);
+    for (std::size_t b = 0; b < 10; ++b) {
+        EXPECT_EQ(h.binCount(b), 1u);
+        EXPECT_DOUBLE_EQ(h.binFraction(b), 0.1);
+        EXPECT_DOUBLE_EQ(h.binCenter(b), static_cast<double>(b) + 0.5);
+    }
+}
+
+TEST(Histogram, OutliersLandInEdgeBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.0);
+}
+
+} // namespace
+} // namespace ecolo

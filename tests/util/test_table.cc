@@ -1,0 +1,68 @@
+/** @file Unit tests for the table printer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace ecolo {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow("alpha", 1);
+    table.addRow("b", 22.5);
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name   value"), std::string::npos);
+    EXPECT_NE(out.find("alpha  1"), std::string::npos);
+    EXPECT_NE(out.find("b      22.5"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table({"a", "b"});
+    table.addRow(1, 2);
+    table.addRow("x", "y");
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable table({"only"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow(42);
+    EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(TextTable, MixedCellTypes)
+{
+    TextTable table({"str", "int", "dbl"});
+    table.addRow(std::string("s"), 7, 1.25);
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "str,int,dbl\ns,7,1.25\n");
+}
+
+TEST(Fixed, FormatsPrecision)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(2.0, 0), "2");
+    EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Fig. 8");
+    EXPECT_NE(oss.str().find("== Fig. 8 =="), std::string::npos);
+}
+
+} // namespace
+} // namespace ecolo

@@ -1,0 +1,116 @@
+/** @file Unit tests for the strong unit types. */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace ecolo {
+namespace {
+
+using namespace unit_literals;
+
+TEST(Units, PowerArithmetic)
+{
+    const Kilowatts a(2.0), b(3.5);
+    EXPECT_DOUBLE_EQ((a + b).value(), 5.5);
+    EXPECT_DOUBLE_EQ((b - a).value(), 1.5);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 4.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 4.0);
+    EXPECT_DOUBLE_EQ((b / 2.0).value(), 1.75);
+    EXPECT_DOUBLE_EQ(b / a, 1.75);
+    EXPECT_DOUBLE_EQ((-a).value(), -2.0);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Kilowatts p(1.0);
+    p += Kilowatts(2.0);
+    EXPECT_DOUBLE_EQ(p.value(), 3.0);
+    p -= Kilowatts(0.5);
+    EXPECT_DOUBLE_EQ(p.value(), 2.5);
+    p *= 4.0;
+    EXPECT_DOUBLE_EQ(p.value(), 10.0);
+    p /= 5.0;
+    EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(Kilowatts(1.0), Kilowatts(2.0));
+    EXPECT_GE(Kilowatts(2.0), Kilowatts(2.0));
+    EXPECT_EQ(Kilowatts(3.0), Kilowatts(3.0));
+}
+
+TEST(Units, PowerTimesTimeIsEnergy)
+{
+    const KilowattHours e = Kilowatts(2.0) * hours(3.0);
+    EXPECT_DOUBLE_EQ(e.value(), 6.0);
+    const KilowattHours e2 = minutes(30.0) * Kilowatts(4.0);
+    EXPECT_DOUBLE_EQ(e2.value(), 2.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower)
+{
+    const Kilowatts p = KilowattHours(6.0) / hours(3.0);
+    EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(Units, EnergyOverPowerIsTime)
+{
+    const Seconds t = KilowattHours(1.0) / Kilowatts(2.0);
+    EXPECT_DOUBLE_EQ(toHours(t), 0.5);
+    EXPECT_DOUBLE_EQ(toMinutes(t), 30.0);
+}
+
+TEST(Units, TemperatureAffineAlgebra)
+{
+    const Celsius t1(27.0), t2(32.0);
+    EXPECT_DOUBLE_EQ((t2 - t1).value(), 5.0);
+    EXPECT_DOUBLE_EQ((t1 + CelsiusDelta(5.0)).value(), 32.0);
+    EXPECT_DOUBLE_EQ((t2 - CelsiusDelta(2.0)).value(), 30.0);
+    Celsius t = t1;
+    t += CelsiusDelta(3.0);
+    EXPECT_DOUBLE_EQ(t.value(), 30.0);
+    t -= CelsiusDelta(1.0);
+    EXPECT_DOUBLE_EQ(t.value(), 29.0);
+    EXPECT_LT(t1, t2);
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_DOUBLE_EQ((2.5_kW).value(), 2.5);
+    EXPECT_DOUBLE_EQ((8_kW).value(), 8.0);
+    EXPECT_DOUBLE_EQ((0.2_kWh).value(), 0.2);
+    EXPECT_DOUBLE_EQ((27_degC).value(), 27.0);
+    EXPECT_DOUBLE_EQ((5_dK).value(), 5.0);
+    EXPECT_DOUBLE_EQ(toMinutes(90_s), 1.5);
+    EXPECT_DOUBLE_EQ((2_min).value(), 120.0);
+    EXPECT_DOUBLE_EQ(toHours(2_h), 2.0);
+}
+
+TEST(Units, ClampPower)
+{
+    EXPECT_EQ(clamp(Kilowatts(5.0), Kilowatts(0.0), Kilowatts(3.0)),
+              Kilowatts(3.0));
+    EXPECT_EQ(clamp(Kilowatts(-1.0), Kilowatts(0.0), Kilowatts(3.0)),
+              Kilowatts(0.0));
+    EXPECT_EQ(clamp(Kilowatts(2.0), Kilowatts(0.0), Kilowatts(3.0)),
+              Kilowatts(2.0));
+}
+
+TEST(Units, ClampEnergy)
+{
+    EXPECT_EQ(clamp(KilowattHours(0.5), KilowattHours(0.0),
+                    KilowattHours(0.2)),
+              KilowattHours(0.2));
+}
+
+TEST(Units, DefaultConstructedIsZero)
+{
+    EXPECT_DOUBLE_EQ(Kilowatts().value(), 0.0);
+    EXPECT_DOUBLE_EQ(KilowattHours().value(), 0.0);
+    EXPECT_DOUBLE_EQ(Celsius().value(), 0.0);
+}
+
+} // namespace
+} // namespace ecolo

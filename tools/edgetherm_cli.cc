@@ -1,0 +1,253 @@
+/**
+ * @file
+ * edgetherm_cli: run an edge-colocation thermal-attack scenario from the
+ * command line.
+ *
+ *   edgetherm_cli --policy foresighted --param 14 --days 90
+ *   edgetherm_cli --scenario site.cfg --set battery.capacityKwh=0.4 \
+ *                 --csv run.csv
+ *   edgetherm_cli --describe
+ *
+ * Options:
+ *   --scenario FILE   load a key=value scenario file (see
+ *                     src/core/scenario.hh for the key list)
+ *   --set KEY=VALUE   override a single scenario key (repeatable)
+ *   --policy NAME     standby | random | myopic | foresighted | oneshot
+ *   --param X         policy parameter: attack probability (random),
+ *                     load threshold in kW (myopic/oneshot), reward
+ *                     weight w (foresighted)
+ *   --days N          simulated days (default 30)
+ *   --csv FILE        write the per-minute record stream as CSV
+ *   --describe        print the effective configuration and exit
+ *   --quiet           suppress the banner, print only the summary table
+ *   --help            this text
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cost.hh"
+#include "core/engine.hh"
+#include "core/scenario.hh"
+#include "core/report.hh"
+#include "core/threat_assessment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+
+struct CliOptions
+{
+    std::string scenarioFile;
+    std::vector<std::string> overrides;
+    std::string policy = "myopic";
+    double param = 7.4;
+    bool paramSet = false;
+    double days = 30.0;
+    std::string csvFile;
+    std::string reportFile;
+    bool describe = false;
+    bool assess = false;
+    bool quiet = false;
+};
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: edgetherm_cli [--scenario FILE] [--set KEY=VALUE]...\n"
+          "                     [--policy standby|random|myopic|"
+          "foresighted|oneshot]\n"
+          "                     [--param X] [--days N] [--csv FILE]\n"
+          "                     [--report FILE.md]\n"
+          "                     [--describe] [--assess] [--quiet] "
+          "[--help]\n";
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto need_value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            ECOLO_FATAL("missing value for ", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--scenario") == 0) {
+            opts.scenarioFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--set") == 0) {
+            opts.overrides.emplace_back(need_value(i, arg));
+        } else if (std::strcmp(arg, "--policy") == 0) {
+            opts.policy = need_value(i, arg);
+        } else if (std::strcmp(arg, "--param") == 0) {
+            opts.param = std::stod(need_value(i, arg));
+            opts.paramSet = true;
+        } else if (std::strcmp(arg, "--days") == 0) {
+            opts.days = std::stod(need_value(i, arg));
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            opts.csvFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--report") == 0) {
+            opts.reportFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--describe") == 0) {
+            opts.describe = true;
+        } else if (std::strcmp(arg, "--assess") == 0) {
+            opts.assess = true;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            opts.quiet = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            printUsage(std::cout);
+            std::exit(0);
+        } else {
+            printUsage(std::cerr);
+            ECOLO_FATAL("unknown option: ", arg);
+        }
+    }
+    return opts;
+}
+
+double
+defaultParamFor(const std::string &policy)
+{
+    if (policy == "random")
+        return 0.08;
+    if (policy == "myopic")
+        return 7.4;
+    if (policy == "foresighted")
+        return 14.0;
+    if (policy == "oneshot")
+        return 7.0;
+    return 0.0;
+}
+
+std::unique_ptr<AttackPolicy>
+makePolicy(const std::string &name, double param,
+           const SimulationConfig &config)
+{
+    if (name == "standby")
+        return std::make_unique<StandbyPolicy>();
+    if (name == "random")
+        return makeRandomPolicy(config, param);
+    if (name == "myopic")
+        return makeMyopicPolicy(config, Kilowatts(param));
+    if (name == "foresighted")
+        return makeForesightedPolicy(config, param);
+    if (name == "oneshot")
+        return makeOneShotPolicy(config, Kilowatts(param), 0);
+    ECOLO_FATAL("unknown policy '", name,
+                "' (expected standby|random|myopic|foresighted|oneshot)");
+}
+
+void
+writeCsvHeader(std::ostream &os)
+{
+    os << "minute,metered_kw,actual_heat_kw,attack_battery_kw,"
+          "benign_kw,max_inlet_c,supply_c,battery_soc,action,"
+          "capping,outage\n";
+}
+
+void
+writeCsvRow(std::ostream &os, const MinuteRecord &r)
+{
+    os << r.time << ',' << r.meteredTotal.value() << ','
+       << r.actualHeat.value() << ',' << r.attackBatteryPower.value()
+       << ',' << r.benignPower.value() << ',' << r.maxInlet.value() << ','
+       << r.supply.value() << ',' << r.batterySoc << ','
+       << toString(r.action) << ',' << (r.cappingActive ? 1 : 0) << ','
+       << (r.outage ? 1 : 0) << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+
+    SimulationConfig config = SimulationConfig::paperDefault();
+    KeyValueConfig kv;
+    if (!opts.scenarioFile.empty())
+        kv = KeyValueConfig::parseFile(opts.scenarioFile);
+    for (const std::string &override_str : opts.overrides) {
+        const auto eq = override_str.find('=');
+        if (eq == std::string::npos)
+            ECOLO_FATAL("--set expects KEY=VALUE, got '", override_str,
+                        "'");
+        kv.set(override_str.substr(0, eq), override_str.substr(eq + 1));
+    }
+    applyScenario(kv, config);
+
+    if (opts.describe) {
+        describeConfig(std::cout, config);
+        return 0;
+    }
+    if (opts.assess) {
+        printAssessment(std::cout, config, assessThreat(config));
+        return 0;
+    }
+
+    const double param =
+        opts.paramSet ? opts.param : defaultParamFor(opts.policy);
+    Simulation sim(config, makePolicy(opts.policy, param, config));
+
+    std::ofstream csv;
+    if (!opts.csvFile.empty()) {
+        csv.open(opts.csvFile);
+        if (!csv)
+            ECOLO_FATAL("cannot open CSV output file: ", opts.csvFile);
+        writeCsvHeader(csv);
+        sim.setMinuteCallback(
+            [&](const MinuteRecord &r) { writeCsvRow(csv, r); });
+    }
+
+    if (!opts.quiet) {
+        std::cout << "edgetherm: " << opts.policy << " (param "
+                  << fixed(param, 2) << ") for " << fixed(opts.days, 1)
+                  << " days, seed " << config.seed << "\n";
+    }
+    sim.runDays(opts.days);
+
+    const auto &m = sim.metrics();
+    TextTable table({"metric", "value"});
+    table.addRow("attack time (h/day)", fixed(m.attackHoursPerDay(), 2));
+    table.addRow("emergencies declared", m.emergencies());
+    table.addRow("emergency time (%)",
+                 fixed(100.0 * m.emergencyFraction(), 2));
+    table.addRow("emergency hours / year-equivalent",
+                 fixed(m.emergencyHoursPerYear(), 0));
+    table.addRow("outages", m.outages());
+    table.addRow("mean inlet rise (C)", fixed(m.inletRise().mean(), 2));
+    table.addRow("hottest inlet (C)", fixed(m.maxInlet().max(), 1));
+    table.addRow("norm. 95p latency in emergencies",
+                 m.emergencyPerf().count()
+                     ? fixed(m.emergencyPerf().mean(), 2)
+                     : "n/a");
+    const CostModel cost;
+    table.addRow("attacker cost ($/yr)",
+                 fixed(cost.attackerAnnualCost(config, m).total(), 0));
+    table.addRow("tenant damage ($/yr)",
+                 fixed(cost.benignAnnualCost(config, m).total(), 0));
+    table.print(std::cout);
+
+    if (!opts.reportFile.empty()) {
+        ReportInputs inputs;
+        inputs.policyName = opts.policy;
+        inputs.policyParameter = param;
+        inputs.simulatedDays = opts.days;
+        saveMarkdownReport(opts.reportFile, config, m, inputs);
+        if (!opts.quiet)
+            std::cout << "markdown report written to " << opts.reportFile
+                      << "\n";
+    }
+    if (!opts.csvFile.empty() && !opts.quiet)
+        std::cout << "per-minute records written to " << opts.csvFile
+                  << "\n";
+    return 0;
+}
