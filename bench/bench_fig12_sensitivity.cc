@@ -38,20 +38,36 @@ struct Pair
     double foresighted = 0.0;
 };
 
-Pair
-emergencyHours(const SimulationConfig &config)
+/**
+ * Every (config, policy) campaign of a sweep panel is independent, so
+ * the whole panel runs as one parallel batch (bit-identical to running
+ * each campaign serially).
+ */
+std::vector<Pair>
+emergencyHoursSweep(const std::vector<SimulationConfig> &configs)
 {
-    Pair out;
-    out.myopic =
-        runCampaign(config,
-                    makeMyopicPolicy(config, Kilowatts(kMyopicThreshold)),
-                    kDays, "M", 0)
-            .emergencyHoursPerYear;
-    out.foresighted =
-        runCampaign(config, makeForesightedPolicy(config, kWeight), kDays,
-                    "F", 0)
-            .emergencyHoursPerYear;
-    std::cout << "." << std::flush;
+    std::vector<CampaignSpec> specs;
+    specs.reserve(2 * configs.size());
+    for (const SimulationConfig &config : configs) {
+        specs.push_back(
+            {config,
+             [](const SimulationConfig &c) {
+                 return makeMyopicPolicy(c, Kilowatts(kMyopicThreshold));
+             },
+             kDays, "M", 0.0});
+        specs.push_back(
+            {config,
+             [](const SimulationConfig &c) {
+                 return makeForesightedPolicy(c, kWeight);
+             },
+             kDays, "F", 0.0});
+    }
+    const std::vector<CampaignResult> results = runCampaigns(specs);
+    std::vector<Pair> out(configs.size());
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+        out[k].myopic = results[2 * k].emergencyHoursPerYear;
+        out[k].foresighted = results[2 * k + 1].emergencyHoursPerYear;
+    }
     return out;
 }
 
@@ -62,14 +78,18 @@ batteryCapacity()
                            "battery capacity");
     TextTable table({"battery (kWh)", "Myopic (h/yr)",
                      "Foresighted (h/yr)"});
-    for (double kwh : {0.1, 0.2, 0.3, 0.4}) {
+    const std::vector<double> capacities{0.1, 0.2, 0.3, 0.4};
+    std::vector<SimulationConfig> configs;
+    for (double kwh : capacities) {
         auto config = SimulationConfig::paperDefault();
         config.batterySpec.capacity = KilowattHours(kwh);
-        const Pair hours = emergencyHours(config);
-        table.addRow(fixed(kwh, 1), fixed(hours.myopic, 0),
-                     fixed(hours.foresighted, 0));
+        configs.push_back(config);
     }
-    std::cout << "\n";
+    const std::vector<Pair> hours = emergencyHoursSweep(configs);
+    for (std::size_t k = 0; k < capacities.size(); ++k) {
+        table.addRow(fixed(capacities[k], 1), fixed(hours[k].myopic, 0),
+                     fixed(hours[k].foresighted, 0));
+    }
     table.print(std::cout);
     std::cout << "paper: both grow with battery capacity; the gap narrows "
                  "for large batteries\n";
@@ -82,14 +102,18 @@ sideChannelNoise()
                            "side-channel estimation noise");
     TextTable table({"extra noise (rel. std)", "Myopic (h/yr)",
                      "Foresighted (h/yr)"});
-    for (double noise : {0.0, 0.03, 0.06, 0.10, 0.15}) {
+    const std::vector<double> noises{0.0, 0.03, 0.06, 0.10, 0.15};
+    std::vector<SimulationConfig> configs;
+    for (double noise : noises) {
         auto config = SimulationConfig::paperDefault();
         config.sideChannel.extraRelativeNoise = noise;
-        const Pair hours = emergencyHours(config);
-        table.addRow(fixed(noise, 2), fixed(hours.myopic, 0),
-                     fixed(hours.foresighted, 0));
+        configs.push_back(config);
     }
-    std::cout << "\n";
+    const std::vector<Pair> hours = emergencyHoursSweep(configs);
+    for (std::size_t k = 0; k < noises.size(); ++k) {
+        table.addRow(fixed(noises[k], 2), fixed(hours[k].myopic, 0),
+                     fixed(hours[k].foresighted, 0));
+    }
     table.print(std::cout);
     std::cout << "paper: impact decreases with noise; Foresighted remains "
                  "effective even with a noisy channel\n";
@@ -102,15 +126,19 @@ attackLoad()
                 "Fig. 12(c): annual emergency hours vs. attack load");
     TextTable table({"attack load (kW)", "Myopic (h/yr)",
                      "Foresighted (h/yr)"});
-    for (double kw : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+    const std::vector<double> loads{0.25, 0.5, 1.0, 1.5, 2.0};
+    std::vector<SimulationConfig> configs;
+    for (double kw : loads) {
         auto config = SimulationConfig::paperDefault();
         config.attackLoad = Kilowatts(kw);
         config.batterySpec.maxDischargeRate = Kilowatts(kw);
-        const Pair hours = emergencyHours(config);
-        table.addRow(fixed(kw, 1), fixed(hours.myopic, 0),
-                     fixed(hours.foresighted, 0));
+        configs.push_back(config);
     }
-    std::cout << "\n";
+    const std::vector<Pair> hours = emergencyHoursSweep(configs);
+    for (std::size_t k = 0; k < loads.size(); ++k) {
+        table.addRow(fixed(loads[k], 1), fixed(hours[k].myopic, 0),
+                     fixed(hours[k].foresighted, 0));
+    }
     table.print(std::cout);
     std::cout << "paper: emergency time grows strongly with attack load; "
                  "Foresighted consistently ahead\n";
@@ -123,14 +151,18 @@ utilization()
                            "average capacity utilization");
     TextTable table({"avg utilization", "Myopic (h/yr)",
                      "Foresighted (h/yr)"});
-    for (double u : {0.65, 0.70, 0.75, 0.80, 0.85}) {
+    const std::vector<double> utilizations{0.65, 0.70, 0.75, 0.80, 0.85};
+    std::vector<SimulationConfig> configs;
+    for (double u : utilizations) {
         auto config = SimulationConfig::paperDefault();
         config.averageUtilization = u;
-        const Pair hours = emergencyHours(config);
-        table.addRow(fixed(u, 2), fixed(hours.myopic, 0),
-                     fixed(hours.foresighted, 0));
+        configs.push_back(config);
     }
-    std::cout << "\n";
+    const std::vector<Pair> hours = emergencyHoursSweep(configs);
+    for (std::size_t k = 0; k < utilizations.size(); ++k) {
+        table.addRow(fixed(utilizations[k], 2), fixed(hours[k].myopic, 0),
+                     fixed(hours[k].foresighted, 0));
+    }
     table.print(std::cout);
     std::cout << "paper: higher utilization -> more attack opportunities "
                  "-> more emergencies\n";

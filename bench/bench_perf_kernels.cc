@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Microbenchmarks for the performance-critical kernels: the dense vs.
+ * factorized thermal convolution (the per-minute hot path of every
+ * campaign), serial vs. thread-pool fleet simulation, and serial vs.
+ * parallel CFD matrix extraction. Run with --benchmark_format=json (or
+ * --benchmark_out=...) to emit the machine-readable perf trajectory.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/fleet.hh"
+#include "power/layout.hh"
+#include "thermal/heat_matrix.hh"
+#include "util/parallel.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::thermal;
+
+power::DataCenterLayout
+layoutWithServers(std::size_t num_servers)
+{
+    power::DataCenterLayout::Params params;
+    params.numRacks = num_servers / 20;
+    params.serversPerRack = 20;
+    return power::DataCenterLayout(params);
+}
+
+/** A deterministic, mildly varying power history to convolve. */
+void
+fillHistory(MatrixThermalModel &model, std::size_t num_servers,
+            std::size_t horizon)
+{
+    std::vector<Kilowatts> powers(num_servers);
+    for (std::size_t m = 0; m < horizon; ++m) {
+        for (std::size_t j = 0; j < num_servers; ++j) {
+            powers[j] = Kilowatts(
+                0.10 + 0.01 * static_cast<double>((j + m) % 7));
+        }
+        model.pushPowers(powers);
+    }
+}
+
+/** A rank-3 synthetic "CFD-like" tensor (three separable components). */
+HeatDistributionMatrix
+rankThreeMatrix(const power::DataCenterLayout &layout, std::size_t horizon)
+{
+    const std::size_t n = layout.numServers();
+    auto base = HeatDistributionMatrix::analyticDefault(
+        layout, HeatDistributionMatrix::AnalyticParams(), horizon);
+    HeatDistributionMatrix matrix(n, horizon);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double g = base.steadyGain(i, j);
+            for (std::size_t tau = 0; tau < horizon; ++tau) {
+                const double t = static_cast<double>(tau + 1);
+                // Three distinct temporal shapes weighted by position.
+                matrix.coeff(i, j, tau) =
+                    g * (0.6 / t + 0.3 * (1.0 / (t * t)) *
+                                       (1.0 + 0.5 * ((i + j) % 3)) +
+                         0.1 * (tau == 0 ? 1.0 : 0.0) * ((j % 2) + 1));
+            }
+        }
+    }
+    return matrix;
+}
+
+// ---- Dense vs. factorized convolution (paper default N=40, H=10). ----
+
+void
+BM_ThermalRisesDense(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t horizon = 10;
+    MatrixThermalModel model(
+        HeatDistributionMatrix::analyticDefault(
+            layoutWithServers(n), HeatDistributionMatrix::AnalyticParams(),
+            horizon),
+        ThermalComputeMode::Dense);
+    fillHistory(model, n, horizon);
+    std::vector<double> rises;
+    for (auto _ : state) {
+        model.computeAllRises(rises);
+        benchmark::DoNotOptimize(rises.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalRisesDense)->Arg(40)->Arg(80)->Arg(160);
+
+void
+BM_ThermalRisesFactorized(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t horizon = 10;
+    MatrixThermalModel model(
+        HeatDistributionMatrix::analyticDefault(
+            layoutWithServers(n), HeatDistributionMatrix::AnalyticParams(),
+            horizon),
+        ThermalComputeMode::Auto);
+    fillHistory(model, n, horizon);
+    std::vector<double> rises;
+    for (auto _ : state) {
+        model.computeAllRises(rises);
+        benchmark::DoNotOptimize(rises.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("rank=" +
+                   std::to_string(model.factorizationRank()));
+}
+BENCHMARK(BM_ThermalRisesFactorized)->Arg(40)->Arg(80)->Arg(160);
+
+void
+BM_ThermalRisesLowRank(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t horizon = 10;
+    MatrixThermalModel model(rankThreeMatrix(layoutWithServers(n), horizon),
+                             ThermalComputeMode::Auto);
+    fillHistory(model, n, horizon);
+    std::vector<double> rises;
+    for (auto _ : state) {
+        model.computeAllRises(rises);
+        benchmark::DoNotOptimize(rises.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("rank=" +
+                   std::to_string(model.factorizationRank()));
+}
+BENCHMARK(BM_ThermalRisesLowRank)->Arg(40)->Arg(80);
+
+// ---- End-to-end campaign: dense vs. factorized engine hot path. ----
+
+void
+benchCampaign(benchmark::State &state, ThermalComputeMode mode)
+{
+    auto config = core::SimulationConfig::paperDefault();
+    config.thermalMode = mode;
+    const double days = 2.0;
+    for (auto _ : state) {
+        core::Simulation sim(
+            config, core::makeForesightedPolicy(config, 14.0));
+        sim.runDays(days);
+        benchmark::DoNotOptimize(sim.metrics().emergencies());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(days * 24 * 60));
+}
+
+void
+BM_CampaignDense(benchmark::State &state)
+{
+    benchCampaign(state, ThermalComputeMode::Dense);
+}
+BENCHMARK(BM_CampaignDense)->Unit(benchmark::kMillisecond);
+
+void
+BM_CampaignFactorized(benchmark::State &state)
+{
+    benchCampaign(state, ThermalComputeMode::Auto);
+}
+BENCHMARK(BM_CampaignFactorized)->Unit(benchmark::kMillisecond);
+
+// ---- Serial vs. parallel fleet simulation. ----
+
+void
+benchFleet(benchmark::State &state, std::size_t threads)
+{
+    util::ThreadPool::setGlobalThreads(threads);
+    auto config = core::SimulationConfig::paperDefault();
+    config.attackLoad = Kilowatts(3.0);
+    config.batterySpec.maxDischargeRate = Kilowatts(3.0);
+    config.batterySpec.capacity = KilowattHours(0.5);
+    core::FleetSimulation fleet(config, 4, 14 * 60, Kilowatts(6.5));
+    for (auto _ : state) {
+        fleet.run(30);
+        benchmark::DoNotOptimize(fleet.result().numSites);
+    }
+    state.SetItemsProcessed(state.iterations() * 30 * 4);
+    util::ThreadPool::setGlobalThreads(util::ThreadPool::defaultThreads());
+}
+
+void
+BM_FleetSerial(benchmark::State &state)
+{
+    benchFleet(state, 1);
+}
+BENCHMARK(BM_FleetSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_FleetParallel(benchmark::State &state)
+{
+    benchFleet(state, util::ThreadPool::defaultThreads());
+}
+BENCHMARK(BM_FleetParallel)->Unit(benchmark::kMillisecond);
+
+// ---- Serial vs. parallel CFD matrix extraction. ----
+
+void
+benchExtraction(benchmark::State &state, std::size_t threads)
+{
+    util::ThreadPool::setGlobalThreads(threads);
+    const power::DataCenterLayout layout;
+    CfdParams params;
+    params.cellSize = 0.3; // coarse grid to keep one extraction short
+    params.dt = 0.12;
+    const std::vector<Kilowatts> baseline(layout.numServers(),
+                                          Kilowatts(0.15));
+    for (auto _ : state) {
+        auto matrix = HeatDistributionMatrix::extractFromCfd(
+            layout, params, baseline, Kilowatts(1.0), /*horizon=*/3,
+            /*settle=*/minutes(2));
+        benchmark::DoNotOptimize(matrix.coeff(0, 0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * layout.numServers());
+    util::ThreadPool::setGlobalThreads(util::ThreadPool::defaultThreads());
+}
+
+void
+BM_CfdExtractionSerial(benchmark::State &state)
+{
+    benchExtraction(state, 1);
+}
+BENCHMARK(BM_CfdExtractionSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_CfdExtractionParallel(benchmark::State &state)
+{
+    benchExtraction(state, util::ThreadPool::defaultThreads());
+}
+BENCHMARK(BM_CfdExtractionParallel)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "common.hh"
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace ecolo::benchutil {
 
@@ -25,6 +26,20 @@ runCampaign(const core::SimulationConfig &config,
     result.emergencies = m.emergencies();
     result.outages = m.outages();
     return result;
+}
+
+std::vector<CampaignResult>
+runCampaigns(const std::vector<CampaignSpec> &specs)
+{
+    std::vector<CampaignResult> results(specs.size());
+    util::parallelFor(0, specs.size(), [&](std::size_t k) {
+        const CampaignSpec &spec = specs[k];
+        ECOLO_ASSERT(spec.makePolicy != nullptr,
+                     "campaign spec without a policy factory");
+        results[k] = runCampaign(spec.config, spec.makePolicy(spec.config),
+                                 spec.days, spec.label, spec.parameter);
+    });
+    return results;
 }
 
 std::vector<core::MinuteRecord>

@@ -38,6 +38,32 @@ runCampaign(const core::SimulationConfig &config,
             const std::string &label, double parameter);
 
 /**
+ * One campaign of a batch: the policy is described by a factory rather
+ * than an instance so it can be constructed inside the worker that runs
+ * the campaign (policy construction -- e.g. Foresighted's warm start --
+ * is deterministic given the config).
+ */
+struct CampaignSpec
+{
+    core::SimulationConfig config;
+    std::function<std::unique_ptr<core::AttackPolicy>(
+        const core::SimulationConfig &)>
+        makePolicy;
+    double days = 365.0;
+    std::string label;
+    double parameter = 0.0;
+};
+
+/**
+ * Run a batch of independent campaigns on the global thread pool and
+ * return their results in spec order. Every campaign seeds its own
+ * simulation from its config, so the results are bit-identical to
+ * calling runCampaign serially on each spec.
+ */
+std::vector<CampaignResult>
+runCampaigns(const std::vector<CampaignSpec> &specs);
+
+/**
  * Record every minute of a run into a vector (for snapshot figures).
  * Returns the records; metrics remain available via the returned sim.
  */

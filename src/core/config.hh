@@ -64,6 +64,14 @@ struct SimulationConfig
     thermal::CoolingParams cooling{};
     thermal::HeatDistributionMatrix::AnalyticParams matrixParams{};
     std::size_t matrixHorizonMinutes = 10;
+    /**
+     * Rise-computation kernel. Auto factorizes the heat matrix when that
+     * is faster and within tolerance (the analytic matrix is exactly
+     * separable, so campaigns normally run factorized); Dense forces the
+     * exact reference convolution.
+     */
+    thermal::ThermalComputeMode thermalMode =
+        thermal::ThermalComputeMode::Auto;
 
     // ---- Operator / emergency protocol ----
     Celsius emergencyThreshold{32.0};

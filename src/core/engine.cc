@@ -55,7 +55,7 @@ Simulation::Simulation(SimulationConfig config,
       thermal_(thermal::HeatDistributionMatrix::analyticDefault(
                    layout_, config_.matrixParams,
                    config_.matrixHorizonMinutes),
-               config_.cooling),
+               config_.cooling, 15.0, config_.thermalMode),
       channel_(config_.sideChannel, Rng(config_.seed ^ 0x5e1dc4a2ULL)),
       latency_(config_.latency),
       pdu_(config_.capacity),
@@ -152,15 +152,12 @@ Simulation::makeObservation(bool capping, bool outage)
         // The attacker estimates the benign aggregate via the voltage side
         // channel (it knows and subtracts its own draw), then reasons in
         // terms of "benign load + my subscription" as in the paper. The
-        // per-minute estimate averages several ripple samples.
-        const int samples =
-            std::max(1, config_.sideChannel.samplesPerEstimate);
-        const Kilowatts benign_power = benignActualPower();
-        double estimate_kw = 0.0;
-        for (int i = 0; i < samples; ++i)
-            estimate_kw += channel_.estimateTotalLoad(benign_power).value();
-        obs.estimatedLoad = Kilowatts(estimate_kw / samples) +
-                            config_.attackerSubscription;
+        // channel averages the per-minute ripple samples internally.
+        obs.estimatedLoad =
+            channel_.estimateAveraged(
+                benignActualPower(),
+                config_.sideChannel.samplesPerEstimate) +
+            config_.attackerSubscription;
     }
 
     // The attacker's own inlet sensors: its servers are the first

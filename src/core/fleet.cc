@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace ecolo::core {
 
@@ -33,16 +34,33 @@ FleetSimulation::FleetSimulation(SimulationConfig base_config,
 void
 FleetSimulation::run(MinuteIndex minutes)
 {
-    for (MinuteIndex m = 0; m < minutes; ++m) {
-        for (std::size_t s = 0; s < sites_.size(); ++s) {
-            sites_[s]->run(1);
-            downNow_[s] =
-                sites_[s]->coloOperator().state() == OperatorState::Outage;
-        }
-        ++now_;
+    if (minutes <= 0)
+        return;
+    const std::size_t num_sites = sites_.size();
+    const auto span = static_cast<std::size_t>(minutes);
 
+    // Sites share no state (each has its own traces, thermal history and
+    // pre-forked RNG streams), so they advance in parallel, each recording
+    // its per-minute outage flags into its own pre-sized slot. The serial
+    // aggregation below then walks minutes in order, making the result
+    // bit-identical to the old site-per-minute interleaving.
+    std::vector<std::vector<unsigned char>> down_at(
+        num_sites, std::vector<unsigned char>(span, 0));
+    util::parallelFor(0, num_sites, [&](std::size_t s) {
+        Simulation &site = *sites_[s];
+        std::vector<unsigned char> &down = down_at[s];
+        for (std::size_t m = 0; m < span; ++m) {
+            site.run(1);
+            down[m] =
+                site.coloOperator().state() == OperatorState::Outage;
+        }
+    });
+
+    for (std::size_t m = 0; m < span; ++m) {
+        ++now_;
         std::size_t down = 0;
-        for (std::size_t s = 0; s < sites_.size(); ++s) {
+        for (std::size_t s = 0; s < num_sites; ++s) {
+            downNow_[s] = down_at[s][m] != 0;
             if (downNow_[s]) {
                 ++down;
                 ++result_.siteOutageMinutes[s];
@@ -52,12 +70,12 @@ FleetSimulation::run(MinuteIndex minutes)
         }
         result_.maxSimultaneousOutages =
             std::max(result_.maxSimultaneousOutages, down);
-        if (2 * down >= sites_.size())
+        if (2 * down >= num_sites)
             ++result_.wideAreaInterruptionMinutes;
     }
 
     result_.sitesWithOutage = 0;
-    for (std::size_t s = 0; s < sites_.size(); ++s)
+    for (std::size_t s = 0; s < num_sites; ++s)
         result_.sitesWithOutage += sites_[s]->metrics().outages() > 0;
 }
 

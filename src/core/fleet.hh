@@ -56,7 +56,11 @@ class FleetSimulation
     FleetSimulation(SimulationConfig base_config, std::size_t num_sites,
                     MinuteIndex strike_minute, Kilowatts strike_threshold);
 
-    /** Advance every site by the given number of minutes. */
+    /**
+     * Advance every site by the given number of minutes. Sites are
+     * independent and run concurrently on the global thread pool; the
+     * outcome is bit-identical to a serial minute-by-minute sweep.
+     */
     void run(MinuteIndex minutes);
 
     /** Aggregate results so far. */

@@ -48,4 +48,19 @@ VoltageSideChannel::estimateTotalLoad(Kilowatts true_total)
     return Kilowatts(estimate);
 }
 
+Kilowatts
+VoltageSideChannel::estimateAveraged(Kilowatts true_total, int samples)
+{
+    samples = std::max(1, samples);
+    double sum_kw = 0.0;
+    for (int k = 0; k < samples; ++k)
+        sum_kw += estimateTotalLoad(true_total).value();
+    const double mean_kw = sum_kw / samples;
+    lastRelativeError_ =
+        true_total.value() > 1e-9
+            ? (mean_kw - true_total.value()) / true_total.value()
+            : 0.0;
+    return Kilowatts(mean_kw);
+}
+
 } // namespace ecolo::sidechannel

@@ -62,6 +62,18 @@ class VoltageSideChannel
      */
     Kilowatts estimateTotalLoad(Kilowatts true_total);
 
+    /**
+     * Average `samples` ripple observations of the same true load into
+     * one per-minute estimate (the DAQ captures many ripple periods per
+     * slot, so per-sample ADC noise shrinks by sqrt(N) while the
+     * calibration bias persists). Draws exactly `samples` ADC-noise
+     * normals -- plus `samples` extra-noise normals when
+     * extraRelativeNoise > 0 -- so the RNG stream advances by a fixed,
+     * documented amount per call. lastRelativeError() reflects the
+     * averaged estimate.
+     */
+    Kilowatts estimateAveraged(Kilowatts true_total, int samples);
+
     /** Relative error of the most recent estimate (est - true) / true. */
     double lastRelativeError() const { return lastRelativeError_; }
 

@@ -8,8 +8,9 @@ namespace ecolo::thermal {
 
 ThermalEnvironment::ThermalEnvironment(HeatDistributionMatrix matrix,
                                        CoolingParams cooling,
-                                       double server_airflow_w_per_k)
-    : matrixModel_(std::move(matrix)), cooling_(cooling),
+                                       double server_airflow_w_per_k,
+                                       ThermalComputeMode mode)
+    : matrixModel_(std::move(matrix), mode), cooling_(cooling),
       serverAirflowWPerK_(server_airflow_w_per_k)
 {
     ECOLO_ASSERT(serverAirflowWPerK_ > 0.0,

@@ -32,9 +32,12 @@ class ThermalEnvironment
      *        watts of heat per kelvin of inlet->outlet temperature rise
      *        (m_dot * c_p). The default (15 W/K) gives the paper's
      *        "outlet typically 10+ C above inlet" at ~150 W per server.
+     * @param mode rise-computation kernel (Auto: factorize when faster
+     *        and within tolerance; Dense: exact reference convolution)
      */
     ThermalEnvironment(HeatDistributionMatrix matrix, CoolingParams cooling,
-                       double server_airflow_w_per_k = 15.0);
+                       double server_airflow_w_per_k = 15.0,
+                       ThermalComputeMode mode = ThermalComputeMode::Auto);
 
     std::size_t numServers() const { return matrixModel_.numServers(); }
 
@@ -66,6 +69,9 @@ class ThermalEnvironment
 
     const HeatDistributionMatrix &matrix() const
     { return matrixModel_.matrix(); }
+
+    /** The rise model (to inspect which kernel Auto mode selected). */
+    const MatrixThermalModel &matrixModel() const { return matrixModel_; }
 
     /** Drop all thermal history (outage restart). */
     void reset();

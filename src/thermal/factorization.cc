@@ -1,0 +1,158 @@
+#include "thermal/factorization.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "thermal/heat_matrix.hh"
+#include "util/logging.hh"
+
+namespace ecolo::thermal {
+
+namespace {
+
+/**
+ * Cyclic Jacobi eigendecomposition of a symmetric h x h matrix (h is the
+ * horizon, typically 10, so cost is negligible). On return `a` holds a
+ * near-diagonal matrix whose diagonal are the eigenvalues and `v` the
+ * corresponding orthonormal eigenvectors (columns).
+ */
+void
+jacobiEigen(std::vector<double> &a, std::vector<double> &v, std::size_t h)
+{
+    v.assign(h * h, 0.0);
+    for (std::size_t i = 0; i < h; ++i)
+        v[i * h + i] = 1.0;
+
+    for (int sweep = 0; sweep < 64; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < h; ++p)
+            for (std::size_t q = p + 1; q < h; ++q)
+                off += a[p * h + q] * a[p * h + q];
+        if (off < 1e-28 * std::max(1e-300, std::abs(std::accumulate(
+                              a.begin(), a.end(), 0.0))))
+            break;
+
+        for (std::size_t p = 0; p < h; ++p) {
+            for (std::size_t q = p + 1; q < h; ++q) {
+                const double apq = a[p * h + q];
+                if (std::abs(apq) < 1e-300)
+                    continue;
+                const double app = a[p * h + p];
+                const double aqq = a[q * h + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) +
+                                  std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (std::size_t k = 0; k < h; ++k) {
+                    const double akp = a[k * h + p];
+                    const double akq = a[k * h + q];
+                    a[k * h + p] = c * akp - s * akq;
+                    a[k * h + q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < h; ++k) {
+                    const double apk = a[p * h + k];
+                    const double aqk = a[q * h + k];
+                    a[p * h + k] = c * apk - s * aqk;
+                    a[q * h + k] = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < h; ++k) {
+                    const double vkp = v[k * h + p];
+                    const double vkq = v[k * h + q];
+                    v[k * h + p] = c * vkp - s * vkq;
+                    v[k * h + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+TemporalFactorization
+TemporalFactorization::compute(const HeatDistributionMatrix &matrix,
+                               FactorizationOptions opts)
+{
+    const std::size_t n = matrix.numServers();
+    const std::size_t h = matrix.horizon();
+    const std::size_t pairs = n * n;
+
+    TemporalFactorization out;
+    out.numServers_ = n;
+    out.horizon_ = h;
+
+    // Gram matrix C = B^T B of the mode-3 unfolding B[(i,j)][tau].
+    std::vector<double> gram(h * h, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t a = 0; a < h; ++a) {
+                const double ca = matrix.coeff(i, j, a);
+                for (std::size_t b = a; b < h; ++b)
+                    gram[a * h + b] += ca * matrix.coeff(i, j, b);
+            }
+        }
+    }
+    for (std::size_t a = 0; a < h; ++a)
+        for (std::size_t b = 0; b < a; ++b)
+            gram[a * h + b] = gram[b * h + a];
+
+    double total = 0.0; // trace(C) = ||B||_F^2
+    for (std::size_t a = 0; a < h; ++a)
+        total += gram[a * h + a];
+    if (total <= 0.0) {
+        out.relError_ = 0.0; // all-zero tensor: rank 0 is exact
+        return out;
+    }
+
+    std::vector<double> eigvecs;
+    jacobiEigen(gram, eigvecs, h);
+
+    std::vector<std::size_t> order(h);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return gram[a * h + a] > gram[b * h + b];
+    });
+
+    // suffix[r] = residual ||B - B_r||_F^2 of the rank-r truncation.
+    std::vector<double> suffix(h + 1, 0.0);
+    for (std::size_t r = h; r-- > 0;) {
+        suffix[r] = suffix[r + 1] +
+                    std::max(0.0, gram[order[r] * h + order[r]]);
+    }
+    const std::size_t max_rank =
+        opts.maxRank > 0 ? std::min(opts.maxRank, h) : h;
+    std::size_t rank = max_rank;
+    for (std::size_t r = 0; r <= max_rank; ++r) {
+        if (std::sqrt(suffix[r] / total) <= opts.relTolerance) {
+            rank = r;
+            break;
+        }
+    }
+    out.relError_ = std::sqrt(suffix[rank] / total);
+
+    out.temporal_.reserve(rank);
+    out.spatial_.reserve(rank);
+    for (std::size_t r = 0; r < rank; ++r) {
+        const std::size_t col = order[r];
+        std::vector<double> v(h);
+        for (std::size_t a = 0; a < h; ++a)
+            v[a] = eigvecs[a * h + col];
+        // Spatial factor U_r = B v_r (carries the singular-value scale).
+        std::vector<double> u(pairs, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc = 0.0;
+                for (std::size_t a = 0; a < h; ++a)
+                    acc += matrix.coeff(i, j, a) * v[a];
+                u[i * n + j] = acc;
+            }
+        }
+        out.temporal_.push_back(std::move(v));
+        out.spatial_.push_back(std::move(u));
+    }
+    return out;
+}
+
+} // namespace ecolo::thermal

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Truncated separable factorization of a heat-distribution tensor.
+ *
+ * The impulse-response tensor h[i][j][tau] is, for the analytic default,
+ * *exactly* separable: h = G[i][j] * k[tau] (spatial gain times a shared
+ * temporal kernel). CFD-extracted tensors are close to separable -- the
+ * airflow pattern fixes the spatial structure while the thermal build-up
+ * fixes the temporal shape -- so a few separable terms reproduce them to
+ * within extraction noise. This module computes the optimal (in the
+ * Frobenius sense) rank-R decomposition
+ *
+ *     h[i][j][tau] ~= sum_r  U_r[i][j] * V_r[tau]
+ *
+ * via an eigendecomposition of the H x H Gram matrix of the mode-3
+ * unfolding (H = horizon, typically 10), which is exactly the truncated
+ * SVD of that unfolding. MatrixThermalModel uses the factors to turn the
+ * O(N^2 H) per-minute convolution into R temporally-smoothed power states
+ * (O(N H) each) followed by R N x N GEMVs -- O(R (N H + N^2)) total.
+ */
+
+#ifndef ECOLO_THERMAL_FACTORIZATION_HH
+#define ECOLO_THERMAL_FACTORIZATION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ecolo::thermal {
+
+class HeatDistributionMatrix;
+
+/** Knobs for the truncated factorization. */
+struct FactorizationOptions
+{
+    /**
+     * Relative Frobenius-norm reconstruction error bound: the smallest
+     * rank meeting it is chosen. The analytic matrix factorizes at rank 1
+     * with error ~1e-16; CFD tensors typically need 2-4 terms at 1e-6.
+     */
+    double relTolerance = 1e-6;
+    /** Largest admissible rank; 0 means the full horizon (exact). */
+    std::size_t maxRank = 0;
+};
+
+/** The computed factors, ordered by decreasing singular value. */
+class TemporalFactorization
+{
+  public:
+    /** An empty rank-0 factorization (placeholder until compute()). */
+    TemporalFactorization() = default;
+
+    /** Factorize the given tensor. Always succeeds: at rank == horizon
+     * the decomposition is numerically exact, so the achieved error only
+     * exceeds opts.relTolerance when opts.maxRank truncates it. */
+    static TemporalFactorization
+    compute(const HeatDistributionMatrix &matrix,
+            FactorizationOptions opts = FactorizationOptions());
+
+    std::size_t rank() const { return temporal_.size(); }
+    std::size_t numServers() const { return numServers_; }
+    std::size_t horizon() const { return horizon_; }
+
+    /** Achieved relative Frobenius reconstruction error. */
+    double relError() const { return relError_; }
+
+    /** Spatial factor U_r, row-major N x N (includes the sigma scale). */
+    const std::vector<double> &spatial(std::size_t r) const
+    { return spatial_.at(r); }
+
+    /** Temporal factor V_r, length horizon, unit Euclidean norm. */
+    const std::vector<double> &temporal(std::size_t r) const
+    { return temporal_.at(r); }
+
+  private:
+    std::size_t numServers_ = 0;
+    std::size_t horizon_ = 0;
+    double relError_ = 0.0;
+    std::vector<std::vector<double>> spatial_;
+    std::vector<std::vector<double>> temporal_;
+};
+
+} // namespace ecolo::thermal
+
+#endif // ECOLO_THERMAL_FACTORIZATION_HH

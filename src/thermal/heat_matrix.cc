@@ -4,8 +4,20 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace ecolo::thermal {
+
+namespace {
+
+/**
+ * The factorized kernel must beat the dense convolution by a real margin
+ * before it is selected: rank * (N H + N^2) multiply-adds per minute vs.
+ * the dense N^2 H.
+ */
+constexpr double kFactorizedCostAdvantage = 0.75;
+
+} // namespace
 
 HeatDistributionMatrix::HeatDistributionMatrix(std::size_t num_servers,
                                                std::size_t horizon_minutes)
@@ -21,6 +33,7 @@ HeatDistributionMatrix::coeff(std::size_t i, std::size_t j, std::size_t tau)
 {
     ECOLO_ASSERT(i < numServers_ && j < numServers_ && tau < horizon_,
                  "matrix index out of range");
+    gainsDirty_ = true;
     return coeffs_[(i * numServers_ + j) * horizon_ + tau];
 }
 
@@ -33,22 +46,44 @@ HeatDistributionMatrix::coeff(std::size_t i, std::size_t j,
     return coeffs_[(i * numServers_ + j) * horizon_ + tau];
 }
 
+void
+HeatDistributionMatrix::ensureGainCache() const
+{
+    if (!gainsDirty_)
+        return;
+    steadyGains_.assign(numServers_ * numServers_, 0.0);
+    totalGains_.assign(numServers_, 0.0);
+    for (std::size_t i = 0; i < numServers_; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < numServers_; ++j) {
+            const double *cell =
+                &coeffs_[(i * numServers_ + j) * horizon_];
+            double sum = 0.0;
+            for (std::size_t tau = 0; tau < horizon_; ++tau)
+                sum += cell[tau];
+            steadyGains_[i * numServers_ + j] = sum;
+            row += sum;
+        }
+        totalGains_[i] = row;
+    }
+    gainsDirty_ = false;
+}
+
 double
 HeatDistributionMatrix::steadyGain(std::size_t i, std::size_t j) const
 {
-    double sum = 0.0;
-    for (std::size_t tau = 0; tau < horizon_; ++tau)
-        sum += coeff(i, j, tau);
-    return sum;
+    ECOLO_ASSERT(i < numServers_ && j < numServers_,
+                 "matrix index out of range");
+    ensureGainCache();
+    return steadyGains_[i * numServers_ + j];
 }
 
 double
 HeatDistributionMatrix::totalSteadyGain(std::size_t i) const
 {
-    double sum = 0.0;
-    for (std::size_t j = 0; j < numServers_; ++j)
-        sum += steadyGain(i, j);
-    return sum;
+    ECOLO_ASSERT(i < numServers_, "matrix index out of range");
+    ensureGainCache();
+    return totalGains_[i];
 }
 
 HeatDistributionMatrix
@@ -99,6 +134,7 @@ HeatDistributionMatrix::analyticDefault(const power::DataCenterLayout &layout,
                 matrix.coeff(i, j, tau) = gain * kernel[tau];
         }
     }
+    matrix.ensureGainCache();
     return matrix;
 }
 
@@ -120,7 +156,12 @@ HeatDistributionMatrix::extractFromCfd(
     steady.run(settle_time);
 
     HeatDistributionMatrix matrix(n, horizon_minutes);
-    for (std::size_t j = 0; j < n; ++j) {
+    // Spike columns j are independent: each worker copies the settled
+    // solver and writes the disjoint [*][j][*] slice. The solver is
+    // deterministic, so the result is bit-identical to a serial loop.
+    // (Direct coeffs_ writes keep workers off the shared dirty flag.)
+    double *coeffs = matrix.coeffs_.data();
+    util::parallelFor(0, n, [&](std::size_t j) {
         CfdSolver spiked = steady;
         CfdSolver reference = steady;
         std::vector<Kilowatts> powers = baseline_powers;
@@ -135,20 +176,37 @@ HeatDistributionMatrix::extractFromCfd(
                 const double rise =
                     (spiked.inletTemperature(i) -
                      reference.inletTemperature(i)).value();
-                matrix.coeff(i, j, tau) =
+                coeffs[(i * n + j) * horizon_minutes + tau] =
                     (rise - prev_rise[i]) / spike.value();
                 prev_rise[i] = rise;
             }
         }
-    }
+    });
+    matrix.ensureGainCache();
     return matrix;
 }
 
-MatrixThermalModel::MatrixThermalModel(HeatDistributionMatrix matrix)
+MatrixThermalModel::MatrixThermalModel(HeatDistributionMatrix matrix,
+                                       ThermalComputeMode mode,
+                                       FactorizationOptions factorization)
     : matrix_(std::move(matrix)),
       history_(matrix_.horizon(),
                std::vector<double>(matrix_.numServers(), 0.0))
 {
+    if (mode == ThermalComputeMode::Auto) {
+        const double n = static_cast<double>(matrix_.numServers());
+        const double h = static_cast<double>(matrix_.horizon());
+        TemporalFactorization factors =
+            TemporalFactorization::compute(matrix_, factorization);
+        const double factorized_cost =
+            static_cast<double>(factors.rank()) * (n * h + n * n);
+        const double dense_cost = n * n * h;
+        if (factors.relError() <= factorization.relTolerance &&
+            factorized_cost <= kFactorizedCostAdvantage * dense_cost) {
+            factors_ = std::move(factors);
+            factorizedActive_ = true;
+        }
+    }
 }
 
 void
@@ -181,6 +239,16 @@ MatrixThermalModel::inletRise(std::size_t i) const
 void
 MatrixThermalModel::computeAllRises(std::vector<double> &rises_out) const
 {
+    if (factorizedActive_)
+        computeAllRisesFactorized(rises_out);
+    else
+        computeAllRisesDense(rises_out);
+}
+
+void
+MatrixThermalModel::computeAllRisesDense(std::vector<double> &rises_out)
+    const
+{
     const std::size_t n = matrix_.numServers();
     const std::size_t horizon = history_.size();
     rises_out.assign(n, 0.0);
@@ -196,13 +264,50 @@ MatrixThermalModel::computeAllRises(std::vector<double> &rises_out) const
     }
 }
 
+void
+MatrixThermalModel::computeAllRisesFactorized(
+    std::vector<double> &rises_out) const
+{
+    const std::size_t n = matrix_.numServers();
+    const std::size_t horizon = history_.size();
+    const std::size_t rank = factors_.rank();
+
+    // Temporally-smoothed power states s_r[j] = sum_tau V_r[tau] P_j(t-tau).
+    smoothed_.assign(rank * n, 0.0);
+    for (std::size_t tau = 0; tau < filled_; ++tau) {
+        const std::size_t pos = (head_ + horizon - 1 - tau) % horizon;
+        const double *powers = history_[pos].data();
+        for (std::size_t r = 0; r < rank; ++r) {
+            const double k = factors_.temporal(r)[tau];
+            double *s = &smoothed_[r * n];
+            for (std::size_t j = 0; j < n; ++j)
+                s[j] += k * powers[j];
+        }
+    }
+
+    // rises = sum_r U_r * s_r (R GEMVs).
+    rises_out.assign(n, 0.0);
+    for (std::size_t r = 0; r < rank; ++r) {
+        const double *u = factors_.spatial(r).data();
+        const double *s = &smoothed_[r * n];
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *row = &u[i * n];
+            double acc = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                acc += row[j] * s[j];
+            rises_out[i] += acc;
+        }
+    }
+}
+
 CelsiusDelta
 MatrixThermalModel::maxInletRise() const
 {
-    CelsiusDelta best(0.0);
-    for (std::size_t i = 0; i < matrix_.numServers(); ++i)
-        best = std::max(best, inletRise(i));
-    return best;
+    computeAllRises(riseScratch_);
+    double best = 0.0;
+    for (double rise : riseScratch_)
+        best = std::max(best, rise);
+    return CelsiusDelta(best);
 }
 
 void

@@ -9,6 +9,14 @@
  * server's inlet temperature for 10 minutes yields coefficients h[i][j][tau]
  * (K per kW), after which server i's inlet temperature is the supply
  * temperature plus the convolution of all servers' recent power with h.
+ *
+ * The per-minute convolution is the hot path of every year-long campaign.
+ * MatrixThermalModel therefore factorizes the tensor (see
+ * thermal/factorization.hh) whenever it is separable enough: rises become
+ * R temporally-smoothed power states plus R N x N GEMVs, O(R (N H + N^2))
+ * instead of O(N^2 H) -- an exact rank-1 split for the analytic default,
+ * a truncated low-rank one for CFD-extracted tensors, and a dense
+ * fallback otherwise. Selection is automatic; call sites are unchanged.
  */
 
 #ifndef ECOLO_THERMAL_HEAT_MATRIX_HH
@@ -19,6 +27,7 @@
 
 #include "power/layout.hh"
 #include "thermal/cfd/solver.hh"
+#include "thermal/factorization.hh"
 #include "util/units.hh"
 
 namespace ecolo::thermal {
@@ -45,11 +54,14 @@ class HeatDistributionMatrix
     std::size_t numServers() const { return numServers_; }
     std::size_t horizon() const { return horizon_; }
 
-    /** Response of inlet i to 1 kW at server j, tau minutes later. */
+    /** Response of inlet i to 1 kW at server j, tau minutes later.
+     * Writing through the returned reference invalidates the cached
+     * steady-gain table (rebuilt lazily on the next steadyGain call). */
     double &coeff(std::size_t i, std::size_t j, std::size_t tau);
     double coeff(std::size_t i, std::size_t j, std::size_t tau) const;
 
-    /** Steady-state inlet-i gain to sustained power at j (sum over tau). */
+    /** Steady-state inlet-i gain to sustained power at j (sum over tau),
+     * served from a precomputed N x N table. */
     double steadyGain(std::size_t i, std::size_t j) const;
 
     /** Total steady gain of inlet i to uniform power at all servers. */
@@ -74,6 +86,8 @@ class HeatDistributionMatrix
      * quasi-steady state under baseline_powers, then, for each server, add
      * spike on top and record every inlet for horizon minutes against a
      * drift-corrected no-spike reference (the paper's exact procedure).
+     * The per-server spike columns are independent and run on the global
+     * thread pool; results are bit-identical to a serial extraction.
      */
     static HeatDistributionMatrix
     extractFromCfd(const power::DataCenterLayout &layout,
@@ -84,9 +98,26 @@ class HeatDistributionMatrix
                    Seconds settle_time = minutes(15));
 
   private:
+    /** Rebuild the steady-gain table if coeff writes invalidated it. */
+    void ensureGainCache() const;
+
     std::size_t numServers_;
     std::size_t horizon_;
     std::vector<double> coeffs_; //!< [i][j][tau] flattened
+
+    // Lazily rebuilt on first read after a coeff write; the factories
+    // build it eagerly so const instances never rebuild (thread-safe to
+    // read concurrently once built).
+    mutable std::vector<double> steadyGains_; //!< [i][j] sums over tau
+    mutable std::vector<double> totalGains_;  //!< per-i row sums
+    mutable bool gainsDirty_ = true;
+};
+
+/** How MatrixThermalModel computes rises. */
+enum class ThermalComputeMode
+{
+    Auto,  //!< factorize when accurate and cheaper; dense otherwise
+    Dense, //!< always the reference O(N^2 H) convolution
 };
 
 /**
@@ -97,18 +128,23 @@ class HeatDistributionMatrix
 class MatrixThermalModel
 {
   public:
-    explicit MatrixThermalModel(HeatDistributionMatrix matrix);
+    explicit MatrixThermalModel(
+        HeatDistributionMatrix matrix,
+        ThermalComputeMode mode = ThermalComputeMode::Auto,
+        FactorizationOptions factorization = FactorizationOptions());
 
     std::size_t numServers() const { return matrix_.numServers(); }
 
     /** Append this minute's per-server power vector. */
     void pushPowers(const std::vector<Kilowatts> &powers);
 
-    /** Inlet rise of server i implied by the buffered history. */
+    /** Inlet rise of server i implied by the buffered history (always the
+     * dense per-server walk; use computeAllRises for the fast path). */
     CelsiusDelta inletRise(std::size_t i) const;
 
     /** Compute every server's inlet rise in one pass (cheaper than
-     * calling inletRise per server). */
+     * calling inletRise per server; uses the factorized kernel when one
+     * was selected at construction). */
     void computeAllRises(std::vector<double> &rises_out) const;
 
     /** Largest inlet rise across servers. */
@@ -119,11 +155,25 @@ class MatrixThermalModel
 
     const HeatDistributionMatrix &matrix() const { return matrix_; }
 
+    /** True when the factorized kernel is active (introspection). */
+    bool usesFactorizedKernel() const { return factorizedActive_; }
+
+    /** Rank of the active factorization (0 on the dense path). */
+    std::size_t factorizationRank() const
+    { return factorizedActive_ ? factors_.rank() : 0; }
+
   private:
+    void computeAllRisesDense(std::vector<double> &rises_out) const;
+    void computeAllRisesFactorized(std::vector<double> &rises_out) const;
+
     HeatDistributionMatrix matrix_;
+    TemporalFactorization factors_;
+    bool factorizedActive_ = false;
     std::vector<std::vector<double>> history_; //!< ring of kW vectors
     std::size_t head_ = 0;                     //!< next write position
     std::size_t filled_ = 0;
+    mutable std::vector<double> smoothed_; //!< [r][j] factorized states
+    mutable std::vector<double> riseScratch_; //!< maxInletRise buffer
 };
 
 } // namespace ecolo::thermal

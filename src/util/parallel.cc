@@ -1,0 +1,166 @@
+#include "util/parallel.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace ecolo::util {
+
+namespace {
+
+/** Set while a thread is executing parallelFor bodies (nesting guard). */
+thread_local bool t_in_parallel_region = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    ECOLO_ASSERT(num_threads > 0, "thread pool needs at least one thread");
+    workers_.reserve(num_threads - 1);
+    for (std::size_t t = 0; t + 1 < num_threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t end = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            body = body_;
+            end = end_;
+        }
+
+        t_in_parallel_region = true;
+        for (;;) {
+            const std::size_t i = next_.fetch_add(1);
+            if (i >= end)
+                break;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+        }
+        t_in_parallel_region = false;
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (++finishedWorkers_ == workers_.size())
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+
+    // Inline paths: no workers, a single item, or a nested call (a body
+    // that itself calls parallelFor must not wait on the same workers).
+    if (workers_.empty() || end - begin == 1 || t_in_parallel_region) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> job_lock(jobMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        next_.store(begin);
+        end_ = end;
+        finishedWorkers_ = 0;
+        firstError_ = nullptr;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller claims indices alongside the workers.
+    t_in_parallel_region = true;
+    for (;;) {
+        const std::size_t i = next_.fetch_add(1);
+        if (i >= end)
+            break;
+        try {
+            body(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return finishedWorkers_ == workers_.size(); });
+    body_ = nullptr;
+    if (firstError_)
+        std::rethrow_exception(firstError_);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_global_mutex);
+    if (!g_global_pool)
+        g_global_pool = std::make_unique<ThreadPool>(defaultThreads());
+    return *g_global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t num_threads)
+{
+    std::lock_guard<std::mutex> lock(g_global_mutex);
+    g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("EDGETHERM_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &body)
+{
+    ThreadPool::global().parallelFor(begin, end, body);
+}
+
+} // namespace ecolo::util

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a parallelFor primitive.
+ *
+ * Year-long campaigns, fleet simulations, CFD matrix extraction and the
+ * sensitivity sweeps all decompose into *independent* units of work whose
+ * outputs go to pre-sized slots. This utility parallelizes exactly that
+ * shape -- an index range dispatched over a fixed set of worker threads --
+ * while keeping results bit-identical to a serial run: the body must write
+ * only to state owned by its index (its output slot, its own simulation,
+ * its own RNG stream), so the execution order cannot be observed.
+ *
+ * Scheduling is dynamic (workers claim indices from a shared atomic
+ * counter), which load-balances units of uneven cost such as simulations
+ * that hit outages. Nested parallelFor calls run inline on the calling
+ * thread, so code that is itself run under a parallelFor never deadlocks.
+ */
+
+#ifndef ECOLO_UTIL_PARALLEL_HH
+#define ECOLO_UTIL_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecolo::util {
+
+/** Fixed set of worker threads executing one index range at a time. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads total degree of parallelism, including the
+     *        calling thread; 1 means "run everything inline" and spawns
+     *        no workers.
+     */
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Degree of parallelism (workers + the calling thread). */
+    std::size_t numThreads() const { return workers_.size() + 1; }
+
+    /**
+     * Run body(i) for every i in [begin, end). The calling thread
+     * participates; the call returns after every index has completed.
+     * The first exception thrown by any body is rethrown on the caller
+     * (remaining indices still run). Concurrent parallelFor calls from
+     * different threads are serialized; calls from inside a body run
+     * inline on the calling thread.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * The process-wide pool used by FleetSimulation, extractFromCfd and
+     * the bench harnesses. Created on first use with defaultThreads().
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of the given size. Only call from
+     * a quiescent, single-threaded context (startup, tests): outstanding
+     * references to the previous pool must no longer be in use.
+     */
+    static void setGlobalThreads(std::size_t num_threads);
+
+    /**
+     * Default degree of parallelism: the EDGETHERM_THREADS environment
+     * variable when set, otherwise std::thread::hardware_concurrency().
+     */
+    static std::size_t defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;
+    std::size_t finishedWorkers_ = 0;
+    bool stop_ = false;
+
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::atomic<std::size_t> next_{0};
+    std::size_t end_ = 0;
+    std::exception_ptr firstError_;
+
+    std::mutex jobMutex_; //!< serializes parallelFor invocations
+    std::vector<std::thread> workers_;
+};
+
+/** ThreadPool::global().parallelFor(begin, end, body). */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace ecolo::util
+
+#endif // ECOLO_UTIL_PARALLEL_HH

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/fleet.hh"
+#include "util/parallel.hh"
 
 namespace ecolo::core {
 namespace {
@@ -69,6 +70,39 @@ TEST(Fleet, ResultAccumulatesAcrossRuns)
     EXPECT_EQ(fleet.result().sitesWithOutage, 0u);
     fleet.run(6 * 60);               // through the strike window
     EXPECT_GE(fleet.result().sitesWithOutage, 1u);
+}
+
+TEST(FleetParallel, BitIdenticalToSerial)
+{
+    // The threaded run must reproduce the serial sweep exactly: same
+    // aggregate result and the same per-site trajectories, bit for bit.
+    const MinuteIndex strike = kMinutesPerDay + 14 * 60;
+
+    util::ThreadPool::setGlobalThreads(1);
+    FleetSimulation serial(strikeConfig(), 4, strike, Kilowatts(6.5));
+    serial.run(2 * kMinutesPerDay);
+    util::ThreadPool::setGlobalThreads(4);
+    FleetSimulation parallel(strikeConfig(), 4, strike, Kilowatts(6.5));
+    // Split across two calls to also cover mid-run state carry-over.
+    parallel.run(kMinutesPerDay);
+    parallel.run(kMinutesPerDay);
+    util::ThreadPool::setGlobalThreads(util::ThreadPool::defaultThreads());
+
+    const FleetResult &a = serial.result();
+    const FleetResult &b = parallel.result();
+    EXPECT_EQ(a.numSites, b.numSites);
+    EXPECT_EQ(a.sitesWithOutage, b.sitesWithOutage);
+    EXPECT_EQ(a.maxSimultaneousOutages, b.maxSimultaneousOutages);
+    EXPECT_EQ(a.wideAreaInterruptionMinutes, b.wideAreaInterruptionMinutes);
+    EXPECT_EQ(a.firstOutageDelay, b.firstOutageDelay);
+    ASSERT_EQ(a.siteOutageMinutes.size(), b.siteOutageMinutes.size());
+    for (std::size_t s = 0; s < a.siteOutageMinutes.size(); ++s) {
+        EXPECT_EQ(a.siteOutageMinutes[s], b.siteOutageMinutes[s]);
+        EXPECT_DOUBLE_EQ(serial.site(s).metrics().inletRise().mean(),
+                         parallel.site(s).metrics().inletRise().mean());
+        EXPECT_DOUBLE_EQ(serial.site(s).metrics().inletRise().max(),
+                         parallel.site(s).metrics().inletRise().max());
+    }
 }
 
 TEST(FleetDeathTest, EmptyFleetRejected)

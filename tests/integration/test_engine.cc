@@ -104,6 +104,39 @@ TEST(Engine, DeterministicForSameSeed)
         EXPECT_DOUBLE_EQ(trace_a[i], trace_b[i]);
 }
 
+TEST(Engine, FactorizedThermalModeMatchesDense)
+{
+    // The paper-default analytic matrix is exactly separable, so Auto
+    // runs the factorized kernel; the campaign trajectory must match the
+    // dense reference to rounding error (no behavioral drift).
+    auto dense_config = SimulationConfig::paperDefault();
+    dense_config.thermalMode = thermal::ThermalComputeMode::Dense;
+    auto auto_config = SimulationConfig::paperDefault();
+    Simulation dense(dense_config,
+                     makeMyopicPolicy(dense_config, Kilowatts(7.3)));
+    Simulation fast(auto_config,
+                    makeMyopicPolicy(auto_config, Kilowatts(7.3)));
+    EXPECT_FALSE(
+        dense.thermalEnvironment().matrixModel().usesFactorizedKernel());
+    EXPECT_TRUE(
+        fast.thermalEnvironment().matrixModel().usesFactorizedKernel());
+
+    std::vector<double> inlet_dense, inlet_fast;
+    dense.setMinuteCallback([&](const MinuteRecord &r) {
+        inlet_dense.push_back(r.maxInlet.value());
+    });
+    fast.setMinuteCallback([&](const MinuteRecord &r) {
+        inlet_fast.push_back(r.maxInlet.value());
+    });
+    dense.runDays(3.0);
+    fast.runDays(3.0);
+    ASSERT_EQ(inlet_dense.size(), inlet_fast.size());
+    for (std::size_t i = 0; i < inlet_dense.size(); ++i)
+        EXPECT_NEAR(inlet_dense[i], inlet_fast[i], 1e-9);
+    EXPECT_EQ(dense.metrics().emergencies(), fast.metrics().emergencies());
+    EXPECT_EQ(dense.metrics().outages(), fast.metrics().outages());
+}
+
 TEST(Engine, DifferentSeedsDiffer)
 {
     auto config_a = SimulationConfig::paperDefault();

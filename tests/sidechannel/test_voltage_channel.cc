@@ -103,6 +103,52 @@ TEST(SideChannel, TracksLoadAcrossRange)
     }
 }
 
+TEST(SideChannel, AveragedMatchesManualSampleLoop)
+{
+    // estimateAveraged must consume exactly one estimateTotalLoad draw
+    // sequence per sample: a same-seeded channel driven by hand stays in
+    // lockstep, and so does everything sampled afterwards.
+    const int samples = 5;
+    VoltageSideChannel averaged(SideChannelParams{}, Rng(11));
+    VoltageSideChannel manual(SideChannelParams{}, Rng(11));
+    for (int round = 0; round < 20; ++round) {
+        const Kilowatts load(4.0 + 0.1 * round);
+        const Kilowatts est = averaged.estimateAveraged(load, samples);
+        double sum_kw = 0.0;
+        for (int k = 0; k < samples; ++k)
+            sum_kw += manual.estimateTotalLoad(load).value();
+        EXPECT_DOUBLE_EQ(est.value(), sum_kw / samples);
+        EXPECT_DOUBLE_EQ(averaged.lastRelativeError(),
+                         (sum_kw / samples - load.value()) / load.value());
+    }
+    // Post-condition: both RNG streams are still aligned.
+    EXPECT_DOUBLE_EQ(averaged.estimateTotalLoad(Kilowatts(6.0)).value(),
+                     manual.estimateTotalLoad(Kilowatts(6.0)).value());
+}
+
+TEST(SideChannel, AveragedReducesVariance)
+{
+    VoltageSideChannel single(SideChannelParams{}, Rng(12));
+    VoltageSideChannel averaged(SideChannelParams{}, Rng(13));
+    OnlineStats e1, e15;
+    for (int i = 0; i < 5000; ++i) {
+        single.estimateAveraged(Kilowatts(6.0), 1);
+        e1.add(single.lastRelativeError());
+        averaged.estimateAveraged(Kilowatts(6.0), 15);
+        e15.add(averaged.lastRelativeError());
+    }
+    // 15-sample mean should cut the noise roughly by sqrt(15) ~ 3.9x.
+    EXPECT_LT(e15.stddev(), 0.5 * e1.stddev());
+}
+
+TEST(SideChannel, AveragedClampsSampleCount)
+{
+    VoltageSideChannel a(SideChannelParams{}, Rng(14));
+    VoltageSideChannel b(SideChannelParams{}, Rng(14));
+    EXPECT_DOUBLE_EQ(a.estimateAveraged(Kilowatts(6.0), 0).value(),
+                     b.estimateTotalLoad(Kilowatts(6.0)).value());
+}
+
 TEST(SideChannel, CalibrationBiasWithinSpec)
 {
     SideChannelParams params;

@@ -1,0 +1,121 @@
+/** @file Unit tests for the thread pool and parallelFor. */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hh"
+
+namespace ecolo::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffset)
+{
+    ThreadPool pool(3);
+    std::vector<int> marks(20, 0);
+    pool.parallelFor(5, 15, [&](std::size_t i) { marks[i] = 1; });
+    for (std::size_t i = 0; i < marks.size(); ++i)
+        EXPECT_EQ(marks[i], (i >= 5 && i < 15) ? 1 : 0);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(3, 3, [&](std::size_t) { ran = true; });
+    pool.parallelFor(5, 2, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    std::vector<int> order;
+    pool.parallelFor(0, 5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i)); // safe: inline execution
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsMatchSerialSum)
+{
+    ThreadPool pool(4);
+    std::vector<double> out(512, 0.0);
+    pool.parallelFor(0, out.size(), [&](std::size_t i) {
+        out[i] = static_cast<double>(i) * 0.5;
+    });
+    double serial = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        serial += static_cast<double>(i) * 0.5;
+    EXPECT_DOUBLE_EQ(std::accumulate(out.begin(), out.end(), 0.0), serial);
+}
+
+TEST(ParallelFor, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(0, 8, [&](std::size_t outer) {
+        pool.parallelFor(0, 8, [&](std::size_t inner) {
+            hits[outer * 8 + inner].fetch_add(1);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100,
+                         [&](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(0, 10, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ParallelFor, GlobalPoolRespectsSetGlobalThreads)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 3u);
+    std::vector<std::atomic<int>> hits(100);
+    parallelFor(0, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+}
+
+TEST(ParallelDeathTest, ZeroThreadsRejected)
+{
+    EXPECT_DEATH(ThreadPool(0), "at least one thread");
+}
+
+} // namespace
+} // namespace ecolo::util
