@@ -30,13 +30,14 @@ Battery::soc() const
 KilowattHours
 Battery::usableCapacity() const
 {
+    // *1.0 when healthy, so the fault-free path stays bit-identical.
     if (spec_.capacityLossPerKelvin <= 0.0)
-        return spec_.capacity;
+        return spec_.capacity * faultCapacityFactor_;
     const double above =
         std::max(0.0, (ambient_ - spec_.thermalReference).value());
     const double fraction =
         std::max(0.5, 1.0 - spec_.capacityLossPerKelvin * above);
-    return spec_.capacity * fraction;
+    return spec_.capacity * fraction * faultCapacityFactor_;
 }
 
 void
@@ -113,6 +114,33 @@ Battery::setSoc(double soc_value)
     ECOLO_ASSERT(soc_value >= 0.0 && soc_value <= 1.0,
                  "state of charge out of [0,1]: ", soc_value);
     energy_ = spec_.capacity * soc_value;
+}
+
+void
+Battery::setFaultCapacityFactor(double factor)
+{
+    ECOLO_ASSERT(factor >= 0.0 && factor <= 1.0,
+                 "battery fault factor out of [0,1]: ", factor);
+    faultCapacityFactor_ = factor;
+    energy_ = clamp(energy_, KilowattHours(0.0), usableCapacity());
+}
+
+void
+Battery::saveState(util::StateWriter &writer) const
+{
+    writer.tag("BATT");
+    writer.f64(energy_.value());
+    writer.f64(ambient_.value());
+    writer.f64(faultCapacityFactor_);
+}
+
+void
+Battery::loadState(util::StateReader &reader)
+{
+    reader.tag("BATT");
+    energy_ = KilowattHours(reader.f64());
+    ambient_ = Celsius(reader.f64());
+    faultCapacityFactor_ = reader.f64();
 }
 
 } // namespace ecolo::battery

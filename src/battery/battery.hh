@@ -13,6 +13,7 @@
 #ifndef ECOLO_BATTERY_BATTERY_HH
 #define ECOLO_BATTERY_BATTERY_HH
 
+#include "util/state_io.hh"
 #include "util/units.hh"
 
 namespace ecolo::battery {
@@ -88,10 +89,24 @@ class Battery
     /** Usable capacity at the current ambient temperature. */
     KilowattHours usableCapacity() const;
 
+    /**
+     * Inject a capacity-fade fault (faults::FaultKind::BatteryFade): the
+     * usable capacity is multiplied by this factor and stored energy above
+     * the faded ceiling is curtailed. 1.0 restores the healthy model
+     * bit-identically.
+     */
+    void setFaultCapacityFactor(double factor);
+    double faultCapacityFactor() const { return faultCapacityFactor_; }
+
+    /** Serialize / restore the mutable state (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+
   private:
     BatterySpec spec_;
     KilowattHours energy_;
     Celsius ambient_{25.0};
+    double faultCapacityFactor_ = 1.0;
 };
 
 } // namespace ecolo::battery

@@ -68,6 +68,12 @@ class DualSourcePowerSupply
     SupplyResult step(Kilowatts demand, SupplyMode mode, Seconds dt,
                       std::optional<Kilowatts> grid_limit = std::nullopt);
 
+    /** Serialize / restore the mutable state (checkpointing). */
+    void saveState(util::StateWriter &writer) const
+    { battery_.saveState(writer); }
+    void loadState(util::StateReader &reader)
+    { battery_.loadState(reader); }
+
   private:
     Battery battery_;
     Kilowatts gridCap_;

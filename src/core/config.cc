@@ -1,49 +1,199 @@
 #include "core/config.hh"
 
+#include <cmath>
+
 #include "util/logging.hh"
 
 namespace ecolo::core {
 
+namespace {
+
+using util::ErrorCode;
+using util::Result;
+
+/** NaN/inf guard with the parameter name in the message. */
+Result<void>
+requireFinite(double value, const char *name)
+{
+    if (!std::isfinite(value)) {
+        return ECOLO_ERROR(ErrorCode::ValidationError, name,
+                           " must be a finite number, got ", value,
+                           " (check the scenario file for NaN/inf values)");
+    }
+    return {};
+}
+
+Result<void>
+requirePositive(double value, const char *name)
+{
+    ECOLO_TRY_VOID(requireFinite(value, name));
+    if (value <= 0.0) {
+        return ECOLO_ERROR(ErrorCode::ValidationError, name,
+                           " must be positive, got ", value);
+    }
+    return {};
+}
+
+Result<void>
+requireNonNegative(double value, const char *name)
+{
+    ECOLO_TRY_VOID(requireFinite(value, name));
+    if (value < 0.0) {
+        return ECOLO_ERROR(ErrorCode::ValidationError, name,
+                           " must be non-negative, got ", value);
+    }
+    return {};
+}
+
+/** Efficiencies and similar fractions: (0, 1]. */
+Result<void>
+requireUnitFraction(double value, const char *name)
+{
+    ECOLO_TRY_VOID(requireFinite(value, name));
+    if (value <= 0.0 || value > 1.0) {
+        return ECOLO_ERROR(ErrorCode::ValidationError, name,
+                           " must be in (0, 1], got ", value);
+    }
+    return {};
+}
+
+} // namespace
+
+util::Result<void>
+SimulationConfig::validated() const
+{
+    // ---- Value sanity: finite, signs, ranges ----
+    ECOLO_TRY_VOID(requirePositive(capacity.value(), "capacityKw"));
+    ECOLO_TRY_VOID(requirePositive(attackLoad.value(),
+                                   "attacker.attackLoadKw"));
+    ECOLO_TRY_VOID(requireFinite(attackerSubscription.value(),
+                                 "attacker.subscriptionKw"));
+    ECOLO_TRY_VOID(requireUnitFraction(attackerStandbyUtilization,
+                                       "attacker.standbyUtilization"));
+    ECOLO_TRY_VOID(requirePositive(batterySpec.capacity.value(),
+                                   "battery.capacityKwh"));
+    ECOLO_TRY_VOID(requirePositive(batterySpec.maxChargeRate.value(),
+                                   "battery.chargeRateKw"));
+    ECOLO_TRY_VOID(requirePositive(batterySpec.maxDischargeRate.value(),
+                                   "battery.dischargeRateKw"));
+    ECOLO_TRY_VOID(requireUnitFraction(batterySpec.chargeEfficiency,
+                                       "battery.chargeEfficiency"));
+    ECOLO_TRY_VOID(requireUnitFraction(batterySpec.dischargeEfficiency,
+                                       "battery.dischargeEfficiency"));
+    ECOLO_TRY_VOID(requirePositive(cooling.capacity.value(),
+                                   "cooling.capacityKw"));
+    ECOLO_TRY_VOID(requirePositive(cooling.airVolume,
+                                   "cooling.airVolumeM3"));
+    ECOLO_TRY_VOID(requireFinite(cooling.supplySetPoint.value(),
+                                 "cooling.setPointC"));
+    ECOLO_TRY_VOID(requireNonNegative(cooling.capacityDeratingPerKelvin,
+                                      "cooling.deratingPerKelvin"));
+    ECOLO_TRY_VOID(requireNonNegative(serverSpec.idlePower.value(),
+                                      "server idle power"));
+    ECOLO_TRY_VOID(requirePositive(serverSpec.peakPower.value(),
+                                   "server peak power"));
+    ECOLO_TRY_VOID(requirePositive(perServerCap.value(),
+                                   "protocol.perServerCapKw"));
+    ECOLO_TRY_VOID(requireFinite(emergencyThreshold.value(),
+                                 "protocol.emergencyThresholdC"));
+    ECOLO_TRY_VOID(requireFinite(shutdownThreshold.value(),
+                                 "protocol.shutdownThresholdC"));
+    ECOLO_TRY_VOID(requireNonNegative(operatorSensorNoise,
+                                      "operator sensor noise"));
+    if (serverSpec.peakPower.value() <= serverSpec.idlePower.value()) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "server peak power (",
+                           serverSpec.peakPower.value(),
+                           " kW) must exceed idle power (",
+                           serverSpec.idlePower.value(), " kW)");
+    }
+    if (outageRestartMinutes < 1) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "protocol.outageRestartMinutes must be at "
+                           "least 1, got ",
+                           outageRestartMinutes);
+    }
+
+    // ---- Structural constraints ----
+    if (numBenignTenants == 0) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "need at least one benign tenant");
+    }
+    if (attackerNumServers == 0 || attackerNumServers >= numServers()) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "attacker server count out of range: ",
+                           attackerNumServers, " of ", numServers());
+    }
+    if (numBenignServers() % numBenignTenants != 0) {
+        return ECOLO_ERROR(ErrorCode::ValidationError, "benign servers (",
+                           numBenignServers(),
+                           ") must divide evenly among ", numBenignTenants,
+                           " tenants");
+    }
+    if (attackerSubscription.value() <= 0.0 ||
+        attackerSubscription >= capacity) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "attacker subscription out of range: ",
+                           attackerSubscription.value(),
+                           " kW must lie strictly between 0 and the ",
+                           capacity.value(), " kW capacity");
+    }
+    if (batterySpec.maxDischargeRate < attackLoad) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "battery discharge rate (",
+                           batterySpec.maxDischargeRate.value(),
+                           " kW) cannot sustain the attack load (",
+                           attackLoad.value(), " kW)");
+    }
+    if (emergencyThreshold >= shutdownThreshold) {
+        return ECOLO_ERROR(
+            ErrorCode::ValidationError,
+            "emergency threshold must be below shutdown threshold (got ",
+            emergencyThreshold.value(), " C vs ",
+            shutdownThreshold.value(), " C)");
+    }
+    if (cooling.supplySetPoint >= emergencyThreshold) {
+        return ECOLO_ERROR(
+            ErrorCode::ValidationError,
+            "supply set point must be below emergency threshold (got ",
+            cooling.supplySetPoint.value(), " C vs ",
+            emergencyThreshold.value(), " C)");
+    }
+    if (perServerCap >= serverSpec.peakPower) {
+        return ECOLO_ERROR(
+            ErrorCode::ValidationError,
+            "emergency cap must be below server peak power (got ",
+            perServerCap.value(), " kW vs ",
+            serverSpec.peakPower.value(), " kW)");
+    }
+    if (!std::isfinite(averageUtilization) || averageUtilization <= 0.0 ||
+        averageUtilization > 1.0) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "average utilization out of (0,1]: got ",
+                           averageUtilization);
+    }
+    if (emergencySustainMinutes < 1 || cappingMinutes < 1) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "protocol durations must be at least one "
+                           "minute (sustain ",
+                           emergencySustainMinutes, ", capping ",
+                           cappingMinutes, ")");
+    }
+    if (!externalBenignTraces.empty() &&
+        externalBenignTraces.size() != numBenignTenants) {
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "externalBenignTraces must hold exactly ",
+                           numBenignTenants, " traces, got ",
+                           externalBenignTraces.size());
+    }
+    return {};
+}
+
 void
 SimulationConfig::validate() const
 {
-    if (capacity.value() <= 0.0)
-        ECOLO_FATAL("data center capacity must be positive");
-    if (numBenignTenants == 0)
-        ECOLO_FATAL("need at least one benign tenant");
-    if (attackerNumServers == 0 || attackerNumServers >= numServers())
-        ECOLO_FATAL("attacker server count out of range: ",
-                    attackerNumServers, " of ", numServers());
-    if (numBenignServers() % numBenignTenants != 0)
-        ECOLO_FATAL("benign servers (", numBenignServers(),
-                    ") must divide evenly among ", numBenignTenants,
-                    " tenants");
-    if (attackerSubscription.value() <= 0.0 ||
-        attackerSubscription >= capacity)
-        ECOLO_FATAL("attacker subscription out of range");
-    if (attackLoad.value() <= 0.0)
-        ECOLO_FATAL("attack load must be positive");
-    if (batterySpec.maxDischargeRate < attackLoad)
-        ECOLO_FATAL("battery discharge rate (",
-                    batterySpec.maxDischargeRate.value(),
-                    " kW) cannot sustain the attack load (",
-                    attackLoad.value(), " kW)");
-    if (emergencyThreshold >= shutdownThreshold)
-        ECOLO_FATAL("emergency threshold must be below shutdown threshold");
-    if (cooling.supplySetPoint >= emergencyThreshold)
-        ECOLO_FATAL("supply set point must be below emergency threshold");
-    if (perServerCap >= serverSpec.peakPower)
-        ECOLO_FATAL("emergency cap must be below server peak power");
-    if (averageUtilization <= 0.0 || averageUtilization > 1.0)
-        ECOLO_FATAL("average utilization out of (0,1]");
-    if (emergencySustainMinutes < 1 || cappingMinutes < 1)
-        ECOLO_FATAL("protocol durations must be at least one minute");
-    if (!externalBenignTraces.empty() &&
-        externalBenignTraces.size() != numBenignTenants) {
-        ECOLO_FATAL("externalBenignTraces must hold exactly ",
-                    numBenignTenants, " traces, got ",
-                    externalBenignTraces.size());
-    }
+    if (const auto result = validated(); !result.ok())
+        ECOLO_FATAL(result.error().message);
 }
 
 SimulationConfig

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "battery/battery.hh"
+#include "faults/schedule.hh"
 #include "perf/latency_model.hh"
 #include "power/layout.hh"
 #include "power/server.hh"
@@ -21,6 +22,7 @@
 #include "trace/generators.hh"
 #include "thermal/cooling.hh"
 #include "thermal/heat_matrix.hh"
+#include "util/result.hh"
 #include "util/sim_time.hh"
 #include "util/units.hh"
 
@@ -111,6 +113,15 @@ struct SimulationConfig
     sidechannel::SideChannelParams sideChannel{};
     perf::LatencyModelParams latency{};
 
+    // ---- Fault injection (robustness experiments) ----
+    /**
+     * Deterministic timeline of injected faults (empty by default: runs
+     * with an empty schedule are bit-identical to builds without the
+     * fault subsystem). Populated from `fault.*` scenario keys or
+     * programmatically; see faults/schedule.hh and docs/faults.md.
+     */
+    faults::FaultSchedule faultSchedule{};
+
     // ---- Reproducibility ----
     std::uint64_t seed = 42;
 
@@ -131,6 +142,15 @@ struct SimulationConfig
         return Kilowatts((capacity - attackerSubscription).value() /
                          static_cast<double>(numBenignTenants));
     }
+
+    /**
+     * Full consistency check: structural constraints (server/tenant
+     * divisibility, threshold ordering) plus value sanity -- every
+     * physical quantity must be finite, efficiencies in (0, 1], air
+     * volume and rates positive. Returns a ValidationError naming the
+     * offending parameter, its value, and the accepted range.
+     */
+    util::Result<void> validated() const;
 
     /** Abort (via ECOLO_FATAL) if the configuration is inconsistent. */
     void validate() const;

@@ -70,6 +70,8 @@ Simulation::Simulation(SimulationConfig config,
           return params;
       }()),
       policy_(std::move(policy)),
+      faultsEnabled_(!config_.faultSchedule.empty()),
+      lastValidEstimate_(config_.attackerSubscription),
       lastHeat_(config_.numServers(), Kilowatts(0.0)),
       lastMetered_(config_.numServers(), Kilowatts(0.0))
 {
@@ -153,11 +155,18 @@ Simulation::makeObservation(bool capping, bool outage)
         // channel (it knows and subtracts its own draw), then reasons in
         // terms of "benign load + my subscription" as in the paper. The
         // channel averages the per-minute ripple samples internally.
-        obs.estimatedLoad =
-            channel_.estimateAveraged(
-                benignActualPower(),
-                config_.sideChannel.samplesPerEstimate) +
-            config_.attackerSubscription;
+        const Kilowatts estimate = channel_.estimateAveraged(
+            benignActualPower(), config_.sideChannel.samplesPerEstimate);
+        if (std::isnan(estimate.value())) {
+            // Sensor fault (dropout / corrupted samples): hold the last
+            // valid estimate. Policies discretize estimatedLoad into
+            // table indices, so a NaN must never reach them.
+            obs.estimatedLoad = lastValidEstimate_;
+            obs.estimateStale = true;
+        } else {
+            obs.estimatedLoad = estimate + config_.attackerSubscription;
+            lastValidEstimate_ = obs.estimatedLoad;
+        }
     }
 
     // The attacker's own inlet sensors: its servers are the first
@@ -173,29 +182,68 @@ Simulation::makeObservation(bool capping, bool outage)
 void
 Simulation::stepMinute()
 {
+    // ---- 0. Fault injection (skipped entirely on healthy configs). ----
+    if (faultsEnabled_)
+        applyFaultsForMinute();
+
     const bool capping = command_.capServers;
     const bool outage = command_.outage;
+    // Degraded-mode preventive capping (operator fault response) caps at
+    // its own level when no emergency cap is in force.
+    const bool preventive =
+        !capping && command_.preventiveCapLevel.has_value();
+    const bool any_cap = capping || preventive;
     const Kilowatts cap_level =
-        command_.capLevel.value_or(config_.perServerCap);
+        capping ? command_.capLevel.value_or(config_.perServerCap)
+                : command_.preventiveCapLevel.value_or(config_.perServerCap);
+    const bool degraded_now = command_.degraded;
+    const double shed_fraction_now = command_.shedFraction;
     const std::size_t n_attacker = config_.attackerNumServers;
 
     // ---- 1. Benign tenants follow their traces; operator commands. ----
+    // A trace-gap fault freezes the telemetry feed: tenants keep replaying
+    // the last pre-gap minute instead of dying on missing data.
+    const MinuteIndex trace_minute =
+        (faultsEnabled_ && faultsNow_.traceGap)
+            ? std::max<MinuteIndex>(0, faultsNow_.traceGapStart - 1)
+            : now_;
     for (auto &tenant : benignTenants_) {
-        tenant.applyTraceAt(now_);
+        tenant.applyTraceAt(trace_minute);
         tenant.setPoweredOn(!outage);
-        if (capping)
+        if (any_cap)
             tenant.setPerServerCap(cap_level);
         else
             tenant.clearCaps();
     }
     attackerTenant_.setPoweredOn(!outage);
-    if (capping)
+    if (any_cap)
         attackerTenant_.setPerServerCap(cap_level);
     else
         attackerTenant_.clearCaps();
 
+    // Hard server failures (fault) and commanded partial shutdown
+    // (degraded-mode response) power off benign servers from the back of
+    // the bank; both are zero on healthy runs.
+    if (!outage) {
+        const std::size_t num_benign = config_.numBenignServers();
+        const std::size_t shed = static_cast<std::size_t>(
+            shed_fraction_now * static_cast<double>(num_benign));
+        const std::size_t failed =
+            faultsEnabled_ ? faultsNow_.failedServers : 0;
+        std::size_t remaining = std::min(num_benign, shed + failed);
+        for (auto tenant = benignTenants_.rbegin();
+             tenant != benignTenants_.rend() && remaining > 0; ++tenant) {
+            auto &servers = tenant->servers();
+            for (auto srv = servers.rbegin();
+                 srv != servers.rend() && remaining > 0; ++srv) {
+                srv->setPoweredOn(false);
+                --remaining;
+            }
+        }
+    }
+
     // ---- 2. Observation, learning feedback, day boundary. ----
-    AttackObservation obs = makeObservation(capping, outage);
+    AttackObservation obs = makeObservation(any_cap, outage);
     if (havePending_)
         policy_->feedback(lastObs_, lastAction_, obs);
     if (now_ > 0 && now_ % kMinutesPerDay == 0)
@@ -205,18 +253,21 @@ Simulation::stepMinute()
     AttackAction action = policy_->decide(obs);
     if (outage) {
         action = AttackAction::Standby;
-    } else if (capping && !policy_->ignoresCapping() &&
+    } else if (any_cap && !policy_->ignoresCapping() &&
                action == AttackAction::Attack) {
         action = obs.batterySoc < 1.0 ? AttackAction::Charge
                                       : AttackAction::Standby;
     }
 
     // ---- 4. Attacker power execution. ----
+    // A BMS cutout isolates the battery: neither discharging (the attack
+    // fizzles at the grid cap) nor charging is possible.
+    const bool bms_cutout = faultsEnabled_ && faultsNow_.bmsCutout;
     battery::SupplyResult supply{Kilowatts(0.0), Kilowatts(0.0),
                                  Kilowatts(0.0)};
     if (!outage) {
         std::optional<Kilowatts> grid_limit;
-        if (capping)
+        if (any_cap)
             grid_limit = cap_level * static_cast<double>(n_attacker);
         switch (action) {
           case AttackAction::Attack: {
@@ -224,8 +275,10 @@ Simulation::stepMinute()
             const Kilowatts demand =
                 config_.attackerSubscription + config_.attackLoad;
             supply = attackerSupply_.step(
-                demand, battery::SupplyMode::DischargeBattery, minutes(1),
-                grid_limit);
+                demand,
+                bms_cutout ? battery::SupplyMode::GridOnly
+                           : battery::SupplyMode::DischargeBattery,
+                minutes(1), grid_limit);
             break;
           }
           case AttackAction::Charge: {
@@ -233,7 +286,9 @@ Simulation::stepMinute()
                 config_.attackerStandbyUtilization);
             supply = attackerSupply_.step(
                 attackerTenant_.actualPower(),
-                battery::SupplyMode::ChargeBattery, minutes(1), grid_limit);
+                bms_cutout ? battery::SupplyMode::GridOnly
+                           : battery::SupplyMode::ChargeBattery,
+                minutes(1), grid_limit);
             break;
           }
           case AttackAction::Standby: {
@@ -291,7 +346,16 @@ Simulation::stepMinute()
         sensed_inlet = max_inlet + CelsiusDelta(rng_.normal(
                            0.0, config_.operatorSensorNoise));
     }
-    command_ = operator_.observeMinute(sensed_inlet);
+    // The operator's own health telemetry: CRAC derating is visible on
+    // the unit's controller, and a telemetry dropout blinds the inlet
+    // feed (the operator falls back to its last good reading).
+    DegradedContext degraded_ctx;
+    if (faultsEnabled_) {
+        degraded_ctx.coolingCapacityFactor =
+            faultsNow_.coolingCapacityFactor;
+        degraded_ctx.sensorValid = !faultsNow_.sideChannelDropout;
+    }
+    command_ = operator_.observeMinute(sensed_inlet, degraded_ctx);
 
     while (emergenciesSeen_ < operator_.emergenciesDeclared()) {
         metrics_.noteEmergencyDeclared();
@@ -303,7 +367,7 @@ Simulation::stepMinute()
     }
 
     // ---- 7. Performance accounting during capped minutes. ----
-    if (capping && !outage) {
+    if (any_cap && !outage) {
         double sum = 0.0;
         for (std::size_t k = 0; k < benignTenants_.size(); ++k) {
             const auto &tenant = benignTenants_[k];
@@ -340,6 +404,9 @@ Simulation::stepMinute()
     record.action = action;
     record.cappingActive = capping;
     record.outage = outage;
+    record.degraded = degraded_now;
+    record.shedFraction = shed_fraction_now;
+    record.estimateStale = obs.estimateStale;
     metrics_.recordMinute(record, config_.cooling.supplySetPoint,
                           thermal_.meanInletTemperature());
     if (callback_)
@@ -349,6 +416,139 @@ Simulation::stepMinute()
     lastAction_ = action;
     havePending_ = true;
     ++now_;
+}
+
+void
+Simulation::applyFaultsForMinute()
+{
+    faultsNow_ = config_.faultSchedule.activeAt(now_);
+
+    // CRAC faults derate the cooling plant; the operator's commanded
+    // set-point raise (a degraded-mode response decided last minute) is
+    // applied alongside so the two compose in the capacity model.
+    thermal_.cooling().setFaultDerating(faultsNow_.coolingCapacityFactor,
+                                        faultsNow_.coolingRecoveryFactor);
+    thermal_.cooling().setSetPointOffset(command_.setPointRaise);
+    attackerSupply_.battery().setFaultCapacityFactor(
+        faultsNow_.batteryCapacityFactor);
+
+    using sidechannel::SensorFaultMode;
+    SensorFaultMode mode = SensorFaultMode::Healthy;
+    if (faultsNow_.sideChannelDropout)
+        mode = SensorFaultMode::Dropout;
+    else if (faultsNow_.sideChannelNan)
+        mode = SensorFaultMode::Nan;
+    else if (faultsNow_.sideChannelStuck)
+        mode = SensorFaultMode::Stuck;
+    channel_.setFaultMode(mode);
+}
+
+void
+Simulation::saveState(util::StateWriter &writer) const
+{
+    writer.tag("SIM ");
+    writer.i64(now_);
+    rng_.saveState(writer);
+
+    writer.boolean(command_.capServers);
+    writer.boolean(command_.outage);
+    writer.boolean(command_.capLevel.has_value());
+    writer.f64(command_.capLevel ? command_.capLevel->value() : 0.0);
+    writer.boolean(command_.preventiveCapLevel.has_value());
+    writer.f64(command_.preventiveCapLevel
+                   ? command_.preventiveCapLevel->value()
+                   : 0.0);
+    writer.f64(command_.setPointRaise.value());
+    writer.f64(command_.shedFraction);
+    writer.boolean(command_.degraded);
+
+    writer.i64(lastObs_.time);
+    writer.f64(lastObs_.batterySoc);
+    writer.f64(lastObs_.estimatedLoad.value());
+    writer.f64(lastObs_.inletTemperature.value());
+    writer.boolean(lastObs_.cappingActive);
+    writer.boolean(lastObs_.outage);
+    writer.boolean(lastObs_.estimateStale);
+    writer.u32(static_cast<std::uint32_t>(lastAction_));
+    writer.boolean(havePending_);
+    writer.f64(lastValidEstimate_.value());
+    writer.u64(emergenciesSeen_);
+    writer.u64(outagesSeen_);
+
+    std::vector<double> kw(lastHeat_.size());
+    for (std::size_t i = 0; i < lastHeat_.size(); ++i)
+        kw[i] = lastHeat_[i].value();
+    writer.f64Vector(kw);
+    for (std::size_t i = 0; i < lastMetered_.size(); ++i)
+        kw[i] = lastMetered_[i].value();
+    writer.f64Vector(kw);
+
+    attackerSupply_.saveState(writer);
+    thermal_.saveState(writer);
+    channel_.saveState(writer);
+    operator_.saveState(writer);
+    policy_->saveState(writer);
+    metrics_.saveState(writer);
+}
+
+void
+Simulation::loadState(util::StateReader &reader)
+{
+    reader.tag("SIM ");
+    now_ = reader.i64();
+    rng_.loadState(reader);
+
+    command_.capServers = reader.boolean();
+    command_.outage = reader.boolean();
+    const bool have_cap = reader.boolean();
+    const double cap_kw = reader.f64();
+    command_.capLevel =
+        have_cap ? std::optional<Kilowatts>(Kilowatts(cap_kw))
+                 : std::nullopt;
+    const bool have_preventive = reader.boolean();
+    const double preventive_kw = reader.f64();
+    command_.preventiveCapLevel =
+        have_preventive ? std::optional<Kilowatts>(Kilowatts(preventive_kw))
+                        : std::nullopt;
+    command_.setPointRaise = CelsiusDelta(reader.f64());
+    command_.shedFraction = reader.f64();
+    command_.degraded = reader.boolean();
+
+    lastObs_.time = reader.i64();
+    lastObs_.batterySoc = reader.f64();
+    lastObs_.estimatedLoad = Kilowatts(reader.f64());
+    lastObs_.inletTemperature = Celsius(reader.f64());
+    lastObs_.cappingActive = reader.boolean();
+    lastObs_.outage = reader.boolean();
+    lastObs_.estimateStale = reader.boolean();
+    lastAction_ = static_cast<AttackAction>(reader.u32());
+    havePending_ = reader.boolean();
+    lastValidEstimate_ = Kilowatts(reader.f64());
+    emergenciesSeen_ = static_cast<std::size_t>(reader.u64());
+    outagesSeen_ = static_cast<std::size_t>(reader.u64());
+
+    const std::vector<double> heat_kw = reader.f64Vector();
+    const std::vector<double> metered_kw = reader.f64Vector();
+    if (reader.ok() && (heat_kw.size() != lastHeat_.size() ||
+                        metered_kw.size() != lastMetered_.size())) {
+        reader.fail(ECOLO_ERROR(
+            util::ErrorCode::StateError,
+            "server-count mismatch restoring simulation state: "
+            "checkpoint has ",
+            heat_kw.size(), " servers, config has ", lastHeat_.size()));
+        return;
+    }
+    for (std::size_t i = 0; i < heat_kw.size(); ++i)
+        lastHeat_[i] = Kilowatts(heat_kw[i]);
+    for (std::size_t i = 0; i < metered_kw.size(); ++i)
+        lastMetered_[i] = Kilowatts(metered_kw[i]);
+
+    attackerSupply_.loadState(reader);
+    thermal_.loadState(reader);
+    channel_.loadState(reader);
+    operator_.loadState(reader);
+    policy_->loadState(reader);
+    metrics_.loadState(reader);
 }
 
 void

@@ -20,6 +20,7 @@
 #include "battery/power_supply.hh"
 #include "core/config.hh"
 #include "core/metrics.hh"
+#include "faults/fault.hh"
 #include "core/operator.hh"
 #include "core/policies.hh"
 #include "perf/latency_model.hh"
@@ -81,9 +82,22 @@ class Simulation
     const std::vector<Kilowatts> &lastServerMetered() const
     { return lastMetered_; }
 
+    /** Faults active during the most recently simulated minute. */
+    const faults::ActiveFaults &activeFaults() const { return faultsNow_; }
+
+    /**
+     * Serialize the complete mutable state. A Simulation constructed from
+     * the same config and policy kind, then restored with loadState,
+     * continues bit-identically to the uninterrupted run (learning
+     * policies excepted; see AttackPolicy::saveState).
+     */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+
   private:
     void buildTenants();
     void stepMinute();
+    void applyFaultsForMinute();
     Kilowatts benignActualPower() const;
     AttackObservation makeObservation(bool capping, bool outage);
 
@@ -107,6 +121,13 @@ class Simulation
     AttackObservation lastObs_;
     AttackAction lastAction_ = AttackAction::Standby;
     bool havePending_ = false;
+
+    /** True when the config carries a non-empty fault schedule; with an
+     * empty schedule every fault hook is skipped (bit-identical runs). */
+    bool faultsEnabled_ = false;
+    faults::ActiveFaults faultsNow_;
+    /** Last non-NaN side-channel estimate (sensor-fault fallback). */
+    Kilowatts lastValidEstimate_{0.0};
 
     std::vector<Kilowatts> lastHeat_;
     std::vector<Kilowatts> lastMetered_;

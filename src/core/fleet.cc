@@ -1,6 +1,8 @@
 #include "core/fleet.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -86,6 +88,107 @@ FleetSimulation::sitesDownNow() const
     for (bool b : downNow_)
         down += b;
     return down;
+}
+
+util::Result<void>
+FleetSimulation::saveCheckpoint(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "cannot open checkpoint file for writing: ",
+                               tmp);
+        }
+        util::StateWriter writer(os);
+        writer.header();
+        writer.tag("FLT ");
+        // Config fingerprint: enough to reject a checkpoint written by a
+        // different campaign before any state is interpreted.
+        writer.u64(sites_.size());
+        writer.u64(sites_.front()->config().seed);
+        writer.u64(sites_.front()->config().numServers());
+        writer.i64(strikeMinute_);
+        writer.i64(now_);
+
+        writer.u64(result_.sitesWithOutage);
+        writer.u64(result_.maxSimultaneousOutages);
+        writer.i64(result_.wideAreaInterruptionMinutes);
+        writer.i64(result_.firstOutageDelay);
+        writer.i64Vector(result_.siteOutageMinutes);
+        for (bool b : downNow_)
+            writer.boolean(b);
+
+        for (const auto &site : sites_)
+            site->saveState(writer);
+
+        os.flush();
+        if (!writer.good() || !os) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "short write to checkpoint file: ", tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot rename checkpoint into place: ", tmp,
+                           " -> ", path);
+    }
+    return {};
+}
+
+util::Result<void>
+FleetSimulation::loadCheckpoint(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open checkpoint file: ", path);
+    }
+    util::StateReader reader(is);
+    reader.header();
+    reader.tag("FLT ");
+
+    const std::uint64_t num_sites = reader.u64();
+    const std::uint64_t seed = reader.u64();
+    const std::uint64_t num_servers = reader.u64();
+    const MinuteIndex strike = reader.i64();
+    if (!reader.ok())
+        return reader.status().error();
+    if (num_sites != sites_.size() ||
+        seed != sites_.front()->config().seed ||
+        num_servers != sites_.front()->config().numServers() ||
+        strike != strikeMinute_) {
+        return ECOLO_ERROR(
+            util::ErrorCode::StateError,
+            "checkpoint fingerprint mismatch for ", path, ": checkpoint (",
+            num_sites, " sites, seed ", seed, ", ", num_servers,
+            " servers, strike ", strike, ") vs campaign (", sites_.size(),
+            " sites, seed ", sites_.front()->config().seed, ", ",
+            sites_.front()->config().numServers(), " servers, strike ",
+            strikeMinute_, ")");
+    }
+
+    now_ = reader.i64();
+    result_.sitesWithOutage = static_cast<std::size_t>(reader.u64());
+    result_.maxSimultaneousOutages =
+        static_cast<std::size_t>(reader.u64());
+    result_.wideAreaInterruptionMinutes = reader.i64();
+    result_.firstOutageDelay = reader.i64();
+    result_.siteOutageMinutes = reader.i64Vector();
+    if (reader.ok() && result_.siteOutageMinutes.size() != sites_.size()) {
+        return ECOLO_ERROR(util::ErrorCode::StateError,
+                           "checkpoint per-site vector length mismatch: ",
+                           result_.siteOutageMinutes.size(), " vs ",
+                           sites_.size());
+    }
+    for (std::size_t s = 0; s < downNow_.size(); ++s)
+        downNow_[s] = reader.boolean();
+
+    for (auto &site : sites_)
+        site->loadState(reader);
+
+    return reader.status();
 }
 
 } // namespace ecolo::core

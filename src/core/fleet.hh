@@ -16,9 +16,12 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.hh"
+#include "util/result.hh"
+#include "util/state_io.hh"
 
 namespace ecolo::core {
 
@@ -72,6 +75,30 @@ class FleetSimulation
 
     /** Sites currently in outage. */
     std::size_t sitesDownNow() const;
+
+    /** Minutes simulated so far. */
+    MinuteIndex now() const { return now_; }
+
+    /**
+     * Atomically persist the complete campaign state -- a config
+     * fingerprint, the aggregate result, and every site's full
+     * simulation state -- to `path` (written to `path + ".tmp"` first,
+     * then renamed, so a crash mid-write never clobbers the previous
+     * good checkpoint). A fleet constructed with the same parameters
+     * and restored via loadCheckpoint continues bit-identically to the
+     * uninterrupted campaign.
+     */
+    util::Result<void> saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Restore a checkpoint written by saveCheckpoint into this (freshly
+     * constructed, same-parameters) fleet. Fails with a structured error
+     * on I/O problems, corrupt data, or a config fingerprint mismatch;
+     * after a failure the fleet may be partially restored and should be
+     * discarded (callers typically rebuild and cold-start instead of
+     * dying -- that is the graceful-degradation contract).
+     */
+    util::Result<void> loadCheckpoint(const std::string &path);
 
   private:
     std::vector<std::unique_ptr<Simulation>> sites_;

@@ -48,6 +48,12 @@ struct AttackObservation
     bool cappingActive = false;
     /** True while the PDU is de-energized (outage). */
     bool outage = false;
+    /**
+     * True when the side channel produced no fresh reading this minute
+     * (sensor fault) and estimatedLoad is the last valid value held over.
+     * Policies discretize estimatedLoad, so a NaN must never reach them.
+     */
+    bool estimateStale = false;
 };
 
 /** Discretization of (battery, load) into Q-table indices. */

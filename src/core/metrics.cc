@@ -19,6 +19,8 @@ SimulationMetrics::recordMinute(const MinuteRecord &record,
         ++emergencyMinutes_;
     if (record.outage)
         ++outageMinutes_;
+    if (record.degraded)
+        ++degradedMinutes_;
     inletRise_.add((mean_inlet - supply_set_point).value());
     maxInlet_.add(record.maxInlet.value());
     inletHistogram_.add(record.maxInlet.value());
@@ -66,6 +68,50 @@ double
 SimulationMetrics::emergencyHoursPerYear() const
 {
     return emergencyFraction() * 365.0 * 24.0;
+}
+
+void
+SimulationMetrics::saveState(util::StateWriter &writer) const
+{
+    writer.tag("METR");
+    writer.i64(minutes_);
+    writer.i64(attackMinutes_);
+    writer.i64(emergencyMinutes_);
+    writer.i64(outageMinutes_);
+    writer.i64(degradedMinutes_);
+    writer.u64(emergencies_);
+    writer.u64(outages_);
+    inletRise_.saveState(writer);
+    maxInlet_.saveState(writer);
+    emergencyPerf_.saveState(writer);
+    writer.u64(tenantPerf_.size());
+    for (const OnlineStats &stats : tenantPerf_)
+        stats.saveState(writer);
+    inletHistogram_.saveState(writer);
+    writer.f64(attackerGridEnergy_.value());
+    writer.f64(batteryDelivered_.value());
+}
+
+void
+SimulationMetrics::loadState(util::StateReader &reader)
+{
+    reader.tag("METR");
+    minutes_ = reader.i64();
+    attackMinutes_ = reader.i64();
+    emergencyMinutes_ = reader.i64();
+    outageMinutes_ = reader.i64();
+    degradedMinutes_ = reader.i64();
+    emergencies_ = static_cast<std::size_t>(reader.u64());
+    outages_ = static_cast<std::size_t>(reader.u64());
+    inletRise_.loadState(reader);
+    maxInlet_.loadState(reader);
+    emergencyPerf_.loadState(reader);
+    tenantPerf_.resize(static_cast<std::size_t>(reader.u64()));
+    for (OnlineStats &stats : tenantPerf_)
+        stats.loadState(reader);
+    inletHistogram_.loadState(reader);
+    attackerGridEnergy_ = KilowattHours(reader.f64());
+    batteryDelivered_ = KilowattHours(reader.f64());
 }
 
 } // namespace ecolo::core

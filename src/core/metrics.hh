@@ -13,6 +13,7 @@
 
 #include "core/mdp.hh"
 #include "util/sim_time.hh"
+#include "util/state_io.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 
@@ -32,6 +33,12 @@ struct MinuteRecord
     AttackAction action = AttackAction::Standby;
     bool cappingActive = false;
     bool outage = false;
+    /** Degraded-mode (fault-response) command was in force this minute. */
+    bool degraded = false;
+    /** Commanded benign shed fraction in force this minute. */
+    double shedFraction = 0.0;
+    /** The side-channel estimate was held over (sensor fault). */
+    bool estimateStale = false;
 };
 
 /** Aggregated over a run. */
@@ -58,6 +65,8 @@ class SimulationMetrics
     MinuteIndex attackMinutes() const { return attackMinutes_; }
     MinuteIndex emergencyMinutes() const { return emergencyMinutes_; }
     MinuteIndex outageMinutes() const { return outageMinutes_; }
+    /** Minutes with a degraded-mode (fault-response) command in force. */
+    MinuteIndex degradedMinutes() const { return degradedMinutes_; }
     std::size_t emergencies() const { return emergencies_; }
     std::size_t outages() const { return outages_; }
 
@@ -90,11 +99,16 @@ class SimulationMetrics
     KilowattHours batteryEnergyDelivered() const
     { return batteryDelivered_; }
 
+    /** Serialize / restore all accumulated metrics (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+
   private:
     MinuteIndex minutes_ = 0;
     MinuteIndex attackMinutes_ = 0;
     MinuteIndex emergencyMinutes_ = 0;
     MinuteIndex outageMinutes_ = 0;
+    MinuteIndex degradedMinutes_ = 0;
     std::size_t emergencies_ = 0;
     std::size_t outages_ = 0;
     OnlineStats inletRise_;

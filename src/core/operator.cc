@@ -1,6 +1,7 @@
 #include "core/operator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -33,6 +34,25 @@ ColoOperator::ColoOperator(Params params) : params_(params)
 OperatorCommand
 ColoOperator::observeMinute(Celsius max_inlet)
 {
+    return observeMinute(max_inlet, DegradedContext{});
+}
+
+OperatorCommand
+ColoOperator::observeMinute(Celsius sensed, const DegradedContext &ctx)
+{
+    // Sensor fallback: on an invalid/NaN reading, hold the last good
+    // value so the protocol keeps running instead of comparing against
+    // garbage (every comparison with NaN is false, which would silently
+    // disable the entire emergency protocol).
+    Celsius max_inlet = sensed;
+    if (!ctx.sensorValid || std::isnan(sensed.value())) {
+        ++blindMinutes_;
+        max_inlet = lastGoodInlet_;
+    } else {
+        blindMinutes_ = 0;
+        lastGoodInlet_ = sensed;
+    }
+
     // The shutdown threshold overrides everything: permanent-damage
     // protection trips regardless of protocol state.
     if (state_ != OperatorState::Outage &&
@@ -95,6 +115,63 @@ ColoOperator::observeMinute(Celsius max_inlet)
     command.outage = state_ == OperatorState::Outage;
     if (command.capServers && params_.adaptiveCapping)
         command.capLevel = activeCapLevel_;
+
+    // ---- Degraded-mode overlay: graceful responses to injected faults.
+    // With a healthy context every branch below is skipped, so the
+    // fault-free path stays bit-identical.
+    if (state_ != OperatorState::Outage) {
+        const double factor =
+            std::clamp(ctx.coolingCapacityFactor, 0.0, 1.0);
+        const double severity = 1.0 - factor;
+
+        if (factor < 1.0) {
+            // Tier 1: raise the CRAC set point, trading inlet margin for
+            // removal capacity; ramps to the maximum as capacity falls to
+            // the shed threshold.
+            const double span =
+                std::max(1e-9, 1.0 - params_.derateShedThreshold);
+            const double ramp = std::min(1.0, severity / span);
+            command.setPointRaise =
+                CelsiusDelta(params_.maxSetPointRaise.value() * ramp);
+            command.degraded = true;
+        }
+        if (factor < params_.derateCapThreshold) {
+            // Tier 2: preventive load capping *before* the emergency
+            // protocol has to trip -- interpolate from the gentlest to the
+            // hardest cap as the derating deepens.
+            const double span = std::max(
+                1e-9,
+                params_.derateCapThreshold - params_.derateShedThreshold);
+            const double depth = std::clamp(
+                (params_.derateCapThreshold - factor) / span, 0.0, 1.0);
+            command.preventiveCapLevel =
+                params_.adaptiveMaxCap +
+                (params_.adaptiveMinCap - params_.adaptiveMaxCap) * depth;
+            command.degraded = true;
+        }
+        if (factor < params_.derateShedThreshold) {
+            // Tier 3: partial shutdown -- shed benign load outright when
+            // capping alone cannot fit the site under the surviving
+            // capacity.
+            command.shedFraction = std::min(
+                params_.maxShedFraction,
+                (params_.derateShedThreshold - factor) /
+                    std::max(1e-9, params_.derateShedThreshold));
+            command.degraded = true;
+        }
+        if (blindMinutes_ > params_.sensorBlindTolerance) {
+            // Flying blind: assume the worst and cap preventively at the
+            // hardest of the applicable levels.
+            const Kilowatts blind_cap = params_.sensorBlindCap;
+            command.preventiveCapLevel =
+                command.preventiveCapLevel
+                    ? std::min(*command.preventiveCapLevel, blind_cap)
+                    : blind_cap;
+            command.degraded = true;
+        }
+    }
+    if (command.degraded)
+        ++degradedMinutes_;
     return command;
 }
 
@@ -109,6 +186,45 @@ ColoOperator::reset()
     outages_ = 0;
     emergencyMinutes_ = 0;
     outageMinutes_ = 0;
+    degradedMinutes_ = 0;
+    blindMinutes_ = 0;
+    lastGoodInlet_ = Celsius(27.0);
+}
+
+void
+ColoOperator::saveState(util::StateWriter &writer) const
+{
+    writer.tag("OPER");
+    writer.u32(static_cast<std::uint32_t>(state_));
+    writer.i64(sustainCounter_);
+    writer.i64(cappingLeft_);
+    writer.i64(restartLeft_);
+    writer.u64(emergencies_);
+    writer.u64(outages_);
+    writer.f64(activeCapLevel_.value());
+    writer.i64(emergencyMinutes_);
+    writer.i64(outageMinutes_);
+    writer.i64(degradedMinutes_);
+    writer.i64(blindMinutes_);
+    writer.f64(lastGoodInlet_.value());
+}
+
+void
+ColoOperator::loadState(util::StateReader &reader)
+{
+    reader.tag("OPER");
+    state_ = static_cast<OperatorState>(reader.u32());
+    sustainCounter_ = reader.i64();
+    cappingLeft_ = reader.i64();
+    restartLeft_ = reader.i64();
+    emergencies_ = static_cast<std::size_t>(reader.u64());
+    outages_ = static_cast<std::size_t>(reader.u64());
+    activeCapLevel_ = Kilowatts(reader.f64());
+    emergencyMinutes_ = reader.i64();
+    outageMinutes_ = reader.i64();
+    degradedMinutes_ = reader.i64();
+    blindMinutes_ = reader.i64();
+    lastGoodInlet_ = Celsius(reader.f64());
 }
 
 } // namespace ecolo::core

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "util/sim_time.hh"
+#include "util/state_io.hh"
 #include "util/units.hh"
 
 namespace ecolo::core {
@@ -41,6 +42,36 @@ struct OperatorCommand
      * strategy.
      */
     std::optional<Kilowatts> capLevel;
+
+    // ---- Degraded-mode overlay (fault response; all neutral when
+    // ---- healthy, so fault-free runs are unaffected).
+
+    /**
+     * Preventive per-server cap applied even outside a declared
+     * emergency: with a partially failed CRAC (or a blind inlet sensor)
+     * the operator limits load *before* temperatures run away instead of
+     * waiting for the emergency protocol to trip.
+     */
+    std::optional<Kilowatts> preventiveCapLevel;
+    /** Commanded CRAC set-point raise (trades inlet margin for capacity). */
+    CelsiusDelta setPointRaise{0.0};
+    /** Fraction of benign servers to power off (partial shutdown). */
+    double shedFraction = 0.0;
+    /** True when any degraded-mode response is active this minute. */
+    bool degraded = false;
+};
+
+/**
+ * What the operator knows about the site's health this minute, beyond the
+ * sensed inlet temperature. Defaults describe a healthy site, so the
+ * one-argument observeMinute keeps its historical behavior exactly.
+ */
+struct DegradedContext
+{
+    /** Fraction of CRAC capacity still available (1 = healthy). */
+    double coolingCapacityFactor = 1.0;
+    /** False when the inlet reading is missing/implausible this minute. */
+    bool sensorValid = true;
 };
 
 /** The operator's monitoring/enforcement loop. */
@@ -65,6 +96,26 @@ class ColoOperator
         Kilowatts adaptiveMaxCap{0.15};  //!< marginal overshoot
         /** Overshoot (K above threshold) that maps to the hardest cap. */
         double adaptiveFullScaleKelvin = 5.0;
+
+        // ---- Degraded-mode (fault-response) knobs. With a healthy
+        // ---- DegradedContext none of these alter behavior.
+
+        /** CRAC capacity factor below which preventive capping starts. */
+        double derateCapThreshold = 0.98;
+        /** Capacity factor below which partial shutdown starts. */
+        double derateShedThreshold = 0.60;
+        /** Hardest allowed partial shutdown (fraction of benign servers). */
+        double maxShedFraction = 0.5;
+        /** Largest commanded set-point raise under CRAC derating. */
+        CelsiusDelta maxSetPointRaise{4.0};
+        /**
+         * Minutes of invalid inlet readings tolerated (holding the last
+         * good value) before the operator assumes the worst and caps
+         * preventively.
+         */
+        MinuteIndex sensorBlindTolerance = 10;
+        /** Preventive per-server cap while flying blind. */
+        Kilowatts sensorBlindCap{0.12};
     };
 
     explicit ColoOperator(Params params);
@@ -74,6 +125,17 @@ class ColoOperator
      * the command that applies to the *next* minute.
      */
     OperatorCommand observeMinute(Celsius max_inlet);
+
+    /**
+     * Fault-aware variant: the context carries what the operator's own
+     * monitoring knows about CRAC health and sensor validity, and the
+     * returned command may include graceful-degradation responses
+     * (preventive capping, set-point raise, partial shutdown) on top of
+     * the ordinary emergency protocol. With a default-constructed context
+     * this is exactly the historical observeMinute.
+     */
+    OperatorCommand observeMinute(Celsius max_inlet,
+                                  const DegradedContext &ctx);
 
     OperatorState state() const { return state_; }
 
@@ -85,10 +147,18 @@ class ColoOperator
     MinuteIndex emergencyMinutes() const { return emergencyMinutes_; }
     /** Minutes spent de-energized. */
     MinuteIndex outageMinutes() const { return outageMinutes_; }
+    /** Minutes spent with any degraded-mode response active. */
+    MinuteIndex degradedMinutes() const { return degradedMinutes_; }
+    /** Consecutive minutes the inlet sensor has been invalid. */
+    MinuteIndex blindMinutes() const { return blindMinutes_; }
 
     void reset();
 
     const Params &params() const { return params_; }
+
+    /** Serialize / restore the mutable state (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
 
   private:
     Params params_;
@@ -101,6 +171,9 @@ class ColoOperator
     Kilowatts activeCapLevel_{0.12};
     MinuteIndex emergencyMinutes_ = 0;
     MinuteIndex outageMinutes_ = 0;
+    MinuteIndex degradedMinutes_ = 0;
+    MinuteIndex blindMinutes_ = 0;
+    Celsius lastGoodInlet_{27.0};
 };
 
 } // namespace ecolo::core

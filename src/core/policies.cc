@@ -47,6 +47,20 @@ RandomPolicy::decide(const AttackObservation &obs)
     return idleAction(obs);
 }
 
+void
+RandomPolicy::saveState(util::StateWriter &writer) const
+{
+    writer.tag("RPOL");
+    rng_.saveState(writer);
+}
+
+void
+RandomPolicy::loadState(util::StateReader &reader)
+{
+    reader.tag("RPOL");
+    rng_.loadState(reader);
+}
+
 MyopicPolicy::MyopicPolicy(Kilowatts load_threshold,
                            double min_continue_soc, double min_start_soc)
     : loadThreshold_(load_threshold), minContinueSoc_(min_continue_soc),
@@ -74,6 +88,20 @@ MyopicPolicy::decide(const AttackObservation &obs)
     }
     attacking_ = false;
     return idleAction(obs);
+}
+
+void
+MyopicPolicy::saveState(util::StateWriter &writer) const
+{
+    writer.tag("MPOL");
+    writer.boolean(attacking_);
+}
+
+void
+MyopicPolicy::loadState(util::StateReader &reader)
+{
+    reader.tag("MPOL");
+    attacking_ = reader.boolean();
 }
 
 ForesightedPolicy::ForesightedPolicy(Params params, Rng rng)
@@ -280,6 +308,22 @@ OneShotPolicy::decide(const AttackObservation &obs)
         return AttackAction::Attack;
     }
     return idleAction(obs);
+}
+
+void
+OneShotPolicy::saveState(util::StateWriter &writer) const
+{
+    writer.tag("1POL");
+    writer.boolean(firing_);
+    writer.boolean(done_);
+}
+
+void
+OneShotPolicy::loadState(util::StateReader &reader)
+{
+    reader.tag("1POL");
+    firing_ = reader.boolean();
+    done_ = reader.boolean();
 }
 
 } // namespace ecolo::core

@@ -62,6 +62,17 @@ class AttackPolicy
 
     /** True if the one-shot attacker ignores capping compliance. */
     virtual bool ignoresCapping() const { return false; }
+
+    /**
+     * Checkpoint hooks. Stateless policies need nothing; policies with
+     * decision state or an RNG stream override both so a restored run
+     * reproduces the uninterrupted one bit-identically. The learning
+     * policies (Foresighted/VanillaRL) intentionally keep the default:
+     * their tables persist via saveTables/loadTables, and campaign
+     * checkpointing (core/fleet) only drives OneShotPolicy.
+     */
+    virtual void saveState(util::StateWriter &writer) const { (void)writer; }
+    virtual void loadState(util::StateReader &reader) { (void)reader; }
 };
 
 /** Never attacks. */
@@ -80,6 +91,8 @@ class RandomPolicy : public AttackPolicy
 
     const char *name() const override { return "Random"; }
     AttackAction decide(const AttackObservation &obs) override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
 
   private:
     double attackProbability_;
@@ -111,6 +124,8 @@ class MyopicPolicy : public AttackPolicy
 
     const char *name() const override { return "Myopic"; }
     AttackAction decide(const AttackObservation &obs) override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
 
     Kilowatts loadThreshold() const { return loadThreshold_; }
 
@@ -232,6 +247,8 @@ class OneShotPolicy : public AttackPolicy
     const char *name() const override { return "OneShot"; }
     AttackAction decide(const AttackObservation &obs) override;
     bool ignoresCapping() const override { return true; }
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
 
     bool fired() const { return firing_ || done_; }
     bool exhausted() const { return done_; }

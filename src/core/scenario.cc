@@ -7,36 +7,64 @@
 
 namespace ecolo::core {
 
-void
-applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
-              bool allow_unknown)
+util::Result<void>
+tryApplyScenario(const KeyValueConfig &kv, SimulationConfig &config,
+                 bool allow_unknown)
 {
-    auto dbl = [&](const char *key, double &target) {
-        if (const auto v = kv.getDouble(key))
-            target = *v;
+    auto dbl = [&](const char *key, double &target) -> util::Result<void> {
+        const auto v = kv.tryGetDouble(key);
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            target = *v.value();
+        return {};
     };
-    auto kw = [&](const char *key, Kilowatts &target) {
-        if (const auto v = kv.getDouble(key))
-            target = Kilowatts(*v);
+    auto kw = [&](const char *key,
+                  Kilowatts &target) -> util::Result<void> {
+        const auto v = kv.tryGetDouble(key);
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            target = Kilowatts(*v.value());
+        return {};
     };
-    auto kwh = [&](const char *key, KilowattHours &target) {
-        if (const auto v = kv.getDouble(key))
-            target = KilowattHours(*v);
+    auto kwh = [&](const char *key,
+                   KilowattHours &target) -> util::Result<void> {
+        const auto v = kv.tryGetDouble(key);
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            target = KilowattHours(*v.value());
+        return {};
     };
-    auto deg = [&](const char *key, Celsius &target) {
-        if (const auto v = kv.getDouble(key))
-            target = Celsius(*v);
+    auto deg = [&](const char *key, Celsius &target) -> util::Result<void> {
+        const auto v = kv.tryGetDouble(key);
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            target = Celsius(*v.value());
+        return {};
     };
-    auto mins = [&](const char *key, MinuteIndex &target) {
-        if (const auto v = kv.getInt(key))
-            target = *v;
+    auto mins = [&](const char *key,
+                    MinuteIndex &target) -> util::Result<void> {
+        const auto v = kv.tryGetInt(key);
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            target = *v.value();
+        return {};
     };
 
-    kw("capacityKw", config.capacity);
-    kw("cooling.capacityKw", config.cooling.capacity);
-    dbl("averageUtilization", config.averageUtilization);
-    if (const auto v = kv.getInt("seed"))
-        config.seed = static_cast<std::uint64_t>(*v);
+    ECOLO_TRY_VOID(kw("capacityKw", config.capacity));
+    ECOLO_TRY_VOID(kw("cooling.capacityKw", config.cooling.capacity));
+    ECOLO_TRY_VOID(dbl("averageUtilization", config.averageUtilization));
+    {
+        const auto v = kv.tryGetInt("seed");
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            config.seed = static_cast<std::uint64_t>(*v.value());
+    }
     if (const auto v = kv.getString("traceKind")) {
         if (*v == "diurnal")
             config.traceKind = TraceKind::Diurnal;
@@ -45,46 +73,76 @@ applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
         else if (*v == "request")
             config.traceKind = TraceKind::RequestLevel;
         else
-            ECOLO_FATAL("unknown traceKind '", *v,
-                        "' (expected diurnal|google|request)");
+            return ECOLO_ERROR(util::ErrorCode::ParseError,
+                               kv.locate("traceKind"),
+                               ": unknown traceKind '", *v,
+                               "' (expected diurnal|google|request)");
     }
 
-    if (const auto v = kv.getInt("attacker.servers"))
-        config.attackerNumServers = static_cast<std::size_t>(*v);
-    kw("attacker.subscriptionKw", config.attackerSubscription);
-    kw("attacker.attackLoadKw", config.attackLoad);
-    dbl("attacker.standbyUtilization",
-        config.attackerStandbyUtilization);
+    {
+        const auto v = kv.tryGetInt("attacker.servers");
+        if (!v.ok())
+            return v.error();
+        if (v.value())
+            config.attackerNumServers =
+                static_cast<std::size_t>(*v.value());
+    }
+    ECOLO_TRY_VOID(kw("attacker.subscriptionKw",
+                      config.attackerSubscription));
+    ECOLO_TRY_VOID(kw("attacker.attackLoadKw", config.attackLoad));
+    ECOLO_TRY_VOID(dbl("attacker.standbyUtilization",
+                       config.attackerStandbyUtilization));
 
-    kwh("battery.capacityKwh", config.batterySpec.capacity);
-    kw("battery.chargeRateKw", config.batterySpec.maxChargeRate);
-    kw("battery.dischargeRateKw", config.batterySpec.maxDischargeRate);
-    dbl("battery.chargeEfficiency", config.batterySpec.chargeEfficiency);
-    dbl("battery.dischargeEfficiency",
-        config.batterySpec.dischargeEfficiency);
+    ECOLO_TRY_VOID(kwh("battery.capacityKwh",
+                       config.batterySpec.capacity));
+    ECOLO_TRY_VOID(kw("battery.chargeRateKw",
+                      config.batterySpec.maxChargeRate));
+    ECOLO_TRY_VOID(kw("battery.dischargeRateKw",
+                      config.batterySpec.maxDischargeRate));
+    ECOLO_TRY_VOID(dbl("battery.chargeEfficiency",
+                       config.batterySpec.chargeEfficiency));
+    ECOLO_TRY_VOID(dbl("battery.dischargeEfficiency",
+                       config.batterySpec.dischargeEfficiency));
 
-    deg("cooling.setPointC", config.cooling.supplySetPoint);
-    dbl("cooling.airVolumeM3", config.cooling.airVolume);
-    dbl("cooling.deratingPerKelvin",
-        config.cooling.capacityDeratingPerKelvin);
+    ECOLO_TRY_VOID(deg("cooling.setPointC",
+                       config.cooling.supplySetPoint));
+    ECOLO_TRY_VOID(dbl("cooling.airVolumeM3", config.cooling.airVolume));
+    ECOLO_TRY_VOID(dbl("cooling.deratingPerKelvin",
+                       config.cooling.capacityDeratingPerKelvin));
 
-    deg("protocol.emergencyThresholdC", config.emergencyThreshold);
-    mins("protocol.sustainMinutes", config.emergencySustainMinutes);
-    mins("protocol.cappingMinutes", config.cappingMinutes);
-    kw("protocol.perServerCapKw", config.perServerCap);
-    deg("protocol.shutdownThresholdC", config.shutdownThreshold);
-    mins("protocol.outageRestartMinutes", config.outageRestartMinutes);
+    ECOLO_TRY_VOID(deg("protocol.emergencyThresholdC",
+                       config.emergencyThreshold));
+    ECOLO_TRY_VOID(mins("protocol.sustainMinutes",
+                        config.emergencySustainMinutes));
+    ECOLO_TRY_VOID(mins("protocol.cappingMinutes", config.cappingMinutes));
+    ECOLO_TRY_VOID(kw("protocol.perServerCapKw", config.perServerCap));
+    ECOLO_TRY_VOID(deg("protocol.shutdownThresholdC",
+                       config.shutdownThreshold));
+    ECOLO_TRY_VOID(mins("protocol.outageRestartMinutes",
+                        config.outageRestartMinutes));
 
-    dbl("sidechannel.extraRelativeNoise",
-        config.sideChannel.extraRelativeNoise);
-    dbl("sidechannel.jammingNoiseVolts",
-        config.sideChannel.jammingNoiseVolts);
+    ECOLO_TRY_VOID(dbl("sidechannel.extraRelativeNoise",
+                       config.sideChannel.extraRelativeNoise));
+    ECOLO_TRY_VOID(dbl("sidechannel.jammingNoiseVolts",
+                       config.sideChannel.jammingNoiseVolts));
 
-    dbl("rl.rewardMargin", config.foresightedRewardMargin);
+    ECOLO_TRY_VOID(dbl("rl.rewardMargin",
+                       config.foresightedRewardMargin));
 
-    dbl("trace.baseUtilization", config.diurnalParams.baseUtilization);
-    dbl("trace.diurnalAmplitude", config.diurnalParams.diurnalAmplitude);
-    dbl("trace.peakHour", config.diurnalParams.peakHour);
+    ECOLO_TRY_VOID(dbl("trace.baseUtilization",
+                       config.diurnalParams.baseUtilization));
+    ECOLO_TRY_VOID(dbl("trace.diurnalAmplitude",
+                       config.diurnalParams.diurnalAmplitude));
+    ECOLO_TRY_VOID(dbl("trace.peakHour", config.diurnalParams.peakHour));
+
+    // Fault-injection timeline. Consumes every fault.* key, so it must
+    // run before the unknown-key sweep below.
+    {
+        auto schedule = faults::FaultSchedule::fromKeyValue(kv);
+        if (!schedule.ok())
+            return schedule.error();
+        config.faultSchedule = schedule.take();
+    }
 
     if (!allow_unknown) {
         const auto unknown = kv.unconsumedKeys();
@@ -92,19 +150,41 @@ applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
             std::string joined;
             for (const auto &key : unknown)
                 joined += (joined.empty() ? "" : ", ") + key;
-            ECOLO_FATAL("unknown scenario key(s): ", joined);
+            return ECOLO_ERROR(util::ErrorCode::ParseError,
+                               "unknown scenario key(s) in ",
+                               kv.sourceName(), ": ", joined);
         }
     }
-    config.validate();
+    return config.validated();
+}
+
+util::Result<SimulationConfig>
+tryLoadScenarioFile(const std::string &path)
+{
+    SimulationConfig config = SimulationConfig::paperDefault();
+    auto kv = KeyValueConfig::tryParseFile(path);
+    if (!kv.ok())
+        return kv.error();
+    ECOLO_TRY_VOID(tryApplyScenario(kv.value(), config));
+    return config;
+}
+
+void
+applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
+              bool allow_unknown)
+{
+    if (const auto result = tryApplyScenario(kv, config, allow_unknown);
+        !result.ok())
+        ECOLO_FATAL(result.error().message);
 }
 
 SimulationConfig
 loadScenarioFile(const std::string &path)
 {
-    SimulationConfig config = SimulationConfig::paperDefault();
-    const auto kv = KeyValueConfig::parseFile(path);
-    applyScenario(kv, config);
-    return config;
+    auto result = tryLoadScenarioFile(path);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 void

@@ -19,6 +19,10 @@
  *   sidechannel.extraRelativeNoise, sidechannel.jammingNoiseVolts
  *   rl.rewardMargin
  *   trace.baseUtilization, trace.diurnalAmplitude, trace.peakHour
+ *   fault.N.type, fault.N.startMinute, fault.N.startDay,
+ *   fault.N.durationMinutes, fault.N.magnitude, fault.N.servers,
+ *   fault.random.* (fault-injection timeline; see faults/schedule.hh and
+ *   docs/faults.md)
  */
 
 #ifndef ECOLO_CORE_SCENARIO_HH
@@ -29,18 +33,31 @@
 
 #include "core/config.hh"
 #include "util/keyvalue.hh"
+#include "util/result.hh"
 
 namespace ecolo::core {
 
 /**
  * Apply the recognized keys of a parsed key=value document on top of the
- * given config. ECOLO_FATAL on unknown keys (catches typos) unless
- * allow_unknown is set; the resulting config is validated.
+ * given config. Fails with a structured error (ParseError for
+ * unparseable/unknown keys, ValidationError when the resulting config is
+ * inconsistent) that names the scenario source and line where known;
+ * unknown keys are an error unless allow_unknown is set. `fault.*` keys
+ * build config.faultSchedule.
  */
+util::Result<void> tryApplyScenario(const KeyValueConfig &kv,
+                                    SimulationConfig &config,
+                                    bool allow_unknown = false);
+
+/** Load Table I defaults + a scenario file, with structured errors. */
+util::Result<SimulationConfig>
+tryLoadScenarioFile(const std::string &path);
+
+/** Legacy wrapper around tryApplyScenario; ECOLO_FATAL on any error. */
 void applyScenario(const KeyValueConfig &kv, SimulationConfig &config,
                    bool allow_unknown = false);
 
-/** Load Table I defaults + a scenario file. */
+/** Load Table I defaults + a scenario file; ECOLO_FATAL on any error. */
 SimulationConfig loadScenarioFile(const std::string &path);
 
 /** Human-readable dump of a configuration (CLI --describe). */

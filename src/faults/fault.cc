@@ -1,0 +1,100 @@
+#include "faults/fault.hh"
+
+namespace ecolo::faults {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CracCapacityLoss:
+        return "crac_capacity_loss";
+      case FaultKind::CracFanDerate:
+        return "crac_fan_derate";
+      case FaultKind::SideChannelDropout:
+        return "sidechannel_dropout";
+      case FaultKind::SideChannelStuck:
+        return "sidechannel_stuck";
+      case FaultKind::SideChannelNan:
+        return "sidechannel_nan";
+      case FaultKind::BatteryFade:
+        return "battery_fade";
+      case FaultKind::BmsCutout:
+        return "bms_cutout";
+      case FaultKind::ServerFailure:
+        return "server_failure";
+      case FaultKind::TraceGap:
+        return "trace_gap";
+    }
+    return "unknown";
+}
+
+util::Result<FaultKind>
+parseFaultKind(const std::string &name)
+{
+    static constexpr FaultKind kAll[] = {
+        FaultKind::CracCapacityLoss, FaultKind::CracFanDerate,
+        FaultKind::SideChannelDropout, FaultKind::SideChannelStuck,
+        FaultKind::SideChannelNan, FaultKind::BatteryFade,
+        FaultKind::BmsCutout, FaultKind::ServerFailure,
+        FaultKind::TraceGap,
+    };
+    static_assert(sizeof(kAll) / sizeof(kAll[0]) == kNumFaultKinds);
+    for (FaultKind kind : kAll) {
+        if (name == toString(kind))
+            return kind;
+    }
+    return ECOLO_ERROR(util::ErrorCode::ParseError,
+                       "unknown fault kind '", name,
+                       "' (expected crac_capacity_loss|crac_fan_derate|"
+                       "sidechannel_dropout|sidechannel_stuck|"
+                       "sidechannel_nan|battery_fade|bms_cutout|"
+                       "server_failure|trace_gap)");
+}
+
+util::Result<void>
+FaultEvent::validated() const
+{
+    if (start < 0) {
+        return ECOLO_ERROR(util::ErrorCode::ValidationError, "fault '",
+                           toString(kind), "' has a negative start minute: ",
+                           start);
+    }
+    switch (kind) {
+      case FaultKind::CracCapacityLoss:
+      case FaultKind::CracFanDerate:
+      case FaultKind::BatteryFade:
+        if (magnitude < 0.0 || magnitude >= 1.0) {
+            return ECOLO_ERROR(util::ErrorCode::ValidationError, "fault '",
+                               toString(kind),
+                               "' magnitude must be a lost fraction in "
+                               "[0, 1), got ",
+                               magnitude);
+        }
+        break;
+      case FaultKind::ServerFailure:
+        if (count == 0) {
+            return ECOLO_ERROR(util::ErrorCode::ValidationError,
+                               "server_failure fault needs a positive "
+                               "'servers' count");
+        }
+        break;
+      case FaultKind::SideChannelDropout:
+      case FaultKind::SideChannelStuck:
+      case FaultKind::SideChannelNan:
+      case FaultKind::BmsCutout:
+      case FaultKind::TraceGap:
+        break;
+    }
+    return {};
+}
+
+bool
+ActiveFaults::any() const
+{
+    return coolingCapacityFactor != 1.0 || coolingRecoveryFactor != 1.0 ||
+           sideChannelDropout || sideChannelStuck || sideChannelNan ||
+           batteryCapacityFactor != 1.0 || bmsCutout ||
+           failedServers > 0 || traceGap;
+}
+
+} // namespace ecolo::faults

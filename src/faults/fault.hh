@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fault taxonomy for the edge colocation.
+ *
+ * The paper's threat model concerns *attacker-induced* overheating, but a
+ * colocation's emergency protocol also has to ride through mundane
+ * component failures: CRAC compressors derate, sensors drop out or go
+ * insane, batteries fade, servers die, and workload telemetry has gaps.
+ * A FaultEvent is one such incident with a deterministic start minute,
+ * duration, and magnitude; ActiveFaults is the per-slot aggregate the
+ * engine consumes (overlapping events compose: factors multiply, flags
+ * OR, counts take the maximum).
+ */
+
+#ifndef ECOLO_FAULTS_FAULT_HH
+#define ECOLO_FAULTS_FAULT_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/result.hh"
+#include "util/sim_time.hh"
+
+namespace ecolo::faults {
+
+/** Every injectable fault class, grouped by the subsystem it degrades. */
+enum class FaultKind
+{
+    // ---- thermal/cooling ----
+    /** CRAC loses removal capacity (compressor stage failure, refrigerant
+     * loss). magnitude = fraction of capacity lost, in [0, 1). */
+    CracCapacityLoss,
+    /** CRAC fan/airflow derating: the room recovers more slowly and loses
+     * some capacity. magnitude = fraction of fan effectiveness lost. */
+    CracFanDerate,
+
+    // ---- sidechannel ----
+    /** The attacker's DAQ produces no readings (dropout). */
+    SideChannelDropout,
+    /** Readings freeze at the value seen when the fault began. */
+    SideChannelStuck,
+    /** Readings come back as NaN (ADC fault, driver corruption). */
+    SideChannelNan,
+
+    // ---- battery ----
+    /** Cell aging: usable capacity shrinks. magnitude = fraction lost. */
+    BatteryFade,
+    /** Battery-management-system cutout: no charging, no discharging. */
+    BmsCutout,
+
+    // ---- servers ----
+    /** Hard failure of `count` benign servers (highest global indices
+     * first): no heat, no metered power, no served load. */
+    ServerFailure,
+
+    // ---- trace ----
+    /** Workload-trace gap: tenant utilization telemetry is missing, so
+     * tenants hold the last sample seen before the gap. */
+    TraceGap,
+};
+
+/** Number of distinct fault kinds (randomized campaigns cycle them). */
+inline constexpr std::size_t kNumFaultKinds = 9;
+
+const char *toString(FaultKind kind);
+
+/** Parse a scenario-file fault name ("crac_capacity_loss", ...). */
+util::Result<FaultKind> parseFaultKind(const std::string &name);
+
+/** One timed incident. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::CracCapacityLoss;
+    MinuteIndex start = 0;           //!< first affected minute
+    MinuteIndex duration = 0;        //!< minutes; <= 0 means "forever"
+    double magnitude = 0.0;          //!< kind-specific severity in [0, 1]
+    std::size_t count = 0;           //!< servers affected (ServerFailure)
+
+    bool activeAt(MinuteIndex t) const
+    {
+        return t >= start && (duration <= 0 || t < start + duration);
+    }
+
+    /** Structured validation (range checks per kind). */
+    util::Result<void> validated() const;
+};
+
+/** Per-slot aggregate of every active fault, as the engine applies it. */
+struct ActiveFaults
+{
+    // thermal/cooling
+    double coolingCapacityFactor = 1.0; //!< multiplies effective capacity
+    double coolingRecoveryFactor = 1.0; //!< multiplies pull-down rate
+
+    // sidechannel
+    bool sideChannelDropout = false;
+    bool sideChannelStuck = false;
+    bool sideChannelNan = false;
+
+    // battery
+    double batteryCapacityFactor = 1.0;
+    bool bmsCutout = false;
+
+    // servers
+    std::size_t failedServers = 0;
+
+    // trace
+    bool traceGap = false;
+    MinuteIndex traceGapStart = 0; //!< minute the earliest active gap began
+
+    /** True when any fault is in force this slot. */
+    bool any() const;
+};
+
+} // namespace ecolo::faults
+
+#endif // ECOLO_FAULTS_FAULT_HH

@@ -1,0 +1,194 @@
+#include "faults/schedule.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace ecolo::faults {
+
+util::Result<void>
+FaultSchedule::add(FaultEvent event)
+{
+    ECOLO_TRY_VOID(event.validated());
+    events_.push_back(event);
+    return {};
+}
+
+util::Result<FaultSchedule>
+FaultSchedule::fromKeyValue(const KeyValueConfig &kv)
+{
+    FaultSchedule schedule;
+
+    for (std::size_t n = 0;; ++n) {
+        const std::string prefix = "fault." + std::to_string(n) + ".";
+        const auto type_name = kv.getString(prefix + "type");
+        if (!type_name)
+            break;
+
+        FaultEvent event;
+        auto kind = parseFaultKind(*type_name);
+        if (!kind.ok()) {
+            return ECOLO_ERROR(kind.error().code, kv.locate(prefix + "type"),
+                               ": ", kind.error().message);
+        }
+        event.kind = kind.value();
+
+        auto start_minute = kv.tryGetInt(prefix + "startMinute");
+        if (!start_minute.ok())
+            return start_minute.error();
+        auto start_day = kv.tryGetInt(prefix + "startDay");
+        if (!start_day.ok())
+            return start_day.error();
+        if (start_minute.value() && start_day.value()) {
+            return ECOLO_ERROR(util::ErrorCode::ValidationError,
+                               kv.sourceName(), ": fault ", n,
+                               " sets both startMinute and startDay");
+        }
+        if (start_minute.value())
+            event.start = *start_minute.value();
+        else if (start_day.value())
+            event.start = *start_day.value() * kMinutesPerDay;
+
+        auto duration = kv.tryGetInt(prefix + "durationMinutes");
+        if (!duration.ok())
+            return duration.error();
+        if (duration.value())
+            event.duration = *duration.value();
+
+        auto magnitude = kv.tryGetDouble(prefix + "magnitude");
+        if (!magnitude.ok())
+            return magnitude.error();
+        if (magnitude.value())
+            event.magnitude = *magnitude.value();
+
+        auto servers = kv.tryGetInt(prefix + "servers");
+        if (!servers.ok())
+            return servers.error();
+        if (servers.value())
+            event.count = static_cast<std::size_t>(
+                std::max(0L, *servers.value()));
+
+        if (auto added = schedule.add(event); !added.ok()) {
+            return ECOLO_ERROR(added.error().code, kv.sourceName(),
+                               ": fault ", n, ": ", added.error().message);
+        }
+    }
+
+    auto random_events = kv.tryGetInt("fault.random.events");
+    if (!random_events.ok())
+        return random_events.error();
+    if (random_events.value() && *random_events.value() > 0) {
+        RandomCampaignParams params;
+        params.numEvents =
+            static_cast<std::size_t>(*random_events.value());
+        if (const auto v = kv.getInt("fault.random.seed"))
+            params.seed = static_cast<std::uint64_t>(*v);
+        if (const auto v = kv.getDouble("fault.random.horizonDays"))
+            params.horizonMinutes = static_cast<MinuteIndex>(
+                *v * static_cast<double>(kMinutesPerDay));
+        if (const auto v =
+                kv.getDouble("fault.random.meanDurationMinutes"))
+            params.meanDurationMinutes = *v;
+        if (const auto v = kv.getDouble("fault.random.maxMagnitude"))
+            params.maxMagnitude = *v;
+        if (params.maxMagnitude < 0.0 || params.maxMagnitude >= 1.0) {
+            return ECOLO_ERROR(util::ErrorCode::ValidationError,
+                               kv.sourceName(),
+                               ": fault.random.maxMagnitude must be in "
+                               "[0, 1), got ",
+                               params.maxMagnitude);
+        }
+        const FaultSchedule random = randomized(params);
+        for (const FaultEvent &event : random.events())
+            ECOLO_TRY_VOID(schedule.add(event));
+    }
+
+    return schedule;
+}
+
+FaultSchedule
+FaultSchedule::randomized(const RandomCampaignParams &params)
+{
+    FaultSchedule schedule;
+    Rng rng(params.seed ^ 0x0fa017beefULL);
+    for (std::size_t i = 0; i < params.numEvents; ++i) {
+        FaultEvent event;
+        static constexpr FaultKind kKinds[] = {
+            FaultKind::CracCapacityLoss, FaultKind::CracFanDerate,
+            FaultKind::SideChannelDropout, FaultKind::SideChannelStuck,
+            FaultKind::SideChannelNan, FaultKind::BatteryFade,
+            FaultKind::BmsCutout, FaultKind::ServerFailure,
+            FaultKind::TraceGap,
+        };
+        event.kind = kKinds[rng.uniformInt(kNumFaultKinds)];
+        event.start = static_cast<MinuteIndex>(rng.uniformInt(
+            static_cast<std::uint64_t>(
+                std::max<MinuteIndex>(1, params.horizonMinutes))));
+        event.duration = std::max<MinuteIndex>(
+            10, static_cast<MinuteIndex>(
+                    rng.exponential(1.0 / params.meanDurationMinutes)));
+        event.magnitude = rng.uniform(0.0, params.maxMagnitude);
+        event.count = params.failureServers;
+        // Drawn events are in-range by construction; add cannot fail.
+        (void)schedule.add(event);
+    }
+    return schedule;
+}
+
+ActiveFaults
+FaultSchedule::activeAt(MinuteIndex t) const
+{
+    ActiveFaults active;
+    for (const FaultEvent &event : events_) {
+        if (!event.activeAt(t))
+            continue;
+        switch (event.kind) {
+          case FaultKind::CracCapacityLoss:
+            active.coolingCapacityFactor *= 1.0 - event.magnitude;
+            break;
+          case FaultKind::CracFanDerate:
+            active.coolingRecoveryFactor *= 1.0 - event.magnitude;
+            // A derated fan also strands some coil capacity: roughly half
+            // the lost airflow fraction stops moving heat to the coil.
+            active.coolingCapacityFactor *= 1.0 - 0.5 * event.magnitude;
+            break;
+          case FaultKind::SideChannelDropout:
+            active.sideChannelDropout = true;
+            break;
+          case FaultKind::SideChannelStuck:
+            active.sideChannelStuck = true;
+            break;
+          case FaultKind::SideChannelNan:
+            active.sideChannelNan = true;
+            break;
+          case FaultKind::BatteryFade:
+            active.batteryCapacityFactor *= 1.0 - event.magnitude;
+            break;
+          case FaultKind::BmsCutout:
+            active.bmsCutout = true;
+            break;
+          case FaultKind::ServerFailure:
+            active.failedServers =
+                std::max(active.failedServers, event.count);
+            break;
+          case FaultKind::TraceGap:
+            if (!active.traceGap || event.start < active.traceGapStart)
+                active.traceGapStart = event.start;
+            active.traceGap = true;
+            break;
+        }
+    }
+    return active;
+}
+
+MinuteIndex
+FaultSchedule::firstStart() const
+{
+    MinuteIndex first = -1;
+    for (const FaultEvent &event : events_) {
+        if (first < 0 || event.start < first)
+            first = event.start;
+    }
+    return first;
+}
+
+} // namespace ecolo::faults

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * FaultSchedule: a deterministic, seed-reproducible timeline of
+ * FaultEvents.
+ *
+ * Two ways to build one: declaratively from scenario-file keys
+ * (`fault.N.*`, see below), or synthetically via randomized(), which draws
+ * a campaign of incidents from an explicitly seeded Rng so two runs with
+ * the same parameters inject byte-identical fault timelines — the
+ * reproducible failure scenarios DataCenterGym-style experiment substrates
+ * need.
+ *
+ * Scenario keys (N = 0, 1, ... consecutive):
+ *
+ *   fault.N.type             crac_capacity_loss | crac_fan_derate |
+ *                            sidechannel_dropout | sidechannel_stuck |
+ *                            sidechannel_nan | battery_fade | bms_cutout |
+ *                            server_failure | trace_gap
+ *   fault.N.startMinute      first affected minute (or fault.N.startDay)
+ *   fault.N.durationMinutes  length; omit or <= 0 for "until the end"
+ *   fault.N.magnitude        lost fraction in [0, 1) where applicable
+ *   fault.N.servers          failed-server count (server_failure only)
+ *
+ *   fault.random.events          number of random incidents to draw
+ *   fault.random.seed            RNG seed (default: 1)
+ *   fault.random.horizonDays     window the incidents land in (default 365)
+ *   fault.random.meanDurationMinutes  mean incident length (default 360)
+ *   fault.random.maxMagnitude    severity cap in [0, 1) (default 0.5)
+ */
+
+#ifndef ECOLO_FAULTS_SCHEDULE_HH
+#define ECOLO_FAULTS_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.hh"
+#include "util/keyvalue.hh"
+#include "util/result.hh"
+#include "util/rng.hh"
+
+namespace ecolo::faults {
+
+/** Knobs of a randomized fault campaign. */
+struct RandomCampaignParams
+{
+    std::size_t numEvents = 0;
+    std::uint64_t seed = 1;
+    MinuteIndex horizonMinutes = kMinutesPerYear;
+    double meanDurationMinutes = 360.0;
+    double maxMagnitude = 0.5;
+    /** Servers affected by drawn server_failure events. */
+    std::size_t failureServers = 2;
+};
+
+/** Ordered, immutable-after-build fault timeline. */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /** Append one event (validated). */
+    util::Result<void> add(FaultEvent event);
+
+    /**
+     * Build from the `fault.*` keys of a parsed scenario document.
+     * Consumes only fault-prefixed keys, so it composes with
+     * applyScenario's unknown-key check.
+     */
+    static util::Result<FaultSchedule>
+    fromKeyValue(const KeyValueConfig &kv);
+
+    /** Seed-reproducible random campaign (kinds drawn uniformly). */
+    static FaultSchedule randomized(const RandomCampaignParams &params);
+
+    /** Aggregate every event active at minute t. */
+    ActiveFaults activeAt(MinuteIndex t) const;
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Earliest start minute, or -1 when empty (fast-path gating). */
+    MinuteIndex firstStart() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace ecolo::faults
+
+#endif // ECOLO_FAULTS_SCHEDULE_HH

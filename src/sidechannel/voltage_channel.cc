@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -19,6 +20,21 @@ Kilowatts
 VoltageSideChannel::estimateTotalLoad(Kilowatts true_total)
 {
     ECOLO_ASSERT(true_total.value() >= 0.0, "negative true load");
+
+    // Faulted modes return before any RNG draw (see SensorFaultMode).
+    if (faultMode_ == SensorFaultMode::Dropout ||
+        faultMode_ == SensorFaultMode::Nan) {
+        lastRelativeError_ = std::numeric_limits<double>::quiet_NaN();
+        return Kilowatts(std::numeric_limits<double>::quiet_NaN());
+    }
+    if (faultMode_ == SensorFaultMode::Stuck) {
+        const double est = lastHealthyEstimate_.value();
+        lastRelativeError_ =
+            true_total.value() > 1e-9
+                ? (est - true_total.value()) / true_total.value()
+                : 0.0;
+        return lastHealthyEstimate_;
+    }
 
     // Forward path: the physical ripple amplitude on the bus. The
     // attacker's calibration error perturbs the gain it *believes* in.
@@ -45,12 +61,18 @@ VoltageSideChannel::estimateTotalLoad(Kilowatts true_total)
         true_total.value() > 1e-9
             ? (estimate - true_total.value()) / true_total.value()
             : 0.0;
+    lastHealthyEstimate_ = Kilowatts(estimate);
     return Kilowatts(estimate);
 }
 
 Kilowatts
 VoltageSideChannel::estimateAveraged(Kilowatts true_total, int samples)
 {
+    // Faulted modes draw zero samples: a wedged DAQ produces no fresh
+    // observations to average, and the RNG stream must not advance.
+    if (faultMode_ != SensorFaultMode::Healthy)
+        return estimateTotalLoad(true_total);
+
     samples = std::max(1, samples);
     double sum_kw = 0.0;
     for (int k = 0; k < samples; ++k)
@@ -60,7 +82,30 @@ VoltageSideChannel::estimateAveraged(Kilowatts true_total, int samples)
         true_total.value() > 1e-9
             ? (mean_kw - true_total.value()) / true_total.value()
             : 0.0;
+    lastHealthyEstimate_ = Kilowatts(mean_kw);
     return Kilowatts(mean_kw);
+}
+
+void
+VoltageSideChannel::saveState(util::StateWriter &writer) const
+{
+    writer.tag("VCHN");
+    rng_.saveState(writer);
+    writer.f64(calibrationBias_);
+    writer.f64(lastRelativeError_);
+    writer.f64(lastHealthyEstimate_.value());
+    writer.u32(static_cast<std::uint32_t>(faultMode_));
+}
+
+void
+VoltageSideChannel::loadState(util::StateReader &reader)
+{
+    reader.tag("VCHN");
+    rng_.loadState(reader);
+    calibrationBias_ = reader.f64();
+    lastRelativeError_ = reader.f64();
+    lastHealthyEstimate_ = Kilowatts(reader.f64());
+    faultMode_ = static_cast<SensorFaultMode>(reader.u32());
 }
 
 } // namespace ecolo::sidechannel

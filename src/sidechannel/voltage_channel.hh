@@ -22,9 +22,24 @@
 #define ECOLO_SIDECHANNEL_VOLTAGE_CHANNEL_HH
 
 #include "util/rng.hh"
+#include "util/state_io.hh"
 #include "util/units.hh"
 
 namespace ecolo::sidechannel {
+
+/**
+ * Injected sensor failure mode (faults::FaultSchedule). All faulted modes
+ * return WITHOUT advancing the RNG, so a fault window shifts no downstream
+ * random draws: the stream resumes exactly where it left off once the
+ * sensor heals, keeping campaigns seed-reproducible.
+ */
+enum class SensorFaultMode
+{
+    Healthy,
+    Dropout, //!< ADC reads nothing: estimate is NaN
+    Stuck,   //!< DAQ buffer wedged: repeats the last healthy estimate
+    Nan,     //!< corrupted samples: estimate is NaN
+};
 
 /** Signal-chain parameters of the voltage side channel. */
 struct SideChannelParams
@@ -82,11 +97,24 @@ class VoltageSideChannel
     /** The realized calibration bias (tests / introspection). */
     double calibrationBias() const { return calibrationBias_; }
 
+    /** Inject (or clear) a sensor fault; see SensorFaultMode. */
+    void setFaultMode(SensorFaultMode mode) { faultMode_ = mode; }
+    SensorFaultMode faultMode() const { return faultMode_; }
+
+    /** Most recent healthy estimate (what a Stuck sensor repeats). */
+    Kilowatts lastHealthyEstimate() const { return lastHealthyEstimate_; }
+
+    /** Serialize / restore the mutable state (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+
   private:
     SideChannelParams params_;
     Rng rng_;
     double calibrationBias_;
     double lastRelativeError_ = 0.0;
+    Kilowatts lastHealthyEstimate_{0.0};
+    SensorFaultMode faultMode_ = SensorFaultMode::Healthy;
 };
 
 } // namespace ecolo::sidechannel

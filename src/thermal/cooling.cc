@@ -36,7 +36,13 @@ CoolingSystem::effectiveCapacity() const
     const double fraction = std::max(
         params_.minCapacityFraction,
         1.0 - params_.capacityDeratingPerKelvin * above_design);
-    return params_.capacity * fraction;
+    // A commanded set-point raise regains coil capacity (warmer return
+    // air); an injected fault strands part of the unit. Both terms are
+    // exact identities (+0.0, *1.0) when healthy, so the fault-free path
+    // stays bit-identical.
+    const double raise_gain =
+        params_.capacityGainPerKelvinRaised * setPointOffset_.value();
+    return params_.capacity * (fraction + raise_gain) * faultCapacityFactor_;
 }
 
 void
@@ -59,8 +65,13 @@ CoolingSystem::step(Kilowatts total_heat, Seconds dt)
         // pull-down is exponential (coil effectiveness falls with the
         // shrinking temperature difference).
         const double spare_watts = -excess_watts;
-        const double max_rate = spare_watts / capacitance_; // K/s
-        const double exp_rate = delta / params_.recoveryTimeConstant;
+        // A derated fan moves less air across the coil, so both the bulk
+        // and the exponential pull-down rates shrink with the fault factor
+        // (*1.0 when healthy: bit-identical).
+        const double max_rate =
+            spare_watts / capacitance_ * faultRecoveryFactor_; // K/s
+        const double exp_rate =
+            delta / params_.recoveryTimeConstant * faultRecoveryFactor_;
         delta -= std::min(max_rate, exp_rate) * dt.value();
     }
     delta = std::clamp(delta, 0.0, params_.maxOverload.value());
@@ -114,11 +125,58 @@ CoolingSystem::setOverloadDelta(CelsiusDelta delta)
 }
 
 void
+CoolingSystem::setFaultDerating(double capacity_factor,
+                                double recovery_factor)
+{
+    ECOLO_ASSERT(capacity_factor >= 0.0 && capacity_factor <= 1.0,
+                 "fault capacity factor out of range: ", capacity_factor);
+    ECOLO_ASSERT(recovery_factor >= 0.0 && recovery_factor <= 1.0,
+                 "fault recovery factor out of range: ", recovery_factor);
+    faultCapacityFactor_ = capacity_factor;
+    faultRecoveryFactor_ = recovery_factor;
+}
+
+void
+CoolingSystem::setSetPointOffset(CelsiusDelta offset)
+{
+    ECOLO_ASSERT(offset.value() >= 0.0,
+                 "set-point offset must be non-negative: ", offset.value());
+    setPointOffset_ = offset;
+}
+
+void
 CoolingSystem::reset()
 {
     overload_ = CelsiusDelta(0.0);
     lastExcess_ = Kilowatts(0.0);
     overloaded_ = false;
+    faultCapacityFactor_ = 1.0;
+    faultRecoveryFactor_ = 1.0;
+    setPointOffset_ = CelsiusDelta(0.0);
+}
+
+void
+CoolingSystem::saveState(util::StateWriter &writer) const
+{
+    writer.tag("COOL");
+    writer.f64(overload_.value());
+    writer.f64(lastExcess_.value());
+    writer.boolean(overloaded_);
+    writer.f64(faultCapacityFactor_);
+    writer.f64(faultRecoveryFactor_);
+    writer.f64(setPointOffset_.value());
+}
+
+void
+CoolingSystem::loadState(util::StateReader &reader)
+{
+    reader.tag("COOL");
+    overload_ = CelsiusDelta(reader.f64());
+    lastExcess_ = Kilowatts(reader.f64());
+    overloaded_ = reader.boolean();
+    faultCapacityFactor_ = reader.f64();
+    faultRecoveryFactor_ = reader.f64();
+    setPointOffset_ = CelsiusDelta(reader.f64());
 }
 
 } // namespace ecolo::thermal

@@ -15,6 +15,7 @@
 #ifndef ECOLO_THERMAL_COOLING_HH
 #define ECOLO_THERMAL_COOLING_HH
 
+#include "util/state_io.hh"
 #include "util/units.hh"
 
 namespace ecolo::thermal {
@@ -48,6 +49,14 @@ struct CoolingParams
     Celsius designReferenceTemp{27.0};
     /** Floor on the derated capacity as a fraction of nameplate. */
     double minCapacityFraction = 0.7;
+    /**
+     * Capacity regained per kelvin of *commanded* set-point raise: warmer
+     * return air improves coil heat exchange, so trading inlet margin for
+     * removal capacity is a real degraded-mode lever (the operator raises
+     * the set point when the CRAC partially fails). Must exceed
+     * capacityDeratingPerKelvin for the raise to be a net win.
+     */
+    double capacityGainPerKelvinRaised = 0.04;
 };
 
 /** Lumped cooling/room state. */
@@ -68,9 +77,28 @@ class CoolingSystem
     /** Current room temperature rise above the supply set point. */
     CelsiusDelta overloadDelta() const { return overload_; }
 
-    /** Effective supply temperature: set point + overload rise. */
+    /** Effective supply temperature: set point + raise + overload rise. */
     Celsius supplyTemperature() const
-    { return params_.supplySetPoint + overload_; }
+    { return params_.supplySetPoint + setPointOffset_ + overload_; }
+
+    /**
+     * Inject a CRAC fault (faults::FaultSchedule): capacity_factor
+     * multiplies the effective removal capacity, recovery_factor the
+     * pull-down rate (fan/compressor derating). 1.0 / 1.0 restores
+     * nameplate behavior bit-identically.
+     */
+    void setFaultDerating(double capacity_factor, double recovery_factor);
+    double faultCapacityFactor() const { return faultCapacityFactor_; }
+    double faultRecoveryFactor() const { return faultRecoveryFactor_; }
+
+    /**
+     * Degraded-mode set-point raise commanded by the operator: shifts the
+     * supply temperature up (hotter inlets) while regaining capacity at
+     * capacityGainPerKelvinRaised per kelvin. 0 restores bit-identical
+     * nameplate behavior.
+     */
+    void setSetPointOffset(CelsiusDelta offset);
+    CelsiusDelta setPointOffset() const { return setPointOffset_; }
 
     /** True if the last step's heat load exceeded capacity. */
     bool overloaded() const { return overloaded_; }
@@ -95,12 +123,19 @@ class CoolingSystem
     /** Reset to the set point. */
     void reset();
 
+    /** Serialize / restore the mutable room state (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+
   private:
     CoolingParams params_;
     double capacitance_; //!< J/K
     CelsiusDelta overload_{0.0};
     Kilowatts lastExcess_{0.0};
     bool overloaded_ = false;
+    double faultCapacityFactor_ = 1.0;
+    double faultRecoveryFactor_ = 1.0;
+    CelsiusDelta setPointOffset_{0.0};
 };
 
 } // namespace ecolo::thermal

@@ -85,4 +85,24 @@ ThermalEnvironment::reset()
     lastHeatKw_.clear();
 }
 
+void
+ThermalEnvironment::saveState(util::StateWriter &writer) const
+{
+    writer.tag("TENV");
+    matrixModel_.saveState(writer);
+    cooling_.saveState(writer);
+    writer.f64Vector(riseCache_);
+    writer.f64Vector(lastHeatKw_);
+}
+
+void
+ThermalEnvironment::loadState(util::StateReader &reader)
+{
+    reader.tag("TENV");
+    matrixModel_.loadState(reader);
+    cooling_.loadState(reader);
+    riseCache_ = reader.f64Vector();
+    lastHeatKw_ = reader.f64Vector();
+}
+
 } // namespace ecolo::thermal

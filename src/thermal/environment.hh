@@ -76,6 +76,10 @@ class ThermalEnvironment
     /** Drop all thermal history (outage restart). */
     void reset();
 
+    /** Serialize / restore the mutable state (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+
   private:
     MatrixThermalModel matrixModel_;
     CoolingSystem cooling_;

@@ -319,4 +319,43 @@ MatrixThermalModel::reset()
     filled_ = 0;
 }
 
+void
+MatrixThermalModel::saveState(util::StateWriter &writer) const
+{
+    writer.tag("THIS");
+    writer.u64(history_.size());
+    for (const auto &slot : history_)
+        writer.f64Vector(slot);
+    writer.u64(head_);
+    writer.u64(filled_);
+}
+
+void
+MatrixThermalModel::loadState(util::StateReader &reader)
+{
+    reader.tag("THIS");
+    const std::uint64_t slots = reader.u64();
+    if (reader.ok() && slots != history_.size()) {
+        reader.fail(ECOLO_ERROR(
+            util::ErrorCode::StateError,
+            "thermal history slot count mismatch: checkpoint has ", slots,
+            ", model has ", history_.size(),
+            " (was the checkpoint written with a different config?)"));
+        return;
+    }
+    for (auto &slot : history_) {
+        const std::size_t expected = slot.size();
+        slot = reader.f64Vector();
+        if (reader.ok() && slot.size() != expected) {
+            reader.fail(ECOLO_ERROR(
+                util::ErrorCode::StateError,
+                "thermal history width mismatch: checkpoint has ",
+                slot.size(), " servers, model has ", expected));
+            return;
+        }
+    }
+    head_ = static_cast<std::size_t>(reader.u64());
+    filled_ = static_cast<std::size_t>(reader.u64());
+}
+
 } // namespace ecolo::thermal

@@ -28,6 +28,7 @@
 #include "power/layout.hh"
 #include "thermal/cfd/solver.hh"
 #include "thermal/factorization.hh"
+#include "util/state_io.hh"
 #include "util/units.hh"
 
 namespace ecolo::thermal {
@@ -152,6 +153,14 @@ class MatrixThermalModel
 
     /** Clear the power history (e.g., after an outage restart). */
     void reset();
+
+    /**
+     * Serialize / restore the streaming state (the power-history ring).
+     * The matrix and factorization are configuration, rebuilt from the
+     * same SimulationConfig on restore, so only the history travels.
+     */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
 
     const HeatDistributionMatrix &matrix() const { return matrix_; }
 

@@ -20,13 +20,15 @@ writeCsv(std::ostream &os, const UtilizationTrace &trace)
         os << i << "," << trace[i] << "\n";
 }
 
-UtilizationTrace
-readCsv(std::istream &is)
+util::Result<UtilizationTrace>
+tryReadCsv(std::istream &is, const std::string &source_name)
 {
     std::vector<double> samples;
     std::string line;
     bool first = true;
+    int line_number = 0;
     while (std::getline(is, line)) {
+        ++line_number;
         if (line.empty())
             continue;
         // Tolerate a header row on the first line.
@@ -43,12 +45,37 @@ readCsv(std::istream &is)
             const double v = std::stod(value_str);
             samples.push_back(std::clamp(v, 0.0, 1.0));
         } catch (const std::exception &) {
-            ECOLO_FATAL("malformed trace line: '", line, "'");
+            return ECOLO_ERROR(util::ErrorCode::ParseError,
+                               "malformed trace line: '", line, "' (",
+                               source_name, ":", line_number, ")");
         }
     }
-    if (samples.empty())
-        ECOLO_FATAL("trace file contained no samples");
+    if (samples.empty()) {
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "trace file contained no samples: ",
+                           source_name);
+    }
     return UtilizationTrace(std::move(samples));
+}
+
+util::Result<UtilizationTrace>
+tryLoadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open trace file: ", path);
+    }
+    return tryReadCsv(in, path);
+}
+
+UtilizationTrace
+readCsv(std::istream &is)
+{
+    auto result = tryReadCsv(is);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 void
@@ -63,10 +90,10 @@ saveTrace(const std::string &path, const UtilizationTrace &trace)
 UtilizationTrace
 loadTrace(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        ECOLO_FATAL("cannot open trace file: ", path);
-    return readCsv(in);
+    auto result = tryLoadTrace(path);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 } // namespace ecolo::trace

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "trace/utilization_trace.hh"
+#include "util/result.hh"
 
 namespace ecolo::trace {
 
@@ -20,7 +21,19 @@ void writeCsv(std::ostream &os, const UtilizationTrace &trace);
 
 /**
  * Read a utilization trace written by writeCsv (or any "index,value" /
- * bare-value CSV). Throws via ECOLO_FATAL on malformed input.
+ * bare-value CSV). Fails with a ParseError naming the source, the line
+ * number, and the offending text. @param source_name appears in
+ * diagnostics (file path, or "<stream>").
+ */
+util::Result<UtilizationTrace>
+tryReadCsv(std::istream &is, const std::string &source_name = "<stream>");
+
+/** File wrapper; IoError when the file cannot be opened. */
+util::Result<UtilizationTrace> tryLoadTrace(const std::string &path);
+
+/**
+ * Legacy wrappers around the try* readers; ECOLO_FATAL on malformed
+ * input or unreadable files.
  */
 UtilizationTrace readCsv(std::istream &is);
 

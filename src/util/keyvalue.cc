@@ -23,14 +23,16 @@ trim(const std::string &s)
 
 } // namespace
 
-KeyValueConfig
-KeyValueConfig::parse(std::istream &is)
+util::Result<KeyValueConfig>
+KeyValueConfig::tryParse(std::istream &is, const std::string &source_name)
 {
     KeyValueConfig config;
+    config.sourceName_ = source_name;
     std::string line;
     int line_no = 0;
     while (std::getline(is, line)) {
         ++line_no;
+        const std::string original = line;
         const auto comment = line.find('#');
         if (comment != std::string::npos)
             line = line.substr(0, comment);
@@ -38,34 +40,64 @@ KeyValueConfig::parse(std::istream &is)
         if (line.empty())
             continue;
         const auto eq = line.find('=');
-        if (eq == std::string::npos)
-            ECOLO_FATAL("config line ", line_no, " has no '=': '", line,
-                        "'");
+        if (eq == std::string::npos) {
+            return ECOLO_ERROR(util::ErrorCode::ParseError, source_name,
+                               ":", line_no, ": config line has no '=': '",
+                               trim(original), "'");
+        }
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
-        if (key.empty())
-            ECOLO_FATAL("config line ", line_no, " has an empty key");
-        if (config.values_.count(key))
-            ECOLO_FATAL("duplicate config key '", key, "' at line ",
-                        line_no);
-        config.values_[key] = value;
+        if (key.empty()) {
+            return ECOLO_ERROR(util::ErrorCode::ParseError, source_name,
+                               ":", line_no,
+                               ": config line has an empty key: '",
+                               trim(original), "'");
+        }
+        const auto prior = config.values_.find(key);
+        if (prior != config.values_.end()) {
+            return ECOLO_ERROR(util::ErrorCode::ParseError, source_name,
+                               ":", line_no, ": duplicate config key '",
+                               key, "' (first set at line ",
+                               prior->second.line, ")");
+        }
+        config.values_[key] = Entry{value, line_no};
     }
     return config;
+}
+
+util::Result<KeyValueConfig>
+KeyValueConfig::tryParseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open config file: ", path);
+    }
+    return tryParse(in, path);
+}
+
+KeyValueConfig
+KeyValueConfig::parse(std::istream &is)
+{
+    auto result = tryParse(is);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 KeyValueConfig
 KeyValueConfig::parseFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        ECOLO_FATAL("cannot open config file: ", path);
-    return parse(in);
+    auto result = tryParseFile(path);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 void
 KeyValueConfig::set(const std::string &key, const std::string &value)
 {
-    values_[key] = value;
+    values_[key] = Entry{value, 0};
 }
 
 bool
@@ -74,60 +106,99 @@ KeyValueConfig::has(const std::string &key) const
     return values_.count(key) > 0;
 }
 
-std::optional<double>
-KeyValueConfig::getDouble(const std::string &key) const
+std::string
+KeyValueConfig::locate(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.line == 0)
+        return sourceName_;
+    return sourceName_ + ":" + std::to_string(it->second.line);
+}
+
+util::Result<std::optional<double>>
+KeyValueConfig::tryGetDouble(const std::string &key) const
 {
     const auto it = values_.find(key);
     if (it == values_.end())
-        return std::nullopt;
+        return std::optional<double>{};
     consumed_.insert(key);
     try {
         std::size_t pos = 0;
-        const double v = std::stod(it->second, &pos);
-        if (pos != it->second.size())
+        const double v = std::stod(it->second.value, &pos);
+        if (pos != it->second.value.size())
             throw std::invalid_argument("trailing junk");
-        return v;
+        return std::optional<double>{v};
     } catch (const std::exception &) {
-        ECOLO_FATAL("config key '", key, "' is not a number: '",
-                    it->second, "'");
+        return ECOLO_ERROR(util::ErrorCode::ParseError, locate(key),
+                           ": config key '", key, "' is not a number: '",
+                           it->second.value, "'");
     }
+}
+
+util::Result<std::optional<long>>
+KeyValueConfig::tryGetInt(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::optional<long>{};
+    consumed_.insert(key);
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(it->second.value, &pos);
+        if (pos != it->second.value.size())
+            throw std::invalid_argument("trailing junk");
+        return std::optional<long>{v};
+    } catch (const std::exception &) {
+        return ECOLO_ERROR(util::ErrorCode::ParseError, locate(key),
+                           ": config key '", key, "' is not an integer: '",
+                           it->second.value, "'");
+    }
+}
+
+util::Result<std::optional<bool>>
+KeyValueConfig::tryGetBool(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::optional<bool>{};
+    consumed_.insert(key);
+    std::string v = it->second.value;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return std::optional<bool>{true};
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return std::optional<bool>{false};
+    return ECOLO_ERROR(util::ErrorCode::ParseError, locate(key),
+                       ": config key '", key, "' is not a boolean: '",
+                       it->second.value, "'");
+}
+
+std::optional<double>
+KeyValueConfig::getDouble(const std::string &key) const
+{
+    auto result = tryGetDouble(key);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 std::optional<long>
 KeyValueConfig::getInt(const std::string &key) const
 {
-    const auto it = values_.find(key);
-    if (it == values_.end())
-        return std::nullopt;
-    consumed_.insert(key);
-    try {
-        std::size_t pos = 0;
-        const long v = std::stol(it->second, &pos);
-        if (pos != it->second.size())
-            throw std::invalid_argument("trailing junk");
-        return v;
-    } catch (const std::exception &) {
-        ECOLO_FATAL("config key '", key, "' is not an integer: '",
-                    it->second, "'");
-    }
+    auto result = tryGetInt(key);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 std::optional<bool>
 KeyValueConfig::getBool(const std::string &key) const
 {
-    const auto it = values_.find(key);
-    if (it == values_.end())
-        return std::nullopt;
-    consumed_.insert(key);
-    std::string v = it->second;
-    std::transform(v.begin(), v.end(), v.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    if (v == "true" || v == "1" || v == "yes" || v == "on")
-        return true;
-    if (v == "false" || v == "0" || v == "no" || v == "off")
-        return false;
-    ECOLO_FATAL("config key '", key, "' is not a boolean: '", it->second,
-                "'");
+    auto result = tryGetBool(key);
+    if (!result.ok())
+        ECOLO_FATAL(result.error().message);
+    return result.take();
 }
 
 std::optional<std::string>
@@ -137,15 +208,15 @@ KeyValueConfig::getString(const std::string &key) const
     if (it == values_.end())
         return std::nullopt;
     consumed_.insert(key);
-    return it->second;
+    return it->second.value;
 }
 
 std::set<std::string>
 KeyValueConfig::unconsumedKeys() const
 {
     std::set<std::string> unread;
-    for (const auto &[key, value] : values_) {
-        (void)value;
+    for (const auto &[key, entry] : values_) {
+        (void)entry;
         if (!consumed_.count(key))
             unread.insert(key);
     }

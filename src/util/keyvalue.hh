@@ -6,7 +6,12 @@
  * Format: one `key = value` pair per line; `#` starts a comment; blank
  * lines ignored; keys are dot-separated lowerCamel paths
  * (e.g. `battery.capacityKwh = 0.2`). Unknown keys are an error by default
- * so typos fail loudly.
+ * so typos fail loudly; duplicate keys are rejected rather than silently
+ * last-wins.
+ *
+ * Two API tiers: the try* functions return util::Result with structured
+ * errors that name the source file, line number, and offending text; the
+ * legacy entry points wrap them and ECOLO_FATAL, preserving CLI behavior.
  */
 
 #ifndef ECOLO_UTIL_KEYVALUE_HH
@@ -18,6 +23,8 @@
 #include <set>
 #include <string>
 
+#include "util/result.hh"
+
 namespace ecolo {
 
 /** A parsed key=value document with typed, consumption-tracked access. */
@@ -25,6 +32,17 @@ class KeyValueConfig
 {
   public:
     KeyValueConfig() = default;
+
+    /**
+     * Parse from a stream. @param source_name appears in diagnostics
+     * (file path, or a placeholder like "<string>").
+     */
+    static util::Result<KeyValueConfig>
+    tryParse(std::istream &is, const std::string &source_name = "<input>");
+
+    /** Parse a file by path; IoError when unreadable. */
+    static util::Result<KeyValueConfig>
+    tryParseFile(const std::string &path);
 
     /** Parse from a stream; ECOLO_FATAL on malformed lines. */
     static KeyValueConfig parse(std::istream &is);
@@ -36,6 +54,18 @@ class KeyValueConfig
     void set(const std::string &key, const std::string &value);
 
     bool has(const std::string &key) const;
+
+    /**
+     * Structured typed getters; the outer Result fails when the key is
+     * present but unparseable, the inner optional is empty when the key
+     * is absent. Every successful get marks the key consumed.
+     */
+    util::Result<std::optional<double>>
+    tryGetDouble(const std::string &key) const;
+    util::Result<std::optional<long>>
+    tryGetInt(const std::string &key) const;
+    util::Result<std::optional<bool>>
+    tryGetBool(const std::string &key) const;
 
     /**
      * Typed getters; return std::nullopt when absent, ECOLO_FATAL when
@@ -52,8 +82,21 @@ class KeyValueConfig
 
     std::size_t size() const { return values_.size(); }
 
+    /** Name of the parsed source ("<input>" for programmatic configs). */
+    const std::string &sourceName() const { return sourceName_; }
+
+    /** "source:line" of a key, or just the source when set via set(). */
+    std::string locate(const std::string &key) const;
+
   private:
-    std::map<std::string, std::string> values_;
+    struct Entry
+    {
+        std::string value;
+        int line = 0; //!< 0 when inserted programmatically
+    };
+
+    std::map<std::string, Entry> values_;
+    std::string sourceName_ = "<input>";
     mutable std::set<std::string> consumed_;
 };
 

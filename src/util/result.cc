@@ -1,0 +1,33 @@
+#include "util/result.hh"
+
+namespace ecolo::util {
+
+const char *
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None:
+        return "ok";
+      case ErrorCode::IoError:
+        return "io";
+      case ErrorCode::ParseError:
+        return "parse";
+      case ErrorCode::ValidationError:
+        return "validation";
+      case ErrorCode::StateError:
+        return "state";
+    }
+    return "unknown";
+}
+
+std::string
+Error::describe() const
+{
+    std::ostringstream oss;
+    if (file != nullptr && *file != '\0')
+        oss << file << ":" << line << ": ";
+    oss << "[" << toString(code) << "] " << message;
+    return oss.str();
+}
+
+} // namespace ecolo::util

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight structured-error layer for the *recoverable* failure paths
+ * (scenario/keyvalue/trace parsing, config validation, checkpoint I/O).
+ *
+ * ECOLO_FATAL kills the process, which is right for a CLI run with a typo
+ * but wrong for library embedders, campaign drivers that want to skip a
+ * bad scenario, and checkpoint restores that should fall back to a cold
+ * start. Result<T> carries either a value or an Error with a code, a
+ * human-readable message, and the file:line of the site that raised it.
+ * The legacy fatal entry points remain as thin wrappers that print
+ * error.describe() and exit, so existing callers and death-tests keep
+ * their behavior.
+ */
+
+#ifndef ECOLO_UTIL_RESULT_HH
+#define ECOLO_UTIL_RESULT_HH
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ecolo::util {
+
+/** Broad failure classes for programmatic handling. */
+enum class ErrorCode
+{
+    None = 0,
+    IoError,         //!< file missing/unreadable/unwritable
+    ParseError,      //!< malformed input text
+    ValidationError, //!< well-formed but semantically invalid values
+    StateError,      //!< corrupt/incompatible checkpoint state
+};
+
+const char *toString(ErrorCode code);
+
+/** One structured error with origin diagnostics. */
+struct Error
+{
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+    const char *file = "";
+    int line = 0;
+
+    /** "file.cc:42: [parse] message" for logs and fatal wrappers. */
+    std::string describe() const;
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concatError(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Build an Error capturing the call site. Usage:
+ *   return ECOLO_ERROR(ErrorCode::ParseError, "line ", n, ": bad key");
+ */
+#define ECOLO_ERROR(code_, ...)                                        \
+    ::ecolo::util::Error{(code_),                                      \
+                         ::ecolo::util::detail::concatError(__VA_ARGS__), \
+                         __FILE__, __LINE__}
+
+/** A value or an Error; Result<void> specializes to success/Error. */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Error error) : error_(std::move(error)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    T &value() { return *value_; }
+    const T &value() const { return *value_; }
+    T &&take() { return std::move(*value_); }
+
+    const Error &error() const { return error_; }
+
+  private:
+    std::optional<T> value_;
+    Error error_;
+};
+
+template <>
+class [[nodiscard]] Result<void>
+{
+  public:
+    Result() = default;
+    Result(Error error) : ok_(false), error_(std::move(error)) {}
+
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok(); }
+
+    const Error &error() const { return error_; }
+
+  private:
+    bool ok_ = true;
+    Error error_;
+};
+
+/** Propagate a failed Result from a callee returning a different T. */
+#define ECOLO_TRY_VOID(expr)                                           \
+    do {                                                               \
+        if (auto _ecolo_result = (expr); !_ecolo_result.ok())          \
+            return _ecolo_result.error();                              \
+    } while (false)
+
+} // namespace ecolo::util
+
+#endif // ECOLO_UTIL_RESULT_HH

@@ -147,4 +147,24 @@ Rng::fork()
     return Rng(next());
 }
 
+void
+Rng::saveState(util::StateWriter &writer) const
+{
+    writer.tag("RNG ");
+    for (std::uint64_t word : state_)
+        writer.u64(word);
+    writer.f64(cachedNormal_);
+    writer.boolean(hasCachedNormal_);
+}
+
+void
+Rng::loadState(util::StateReader &reader)
+{
+    reader.tag("RNG ");
+    for (auto &word : state_)
+        word = reader.u64();
+    cachedNormal_ = reader.f64();
+    hasCachedNormal_ = reader.boolean();
+}
+
 } // namespace ecolo

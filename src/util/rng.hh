@@ -15,6 +15,8 @@
 #include <array>
 #include <cstdint>
 
+#include "util/state_io.hh"
+
 namespace ecolo {
 
 /** xoshiro256** generator with convenience distributions. */
@@ -60,6 +62,11 @@ class Rng
 
     /** Fork an independent child stream (for per-subsystem determinism). */
     Rng fork();
+
+    /** Serialize the full generator state (checkpointing). */
+    void saveState(util::StateWriter &writer) const;
+    /** Restore a state written by saveState; resumes bit-identically. */
+    void loadState(util::StateReader &reader);
 
   private:
     std::array<std::uint64_t, 4> state_{};

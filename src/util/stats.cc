@@ -114,4 +114,63 @@ Histogram::binFraction(std::size_t i) const
     return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
 }
 
+void
+OnlineStats::saveState(util::StateWriter &writer) const
+{
+    writer.tag("STAT");
+    writer.u64(count_);
+    writer.f64(mean_);
+    writer.f64(m2_);
+    writer.f64(sum_);
+    writer.f64(min_);
+    writer.f64(max_);
+}
+
+void
+OnlineStats::loadState(util::StateReader &reader)
+{
+    reader.tag("STAT");
+    count_ = static_cast<std::size_t>(reader.u64());
+    mean_ = reader.f64();
+    m2_ = reader.f64();
+    sum_ = reader.f64();
+    min_ = reader.f64();
+    max_ = reader.f64();
+}
+
+void
+Histogram::saveState(util::StateWriter &writer) const
+{
+    writer.tag("HIST");
+    writer.f64(lo_);
+    writer.f64(hi_);
+    writer.f64(width_);
+    writer.sizeVector(counts_);
+    writer.u64(total_);
+}
+
+void
+Histogram::loadState(util::StateReader &reader)
+{
+    reader.tag("HIST");
+    const double lo = reader.f64();
+    const double hi = reader.f64();
+    const double width = reader.f64();
+    auto counts = reader.sizeVector();
+    const auto total = static_cast<std::size_t>(reader.u64());
+    if (!reader.ok())
+        return;
+    if (counts.size() != counts_.size()) {
+        reader.fail(ECOLO_ERROR(util::ErrorCode::StateError,
+                                "histogram bin count mismatch: ",
+                                counts.size(), " vs ", counts_.size()));
+        return;
+    }
+    lo_ = lo;
+    hi_ = hi;
+    width_ = width;
+    counts_ = std::move(counts);
+    total_ = total;
+}
+
 } // namespace ecolo

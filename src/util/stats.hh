@@ -12,6 +12,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/state_io.hh"
+
 namespace ecolo {
 
 /** Online mean/variance/min/max accumulator (Welford's algorithm). */
@@ -21,6 +23,10 @@ class OnlineStats
     void add(double x);
     void merge(const OnlineStats &other);
     void reset();
+
+    /** Serialize / restore the accumulator (campaign checkpoints). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
 
     std::size_t count() const { return count_; }
     double mean() const { return count_ ? mean_ : 0.0; }
@@ -82,6 +88,10 @@ class Histogram
     std::size_t totalCount() const { return total_; }
     double lo() const { return lo_; }
     double hi() const { return hi_; }
+
+    /** Serialize / restore the bin counts (campaign checkpoints). */
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
 
   private:
     double lo_;

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/fleet.hh"
+#include "util/state_io.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+
+SimulationConfig
+smallConfig()
+{
+    auto config = SimulationConfig::paperDefault();
+    config.seed = 1234;
+    return config;
+}
+
+std::vector<double>
+tailTrajectory(Simulation &sim, MinuteIndex minutes)
+{
+    std::vector<double> values;
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        values.push_back(r.maxInlet.value());
+        values.push_back(r.meteredTotal.value());
+        values.push_back(r.batterySoc);
+    });
+    sim.run(minutes);
+    return values;
+}
+
+TEST(Checkpoint, SimulationRestoreContinuesBitIdentically)
+{
+    const auto config = smallConfig();
+
+    // Uninterrupted reference run: 2 days, record the second day.
+    Simulation reference(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    reference.run(kMinutesPerDay);
+    const auto expected = tailTrajectory(reference, kMinutesPerDay);
+
+    // Interrupted run: 1 day, checkpoint, "crash", restore, second day.
+    std::stringstream checkpoint;
+    {
+        Simulation first(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+        first.run(kMinutesPerDay);
+        util::StateWriter writer(checkpoint);
+        writer.header();
+        first.saveState(writer);
+        ASSERT_TRUE(writer.good());
+    }
+    Simulation resumed(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    util::StateReader reader(checkpoint);
+    reader.header();
+    resumed.loadState(reader);
+    ASSERT_TRUE(reader.ok()) << reader.status().error().describe();
+    EXPECT_EQ(resumed.now(), kMinutesPerDay);
+
+    const auto actual = tailTrajectory(resumed, kMinutesPerDay);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(Checkpoint, MetricsSurviveTheRoundTrip)
+{
+    const auto config = smallConfig();
+    Simulation reference(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    reference.run(2 * kMinutesPerDay);
+
+    std::stringstream checkpoint;
+    {
+        Simulation first(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+        first.run(kMinutesPerDay);
+        util::StateWriter writer(checkpoint);
+        writer.header();
+        first.saveState(writer);
+    }
+    Simulation resumed(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    util::StateReader reader(checkpoint);
+    reader.header();
+    resumed.loadState(reader);
+    ASSERT_TRUE(reader.ok());
+    resumed.run(kMinutesPerDay);
+
+    const auto &a = reference.metrics();
+    const auto &b = resumed.metrics();
+    EXPECT_EQ(a.emergencies(), b.emergencies());
+    EXPECT_EQ(a.outages(), b.outages());
+    EXPECT_EQ(a.attackMinutes(), b.attackMinutes());
+    EXPECT_EQ(a.degradedMinutes(), b.degradedMinutes());
+    EXPECT_EQ(a.inletRise().mean(), b.inletRise().mean());
+    EXPECT_EQ(a.maxInlet().max(), b.maxInlet().max());
+}
+
+TEST(Checkpoint, RestoreIntoWrongConfigFails)
+{
+    const auto config = smallConfig();
+    std::stringstream checkpoint;
+    {
+        Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+        sim.run(100);
+        util::StateWriter writer(checkpoint);
+        writer.header();
+        sim.saveState(writer);
+    }
+
+    auto other = smallConfig();
+    other.layout.serversPerRack = 10; // 20 servers instead of 40
+    other.attackerNumServers = 2;
+    Simulation resumed(other, makeMyopicPolicy(other, Kilowatts(7.4)));
+    util::StateReader reader(checkpoint);
+    reader.header();
+    resumed.loadState(reader);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().error().code, util::ErrorCode::StateError);
+}
+
+class FleetCheckpointTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kSites = 3;
+    static constexpr MinuteIndex kStrike = 300;
+
+    FleetSimulation makeFleet() const
+    {
+        return FleetSimulation(smallConfig(), kSites, kStrike,
+                               Kilowatts(5.0));
+    }
+
+    std::string path_ =
+        ::testing::TempDir() + "edgetherm_fleet_checkpoint.bin";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(FleetCheckpointTest, KillAndResumeMatchesUninterrupted)
+{
+    auto reference = makeFleet();
+    reference.run(1000);
+
+    {
+        auto first = makeFleet();
+        first.run(400);
+        const auto saved = first.saveCheckpoint(path_);
+        ASSERT_TRUE(saved.ok()) << saved.error().describe();
+        // `first` goes out of scope here: the "crash".
+    }
+
+    auto resumed = makeFleet();
+    const auto loaded = resumed.loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().describe();
+    EXPECT_EQ(resumed.now(), 400);
+    resumed.run(600);
+
+    const auto &a = reference.result();
+    const auto &b = resumed.result();
+    EXPECT_EQ(a.sitesWithOutage, b.sitesWithOutage);
+    EXPECT_EQ(a.maxSimultaneousOutages, b.maxSimultaneousOutages);
+    EXPECT_EQ(a.wideAreaInterruptionMinutes,
+              b.wideAreaInterruptionMinutes);
+    EXPECT_EQ(a.firstOutageDelay, b.firstOutageDelay);
+    EXPECT_EQ(a.siteOutageMinutes, b.siteOutageMinutes);
+    for (std::size_t s = 0; s < kSites; ++s) {
+        EXPECT_EQ(reference.site(s).metrics().outages(),
+                  resumed.site(s).metrics().outages());
+        EXPECT_EQ(reference.site(s).metrics().maxInlet().max(),
+                  resumed.site(s).metrics().maxInlet().max());
+    }
+}
+
+TEST_F(FleetCheckpointTest, CheckpointWriteIsAtomic)
+{
+    auto fleet = makeFleet();
+    fleet.run(50);
+    ASSERT_TRUE(fleet.saveCheckpoint(path_).ok());
+    // No .tmp litter once the rename landed.
+    std::ifstream tmp(path_ + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(FleetCheckpointTest, FingerprintMismatchRejected)
+{
+    auto fleet = makeFleet();
+    fleet.run(100);
+    ASSERT_TRUE(fleet.saveCheckpoint(path_).ok());
+
+    FleetSimulation other(smallConfig(), kSites + 1, kStrike,
+                          Kilowatts(5.0));
+    const auto loaded = other.loadCheckpoint(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, util::ErrorCode::StateError);
+    EXPECT_NE(loaded.error().message.find("fingerprint mismatch"),
+              std::string::npos);
+}
+
+TEST_F(FleetCheckpointTest, MissingFileIsAnIoError)
+{
+    auto fleet = makeFleet();
+    const auto loaded =
+        fleet.loadCheckpoint(::testing::TempDir() + "does_not_exist.bin");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, util::ErrorCode::IoError);
+}
+
+} // namespace

@@ -123,5 +123,51 @@ TEST(Scenario, RequestTraceKind)
     EXPECT_EQ(config.traceKind, TraceKind::RequestLevel);
 }
 
+TEST(Scenario, FaultKeysBuildTheSchedule)
+{
+    auto config = SimulationConfig::paperDefault();
+    // fault.* keys must be consumed before the unknown-key sweep.
+    applyScenario(parse("fault.0.type = crac_capacity_loss\n"
+                        "fault.0.startDay = 10\n"
+                        "fault.0.durationMinutes = 120\n"
+                        "fault.0.magnitude = 0.4\n"),
+                  config);
+    ASSERT_EQ(config.faultSchedule.size(), 1u);
+    EXPECT_EQ(config.faultSchedule.firstStart(), 10 * kMinutesPerDay);
+}
+
+TEST(Scenario, TryApplyReportsStructuredErrors)
+{
+    auto config = SimulationConfig::paperDefault();
+    const auto unknown =
+        tryApplyScenario(parse("no.such.key = 1\n"), config);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.error().code, util::ErrorCode::ParseError);
+    EXPECT_NE(unknown.error().message.find("no.such.key"),
+              std::string::npos);
+
+    auto fresh = SimulationConfig::paperDefault();
+    const auto invalid = tryApplyScenario(
+        parse("battery.chargeEfficiency = 1.7\n"), fresh);
+    ASSERT_FALSE(invalid.ok());
+    EXPECT_EQ(invalid.error().code, util::ErrorCode::ValidationError);
+    EXPECT_NE(invalid.error().message.find("(0, 1]"), std::string::npos);
+
+    auto fresh2 = SimulationConfig::paperDefault();
+    const auto nan_value =
+        tryApplyScenario(parse("cooling.airVolumeM3 = nan\n"), fresh2);
+    ASSERT_FALSE(nan_value.ok());
+    EXPECT_EQ(nan_value.error().code, util::ErrorCode::ValidationError);
+    EXPECT_NE(nan_value.error().message.find("finite"),
+              std::string::npos);
+}
+
+TEST(Scenario, TryLoadMissingFileIsIoError)
+{
+    const auto result = tryLoadScenarioFile("/nonexistent/site.cfg");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::ErrorCode::IoError);
+}
+
 } // namespace
 } // namespace ecolo::core

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hh"
+#include "faults/schedule.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::core;
+using ecolo::faults::FaultEvent;
+using ecolo::faults::FaultKind;
+
+/** Per-minute fingerprint for bitwise run comparison. */
+struct Fingerprint
+{
+    std::vector<double> metered, heat, inlet, supply, soc, benign;
+
+    void record(const MinuteRecord &r)
+    {
+        metered.push_back(r.meteredTotal.value());
+        heat.push_back(r.actualHeat.value());
+        inlet.push_back(r.maxInlet.value());
+        supply.push_back(r.supply.value());
+        soc.push_back(r.batterySoc);
+        benign.push_back(r.benignPower.value());
+    }
+
+    bool operator==(const Fingerprint &other) const
+    {
+        return metered == other.metered && heat == other.heat &&
+               inlet == other.inlet && supply == other.supply &&
+               soc == other.soc && benign == other.benign;
+    }
+};
+
+Fingerprint
+runFingerprint(const SimulationConfig &config, MinuteIndex minutes)
+{
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    Fingerprint fp;
+    sim.setMinuteCallback(
+        [&](const MinuteRecord &r) { fp.record(r); });
+    sim.run(minutes);
+    return fp;
+}
+
+TEST(FaultInjection, NeutralScheduleIsBitIdenticalToEmpty)
+{
+    const auto baseline = SimulationConfig::paperDefault();
+
+    // Zero-magnitude and not-yet-started events exercise every fault
+    // hook with neutral values; the run must match the hook-free fast
+    // path bit for bit.
+    auto neutral = baseline;
+    FaultEvent zero_crac;
+    zero_crac.kind = FaultKind::CracCapacityLoss;
+    zero_crac.magnitude = 0.0;
+    ASSERT_TRUE(neutral.faultSchedule.add(zero_crac).ok());
+    FaultEvent zero_fan;
+    zero_fan.kind = FaultKind::CracFanDerate;
+    zero_fan.magnitude = 0.0;
+    ASSERT_TRUE(neutral.faultSchedule.add(zero_fan).ok());
+    FaultEvent zero_fade;
+    zero_fade.kind = FaultKind::BatteryFade;
+    zero_fade.magnitude = 0.0;
+    ASSERT_TRUE(neutral.faultSchedule.add(zero_fade).ok());
+    FaultEvent future;
+    future.kind = FaultKind::SideChannelNan;
+    future.start = 10 * kMinutesPerYear;
+    ASSERT_TRUE(neutral.faultSchedule.add(future).ok());
+
+    EXPECT_TRUE(runFingerprint(baseline, 2 * kMinutesPerDay) ==
+                runFingerprint(neutral, 2 * kMinutesPerDay));
+}
+
+TEST(FaultInjection, CracLossDegradesInsteadOfDying)
+{
+    auto config = SimulationConfig::paperDefault();
+    FaultEvent crac;
+    crac.kind = FaultKind::CracCapacityLoss;
+    crac.start = 60;
+    crac.duration = 0; // never repaired
+    crac.magnitude = 0.55;
+    ASSERT_TRUE(config.faultSchedule.add(crac).ok());
+
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    MinuteIndex degraded_records = 0;
+    double max_shed = 0.0;
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        if (r.degraded)
+            ++degraded_records;
+        max_shed = std::max(max_shed, r.shedFraction);
+    });
+    sim.run(2 * kMinutesPerDay);
+
+    // The operator's degraded overlay engages (capping / set-point raise
+    // / shedding) and the site survives the fault without an outage.
+    EXPECT_GT(sim.metrics().degradedMinutes(), 0);
+    EXPECT_EQ(sim.metrics().degradedMinutes(), degraded_records);
+    EXPECT_EQ(sim.metrics().outages(), 0u);
+    EXPECT_GT(max_shed, 0.0);
+    EXPECT_LE(max_shed, 0.5); // maxShedFraction cap
+    EXPECT_DOUBLE_EQ(sim.activeFaults().coolingCapacityFactor, 0.45);
+}
+
+TEST(FaultInjection, SensorNanNeverReachesThePolicy)
+{
+    auto config = SimulationConfig::paperDefault();
+    FaultEvent nan_fault;
+    nan_fault.kind = FaultKind::SideChannelNan;
+    nan_fault.start = 30;
+    nan_fault.duration = 120;
+    ASSERT_TRUE(config.faultSchedule.add(nan_fault).ok());
+
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    MinuteIndex stale_records = 0;
+    bool all_finite = true;
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        if (r.estimateStale)
+            ++stale_records;
+        all_finite = all_finite && std::isfinite(r.batterySoc) &&
+                     std::isfinite(r.maxInlet.value());
+    });
+    sim.run(300);
+
+    EXPECT_EQ(stale_records, 120);
+    EXPECT_TRUE(all_finite);
+}
+
+TEST(FaultInjection, SensorFaultTouchesOnlyTheEstimate)
+{
+    // Side-channel faults must be isolated to the attacker's estimate:
+    // with a policy that never reads the estimate, the physical
+    // trajectory is untouched bit for bit.
+    auto config = SimulationConfig::paperDefault();
+    FaultEvent stuck;
+    stuck.kind = FaultKind::SideChannelStuck;
+    stuck.start = 50;
+    stuck.duration = 60;
+    ASSERT_TRUE(config.faultSchedule.add(stuck).ok());
+
+    Fingerprint healthy, faulted;
+    {
+        const auto base = SimulationConfig::paperDefault();
+        Simulation sim(base, std::make_unique<StandbyPolicy>());
+        sim.setMinuteCallback(
+            [&](const MinuteRecord &r) { healthy.record(r); });
+        sim.run(200);
+    }
+    {
+        Simulation sim(config, std::make_unique<StandbyPolicy>());
+        sim.setMinuteCallback(
+            [&](const MinuteRecord &r) { faulted.record(r); });
+        sim.run(200);
+    }
+    EXPECT_TRUE(healthy == faulted);
+}
+
+TEST(FaultInjection, ServerFailurePowersDownBenignServers)
+{
+    auto config = SimulationConfig::paperDefault();
+    FaultEvent failure;
+    failure.kind = FaultKind::ServerFailure;
+    failure.start = 0;
+    failure.count = 3;
+    ASSERT_TRUE(config.faultSchedule.add(failure).ok());
+
+    Simulation sim(config, std::make_unique<StandbyPolicy>());
+    sim.run(10);
+
+    const auto &metered = sim.lastServerMetered();
+    ASSERT_EQ(metered.size(), config.numServers());
+    // Benign servers fail from the highest benign index downward; the
+    // attacker's servers (the last attackerNumServers slots) are not
+    // the attacker's to lose here.
+    std::size_t dark = 0;
+    for (const auto &kw : metered)
+        dark += kw.value() == 0.0;
+    EXPECT_GE(dark, 3u);
+    EXPECT_EQ(sim.activeFaults().failedServers, 3u);
+}
+
+TEST(FaultInjection, BmsCutoutFreezesTheBattery)
+{
+    auto config = SimulationConfig::paperDefault();
+    FaultEvent cutout;
+    cutout.kind = FaultKind::BmsCutout;
+    cutout.start = 0;
+    cutout.duration = 0;
+    ASSERT_TRUE(config.faultSchedule.add(cutout).ok());
+
+    // The myopic attacker drains the battery during attacks -- unless
+    // the BMS refuses to discharge it.
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    double cutout_min_soc = 2.0;
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        cutout_min_soc = std::min(cutout_min_soc, r.batterySoc);
+    });
+    sim.run(kMinutesPerDay);
+
+    const auto base = SimulationConfig::paperDefault();
+    Simulation free(base, makeMyopicPolicy(base, Kilowatts(7.4)));
+    double free_min_soc = 2.0;
+    free.setMinuteCallback([&](const MinuteRecord &r) {
+        free_min_soc = std::min(free_min_soc, r.batterySoc);
+    });
+    free.run(kMinutesPerDay);
+
+    EXPECT_LT(free_min_soc, 1.0);          // attacks really drained it
+    EXPECT_DOUBLE_EQ(cutout_min_soc, 1.0); // the BMS never let go
+}
+
+TEST(FaultInjection, TraceGapFreezesBenignUtilization)
+{
+    auto config = SimulationConfig::paperDefault();
+    FaultEvent gap;
+    gap.kind = FaultKind::TraceGap;
+    gap.start = 100;
+    gap.duration = 50;
+    ASSERT_TRUE(config.faultSchedule.add(gap).ok());
+
+    Simulation sim(config, std::make_unique<StandbyPolicy>());
+    std::vector<double> benign;
+    sim.setMinuteCallback([&](const MinuteRecord &r) {
+        benign.push_back(r.benignPower.value());
+    });
+    sim.run(200);
+
+    // During the gap every tenant replays the same pre-gap minute, so
+    // benign power is flat; after the gap the live trace resumes.
+    for (MinuteIndex t = 101; t < 150; ++t)
+        EXPECT_EQ(benign[static_cast<std::size_t>(t)], benign[100]);
+    bool resumed_varies = false;
+    for (MinuteIndex t = 151; t < 200; ++t)
+        resumed_varies = resumed_varies ||
+                         benign[static_cast<std::size_t>(t)] != benign[100];
+    EXPECT_TRUE(resumed_varies);
+}
+
+TEST(FaultInjection, DegradedScenarioSurvivesUnderAttack)
+{
+    // Compound faults + an active attacker: the year must not abort.
+    auto config = SimulationConfig::paperDefault();
+    faults::RandomCampaignParams params;
+    params.numEvents = 20;
+    params.seed = 3;
+    params.horizonMinutes = 30 * kMinutesPerDay;
+    params.maxMagnitude = 0.5;
+    config.faultSchedule = faults::FaultSchedule::randomized(params);
+
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    sim.run(30 * kMinutesPerDay);
+    EXPECT_EQ(sim.now(), 30 * kMinutesPerDay);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+#include "faults/schedule.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::faults;
+
+KeyValueConfig
+parse(const std::string &text)
+{
+    std::istringstream iss(text);
+    auto result = KeyValueConfig::tryParse(iss, "test.cfg");
+    EXPECT_TRUE(result.ok());
+    return result.take();
+}
+
+TEST(FaultKindNames, RoundTrip)
+{
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        const auto parsed = parseFaultKind(toString(kind));
+        ASSERT_TRUE(parsed.ok()) << toString(kind);
+        EXPECT_EQ(parsed.value(), kind);
+    }
+    EXPECT_FALSE(parseFaultKind("meteor_strike").ok());
+}
+
+TEST(FaultEvent, ActiveWindow)
+{
+    FaultEvent event;
+    event.start = 100;
+    event.duration = 10;
+    EXPECT_FALSE(event.activeAt(99));
+    EXPECT_TRUE(event.activeAt(100));
+    EXPECT_TRUE(event.activeAt(109));
+    EXPECT_FALSE(event.activeAt(110));
+
+    event.duration = 0; // forever
+    EXPECT_TRUE(event.activeAt(1'000'000));
+}
+
+TEST(FaultEvent, ValidationRejectsBadValues)
+{
+    FaultEvent event;
+    event.start = -1;
+    EXPECT_FALSE(event.validated().ok());
+
+    event.start = 0;
+    event.kind = FaultKind::CracCapacityLoss;
+    event.magnitude = 1.0; // total loss not representable
+    EXPECT_FALSE(event.validated().ok());
+
+    event.magnitude = 0.5;
+    EXPECT_TRUE(event.validated().ok());
+
+    event.kind = FaultKind::ServerFailure;
+    event.count = 0;
+    EXPECT_FALSE(event.validated().ok());
+}
+
+TEST(FaultSchedule, FromKeyValueParsesEvents)
+{
+    const auto kv = parse("fault.0.type = crac_capacity_loss\n"
+                          "fault.0.startDay = 2\n"
+                          "fault.0.durationMinutes = 60\n"
+                          "fault.0.magnitude = 0.3\n"
+                          "fault.1.type = server_failure\n"
+                          "fault.1.startMinute = 500\n"
+                          "fault.1.servers = 3\n");
+    auto schedule = FaultSchedule::fromKeyValue(kv);
+    ASSERT_TRUE(schedule.ok());
+    ASSERT_EQ(schedule.value().size(), 2u);
+    EXPECT_EQ(schedule.value().events()[0].kind,
+              FaultKind::CracCapacityLoss);
+    EXPECT_EQ(schedule.value().events()[0].start, 2 * kMinutesPerDay);
+    EXPECT_EQ(schedule.value().events()[1].count, 3u);
+    EXPECT_EQ(schedule.value().firstStart(), 500);
+    EXPECT_TRUE(kv.unconsumedKeys().empty());
+}
+
+TEST(FaultSchedule, FromKeyValueRejectsUnknownKind)
+{
+    const auto kv = parse("fault.0.type = gremlins\n");
+    const auto schedule = FaultSchedule::fromKeyValue(kv);
+    ASSERT_FALSE(schedule.ok());
+    EXPECT_NE(schedule.error().message.find("unknown fault kind"),
+              std::string::npos);
+    // Diagnostics carry the source location of the offending key.
+    EXPECT_NE(schedule.error().message.find("test.cfg"),
+              std::string::npos);
+}
+
+TEST(FaultSchedule, FromKeyValueRejectsAmbiguousStart)
+{
+    const auto kv = parse("fault.0.type = bms_cutout\n"
+                          "fault.0.startMinute = 10\n"
+                          "fault.0.startDay = 1\n");
+    const auto schedule = FaultSchedule::fromKeyValue(kv);
+    ASSERT_FALSE(schedule.ok());
+    EXPECT_NE(schedule.error().message.find("both startMinute and"),
+              std::string::npos);
+}
+
+TEST(FaultSchedule, EmptyDocumentYieldsEmptySchedule)
+{
+    const auto kv = parse("# no faults here\n");
+    auto schedule = FaultSchedule::fromKeyValue(kv);
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_TRUE(schedule.value().empty());
+    EXPECT_EQ(schedule.value().firstStart(), -1);
+}
+
+TEST(FaultSchedule, ActiveAtComposesOverlappingEvents)
+{
+    FaultSchedule schedule;
+    FaultEvent a;
+    a.kind = FaultKind::CracCapacityLoss;
+    a.start = 0;
+    a.duration = 100;
+    a.magnitude = 0.5;
+    ASSERT_TRUE(schedule.add(a).ok());
+    FaultEvent b = a;
+    b.magnitude = 0.2;
+    ASSERT_TRUE(schedule.add(b).ok());
+    FaultEvent c;
+    c.kind = FaultKind::ServerFailure;
+    c.start = 50;
+    c.duration = 100;
+    c.count = 4;
+    ASSERT_TRUE(schedule.add(c).ok());
+
+    const auto at10 = schedule.activeAt(10);
+    EXPECT_DOUBLE_EQ(at10.coolingCapacityFactor, 0.5 * 0.8);
+    EXPECT_EQ(at10.failedServers, 0u);
+    EXPECT_TRUE(at10.any());
+
+    const auto at120 = schedule.activeAt(120);
+    EXPECT_DOUBLE_EQ(at120.coolingCapacityFactor, 1.0);
+    EXPECT_EQ(at120.failedServers, 4u);
+
+    const auto at200 = schedule.activeAt(200);
+    EXPECT_FALSE(at200.any());
+}
+
+TEST(FaultSchedule, RandomizedIsSeedReproducible)
+{
+    RandomCampaignParams params;
+    params.numEvents = 25;
+    params.seed = 7;
+    const auto one = FaultSchedule::randomized(params);
+    const auto two = FaultSchedule::randomized(params);
+    ASSERT_EQ(one.size(), 25u);
+    ASSERT_EQ(one.size(), two.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one.events()[i].kind, two.events()[i].kind);
+        EXPECT_EQ(one.events()[i].start, two.events()[i].start);
+        EXPECT_EQ(one.events()[i].duration, two.events()[i].duration);
+        EXPECT_EQ(one.events()[i].magnitude, two.events()[i].magnitude);
+    }
+
+    params.seed = 8;
+    const auto other = FaultSchedule::randomized(params);
+    bool differs = false;
+    for (std::size_t i = 0; i < one.size(); ++i)
+        differs = differs || one.events()[i].start != other.events()[i].start;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, RandomizedEventsAreInRange)
+{
+    RandomCampaignParams params;
+    params.numEvents = 50;
+    params.horizonMinutes = 10000;
+    params.maxMagnitude = 0.4;
+    const auto schedule = FaultSchedule::randomized(params);
+    for (const auto &event : schedule.events()) {
+        EXPECT_TRUE(event.validated().ok());
+        EXPECT_GE(event.start, 0);
+        EXPECT_LT(event.start, 10000);
+        EXPECT_GE(event.duration, 10);
+        EXPECT_LT(event.magnitude, 0.4);
+    }
+}
+
+} // namespace

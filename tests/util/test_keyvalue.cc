@@ -93,5 +93,64 @@ TEST(KeyValueDeathTest, MissingFile)
                  "cannot open");
 }
 
+util::Result<KeyValueConfig>
+tryParse(const std::string &text)
+{
+    std::istringstream in(text);
+    return KeyValueConfig::tryParse(in, "site.cfg");
+}
+
+TEST(KeyValueTry, MalformedLineNamesSourceLineAndText)
+{
+    const auto result = tryParse("a = 1\nthis line is broken\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::ErrorCode::ParseError);
+    const std::string &message = result.error().message;
+    EXPECT_NE(message.find("site.cfg"), std::string::npos);
+    EXPECT_NE(message.find("2"), std::string::npos);
+    EXPECT_NE(message.find("this line is broken"), std::string::npos);
+}
+
+TEST(KeyValueTry, DuplicateKeyNamesBothLines)
+{
+    const auto result = tryParse("a = 1\nb = 2\na = 3\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::ErrorCode::ParseError);
+    EXPECT_NE(result.error().message.find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(result.error().message.find("a"), std::string::npos);
+}
+
+TEST(KeyValueTry, UnparseableValueIsStructured)
+{
+    auto parsed = tryParse("n = notanumber\n");
+    ASSERT_TRUE(parsed.ok());
+    const auto value = parsed.value().tryGetDouble("n");
+    ASSERT_FALSE(value.ok());
+    EXPECT_EQ(value.error().code, util::ErrorCode::ParseError);
+    EXPECT_NE(value.error().message.find("not a number"),
+              std::string::npos);
+    // Absent keys are an empty optional, not an error.
+    const auto missing = parsed.value().tryGetDouble("missing");
+    ASSERT_TRUE(missing.ok());
+    EXPECT_FALSE(missing.value().has_value());
+}
+
+TEST(KeyValueTry, MissingFileIsIoError)
+{
+    const auto result =
+        KeyValueConfig::tryParseFile("/nonexistent/path.cfg");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, util::ErrorCode::IoError);
+}
+
+TEST(KeyValueTry, LocateReportsSourceAndLine)
+{
+    auto parsed = tryParse("a = 1\n\nb = 2\n");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().sourceName(), "site.cfg");
+    EXPECT_EQ(parsed.value().locate("b"), "site.cfg:3");
+}
+
 } // namespace
 } // namespace ecolo

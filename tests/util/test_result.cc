@@ -1,0 +1,80 @@
+#include "util/result.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using namespace ecolo::util;
+
+Result<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return ECOLO_ERROR(ErrorCode::ValidationError,
+                           "value must be positive, got ", v);
+    return v;
+}
+
+Result<void>
+checkPositive(int v)
+{
+    ECOLO_TRY_VOID(parsePositive(v));
+    return {};
+}
+
+TEST(Result, ValueRoundTrip)
+{
+    const auto ok = parsePositive(7);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.value(), 7);
+}
+
+TEST(Result, ErrorCarriesCodeMessageAndOrigin)
+{
+    const auto bad = parsePositive(-3);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::ValidationError);
+    EXPECT_EQ(bad.error().message, "value must be positive, got -3");
+    EXPECT_NE(std::string(bad.error().file).find("test_result.cc"),
+              std::string::npos);
+    EXPECT_GT(bad.error().line, 0);
+}
+
+TEST(Result, DescribeNamesFileLineAndCode)
+{
+    const auto bad = parsePositive(0);
+    const std::string text = bad.error().describe();
+    EXPECT_NE(text.find("test_result.cc"), std::string::npos);
+    EXPECT_NE(text.find("validation"), std::string::npos);
+    EXPECT_NE(text.find("must be positive"), std::string::npos);
+}
+
+TEST(Result, VoidSuccessByDefault)
+{
+    const Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.error().code, ErrorCode::None);
+}
+
+TEST(Result, TryVoidPropagatesAcrossValueTypes)
+{
+    EXPECT_TRUE(checkPositive(1).ok());
+    const auto bad = checkPositive(-1);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::ValidationError);
+}
+
+TEST(Result, ErrorCodeNames)
+{
+    EXPECT_STREQ(toString(ErrorCode::None), "ok");
+    EXPECT_NE(std::string(toString(ErrorCode::IoError)).size(), 0u);
+    EXPECT_NE(std::string(toString(ErrorCode::ParseError)).size(), 0u);
+    EXPECT_NE(std::string(toString(ErrorCode::ValidationError)).size(),
+              0u);
+    EXPECT_NE(std::string(toString(ErrorCode::StateError)).size(), 0u);
+}
+
+} // namespace

@@ -18,11 +18,20 @@
  *                     weight w (foresighted)
  *   --days N          simulated days (default 30)
  *   --csv FILE        write the per-minute record stream as CSV
+ *   --faults FILE     load a fault-injection timeline (fault.* keys; see
+ *                     docs/faults.md) on top of the scenario's
+ *   --checkpoint FILE periodically save the full simulation state to FILE
+ *                     (atomic tmp+rename); if FILE already exists, resume
+ *                     from it instead of cold-starting
+ *   --checkpoint-every N
+ *                     minutes between checkpoint writes (default 1440)
  *   --describe        print the effective configuration and exit
  *   --quiet           suppress the banner, print only the summary table
  *   --help            this text
  */
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,7 +43,10 @@
 #include "core/scenario.hh"
 #include "core/report.hh"
 #include "core/threat_assessment.hh"
+#include "faults/schedule.hh"
 #include "util/logging.hh"
+#include "util/result.hh"
+#include "util/state_io.hh"
 #include "util/table.hh"
 
 namespace {
@@ -51,6 +63,9 @@ struct CliOptions
     bool paramSet = false;
     double days = 30.0;
     std::string csvFile;
+    std::string faultsFile;
+    std::string checkpointFile;
+    long checkpointEvery = 1440;
     std::string reportFile;
     bool describe = false;
     bool assess = false;
@@ -64,6 +79,8 @@ printUsage(std::ostream &os)
           "                     [--policy standby|random|myopic|"
           "foresighted|oneshot]\n"
           "                     [--param X] [--days N] [--csv FILE]\n"
+          "                     [--faults FILE] [--checkpoint FILE]\n"
+          "                     [--checkpoint-every N]\n"
           "                     [--report FILE.md]\n"
           "                     [--describe] [--assess] [--quiet] "
           "[--help]\n";
@@ -93,6 +110,14 @@ parseArgs(int argc, char **argv)
             opts.days = std::stod(need_value(i, arg));
         } else if (std::strcmp(arg, "--csv") == 0) {
             opts.csvFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            opts.faultsFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--checkpoint") == 0) {
+            opts.checkpointFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+            opts.checkpointEvery = std::stol(need_value(i, arg));
+            if (opts.checkpointEvery < 1)
+                ECOLO_FATAL("--checkpoint-every must be at least 1");
         } else if (std::strcmp(arg, "--report") == 0) {
             opts.reportFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--describe") == 0) {
@@ -150,7 +175,7 @@ writeCsvHeader(std::ostream &os)
 {
     os << "minute,metered_kw,actual_heat_kw,attack_battery_kw,"
           "benign_kw,max_inlet_c,supply_c,battery_soc,action,"
-          "capping,outage\n";
+          "capping,outage,degraded,shed_fraction,estimate_stale\n";
 }
 
 void
@@ -161,7 +186,74 @@ writeCsvRow(std::ostream &os, const MinuteRecord &r)
        << ',' << r.benignPower.value() << ',' << r.maxInlet.value() << ','
        << r.supply.value() << ',' << r.batterySoc << ','
        << toString(r.action) << ',' << (r.cappingActive ? 1 : 0) << ','
-       << (r.outage ? 1 : 0) << '\n';
+       << (r.outage ? 1 : 0) << ',' << (r.degraded ? 1 : 0) << ','
+       << r.shedFraction << ',' << (r.estimateStale ? 1 : 0) << '\n';
+}
+
+/** Atomically persist one Simulation (config fingerprint + full state). */
+util::Result<void>
+saveSimCheckpoint(const std::string &path, const Simulation &sim,
+                  const std::string &policy_name)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "cannot open checkpoint file for writing: ",
+                               tmp);
+        }
+        util::StateWriter writer(os);
+        writer.header();
+        writer.tag("CLI ");
+        writer.u64(sim.config().seed);
+        writer.u64(sim.config().numServers());
+        writer.str(policy_name);
+        sim.saveState(writer);
+        os.flush();
+        if (!writer.good() || !os) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "short write to checkpoint file: ", tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot rename checkpoint into place: ", tmp,
+                           " -> ", path);
+    }
+    return {};
+}
+
+/** Restore a checkpoint into a freshly constructed Simulation. */
+util::Result<void>
+loadSimCheckpoint(const std::string &path, Simulation &sim,
+                  const std::string &policy_name)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open checkpoint file: ", path);
+    }
+    util::StateReader reader(is);
+    reader.header();
+    reader.tag("CLI ");
+    const std::uint64_t seed = reader.u64();
+    const std::uint64_t servers = reader.u64();
+    const std::string policy = reader.str();
+    if (!reader.ok())
+        return reader.status().error();
+    if (seed != sim.config().seed ||
+        servers != sim.config().numServers() || policy != policy_name) {
+        return ECOLO_ERROR(util::ErrorCode::StateError,
+                           "checkpoint fingerprint mismatch for ", path,
+                           ": checkpoint (seed ", seed, ", ", servers,
+                           " servers, policy ", policy,
+                           ") vs run (seed ", sim.config().seed, ", ",
+                           sim.config().numServers(), " servers, policy ",
+                           policy_name, ")");
+    }
+    sim.loadState(reader);
+    return reader.status();
 }
 
 } // namespace
@@ -184,6 +276,30 @@ main(int argc, char **argv)
     }
     applyScenario(kv, config);
 
+    if (!opts.faultsFile.empty()) {
+        auto fault_kv = KeyValueConfig::tryParseFile(opts.faultsFile);
+        if (!fault_kv.ok()) {
+            std::cerr << "edgetherm_cli: " << fault_kv.error().describe()
+                      << "\n";
+            return 1;
+        }
+        auto schedule = faults::FaultSchedule::fromKeyValue(fault_kv.value());
+        if (!schedule.ok()) {
+            std::cerr << "edgetherm_cli: " << schedule.error().describe()
+                      << "\n";
+            return 1;
+        }
+        // Compose with any fault.* keys the scenario itself carried.
+        for (const auto &event : schedule.value().events()) {
+            if (const auto added = config.faultSchedule.add(event);
+                !added.ok()) {
+                std::cerr << "edgetherm_cli: " << added.error().describe()
+                          << "\n";
+                return 1;
+            }
+        }
+    }
+
     if (opts.describe) {
         describeConfig(std::cout, config);
         return 0;
@@ -195,7 +311,27 @@ main(int argc, char **argv)
 
     const double param =
         opts.paramSet ? opts.param : defaultParamFor(opts.policy);
-    Simulation sim(config, makePolicy(opts.policy, param, config));
+    auto sim = std::make_unique<Simulation>(
+        config, makePolicy(opts.policy, param, config));
+
+    // Resume rather than cold-start when a previous run left a
+    // checkpoint behind; an unreadable/mismatched checkpoint degrades to
+    // a cold start with a warning instead of killing the run.
+    if (!opts.checkpointFile.empty() &&
+        std::ifstream(opts.checkpointFile).good()) {
+        if (const auto loaded = loadSimCheckpoint(opts.checkpointFile,
+                                                  *sim, opts.policy);
+            !loaded.ok()) {
+            std::cerr << "edgetherm_cli: checkpoint restore failed ("
+                      << loaded.error().describe()
+                      << "); cold-starting instead\n";
+            sim = std::make_unique<Simulation>(
+                config, makePolicy(opts.policy, param, config));
+        } else if (!opts.quiet) {
+            std::cout << "resumed from " << opts.checkpointFile
+                      << " at minute " << sim->now() << "\n";
+        }
+    }
 
     std::ofstream csv;
     if (!opts.csvFile.empty()) {
@@ -203,7 +339,7 @@ main(int argc, char **argv)
         if (!csv)
             ECOLO_FATAL("cannot open CSV output file: ", opts.csvFile);
         writeCsvHeader(csv);
-        sim.setMinuteCallback(
+        sim->setMinuteCallback(
             [&](const MinuteRecord &r) { writeCsvRow(csv, r); });
     }
 
@@ -212,9 +348,26 @@ main(int argc, char **argv)
                   << fixed(param, 2) << ") for " << fixed(opts.days, 1)
                   << " days, seed " << config.seed << "\n";
     }
-    sim.runDays(opts.days);
+    if (opts.checkpointFile.empty()) {
+        sim->runDays(opts.days);
+    } else {
+        const auto total = static_cast<MinuteIndex>(
+            opts.days * static_cast<double>(kMinutesPerDay));
+        while (sim->now() < total) {
+            const MinuteIndex chunk = std::min<MinuteIndex>(
+                opts.checkpointEvery, total - sim->now());
+            sim->run(chunk);
+            if (const auto saved = saveSimCheckpoint(
+                    opts.checkpointFile, *sim, opts.policy);
+                !saved.ok()) {
+                std::cerr << "edgetherm_cli: checkpoint save failed ("
+                          << saved.error().describe()
+                          << "); continuing without\n";
+            }
+        }
+    }
 
-    const auto &m = sim.metrics();
+    const auto &m = sim->metrics();
     TextTable table({"metric", "value"});
     table.addRow("attack time (h/day)", fixed(m.attackHoursPerDay(), 2));
     table.addRow("emergencies declared", m.emergencies());
@@ -223,6 +376,7 @@ main(int argc, char **argv)
     table.addRow("emergency hours / year-equivalent",
                  fixed(m.emergencyHoursPerYear(), 0));
     table.addRow("outages", m.outages());
+    table.addRow("degraded-mode minutes", m.degradedMinutes());
     table.addRow("mean inlet rise (C)", fixed(m.inletRise().mean(), 2));
     table.addRow("hottest inlet (C)", fixed(m.maxInlet().max(), 1));
     table.addRow("norm. 95p latency in emergencies",
