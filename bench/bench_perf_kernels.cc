@@ -5,10 +5,18 @@
  * campaign), serial vs. thread-pool fleet simulation, and serial vs.
  * parallel CFD matrix extraction. Run with --benchmark_format=json (or
  * --benchmark_out=...) to emit the machine-readable perf trajectory.
+ *
+ * Independently of google-benchmark's own (version-dependent) JSON, the
+ * binary always writes a *stable*-schema summary -- see
+ * docs/observability.md#bench-perf-json -- to BENCH_perf.json (or
+ * $EDGETHERM_BENCH_JSON when set), which CI archives so perf trajectories
+ * can be compared across commits without parsing the console output.
  */
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,7 +24,9 @@
 
 #include "core/fleet.hh"
 #include "power/layout.hh"
+#include "telemetry/events.hh" // jsonEscape
 #include "thermal/heat_matrix.hh"
+#include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace {
@@ -236,6 +246,108 @@ BM_CfdExtractionParallel(benchmark::State &state)
 }
 BENCHMARK(BM_CfdExtractionParallel)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console output as usual, plus an in-memory copy of every finished run
+ * for the stable-schema JSON summary.
+ */
+class PerfJsonReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct CollectedRun
+    {
+        std::string name;
+        std::string label;
+        std::int64_t iterations = 0;
+        double realTimeNs = 0.0;
+        double cpuTimeNs = 0.0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(report);
+        for (const Run &run : report) {
+            if (run.error_occurred)
+                continue;
+            CollectedRun collected;
+            collected.name = run.benchmark_name();
+            collected.label = run.report_label;
+            collected.iterations = run.iterations;
+            const double iters =
+                run.iterations > 0 ? static_cast<double>(run.iterations)
+                                   : 1.0;
+            collected.realTimeNs =
+                run.real_accumulated_time * 1e9 / iters;
+            collected.cpuTimeNs = run.cpu_accumulated_time * 1e9 / iters;
+            for (const auto &[counter_name, counter] : run.counters) {
+                collected.counters.emplace_back(
+                    counter_name, static_cast<double>(counter));
+            }
+            runs_.push_back(std::move(collected));
+        }
+    }
+
+    const std::vector<CollectedRun> &runs() const { return runs_; }
+
+  private:
+    std::vector<CollectedRun> runs_;
+};
+
+bool
+writePerfJson(const std::string &path,
+              const std::vector<PerfJsonReporter::CollectedRun> &runs)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return false;
+    using ecolo::telemetry::jsonEscape;
+    os << "{\"schema\":\"edgetherm-bench-perf-v1\",\"benchmarks\":[";
+    os.precision(17);
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+        const auto &run = runs[k];
+        if (k > 0)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(run.name)
+           << "\",\"iterations\":" << run.iterations
+           << ",\"real_time_ns\":" << run.realTimeNs
+           << ",\"cpu_time_ns\":" << run.cpuTimeNs << ",\"label\":\""
+           << jsonEscape(run.label) << "\",\"counters\":{";
+        for (std::size_t c = 0; c < run.counters.size(); ++c) {
+            if (c > 0)
+                os << ",";
+            os << "\"" << jsonEscape(run.counters[c].first)
+               << "\":" << run.counters[c].second;
+        }
+        os << "}}";
+    }
+    os << "]}\n";
+    os.flush();
+    return static_cast<bool>(os);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    PerfJsonReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const char *env_path = std::getenv("EDGETHERM_BENCH_JSON");
+    const std::string path = (env_path != nullptr && env_path[0] != '\0')
+                                 ? env_path
+                                 : "BENCH_perf.json";
+    if (!writePerfJson(path, reporter.runs())) {
+        ecolo::warn("could not write perf summary: ", path);
+        return 1;
+    }
+    ecolo::inform("wrote perf summary: ", path, " (", reporter.runs().size(),
+                  " benchmarks)");
+    return 0;
+}

@@ -1,15 +1,83 @@
 #include "common.hh"
 
+#include <cstdlib>
+#include <string>
+
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace ecolo::benchutil {
+
+namespace {
+
+const char *
+envOrNull(const char *name)
+{
+    const char *value = std::getenv(name);
+    return (value != nullptr && value[0] != '\0') ? value : nullptr;
+}
+
+/** Arms telemetry from the environment on startup, flushes on exit. */
+struct TelemetryEnvLifecycle
+{
+    TelemetryEnvLifecycle() { initTelemetryFromEnv(); }
+    ~TelemetryEnvLifecycle() { flushTelemetry(); }
+};
+TelemetryEnvLifecycle g_telemetry_lifecycle;
+
+} // namespace
+
+bool
+initTelemetryFromEnv()
+{
+    if (const char *level_name = envOrNull("EDGETHERM_LOG_LEVEL")) {
+        LogLevel level;
+        if (parseLogLevel(level_name, level))
+            setLogLevel(level);
+        else
+            warn("unknown EDGETHERM_LOG_LEVEL: ", level_name);
+    }
+
+    const bool want = envOrNull("EDGETHERM_METRICS_OUT") != nullptr ||
+                      envOrNull("EDGETHERM_EVENTS_OUT") != nullptr ||
+                      envOrNull("EDGETHERM_PROFILE_OUT") != nullptr;
+    if (!want)
+        return false;
+    telemetry::setEnabled(true);
+    if (envOrNull("EDGETHERM_PROFILE_OUT") != nullptr)
+        telemetry::trace().begin();
+    return telemetry::enabled();
+}
+
+void
+flushTelemetry()
+{
+    if (!telemetry::enabled())
+        return;
+    if (const char *path = envOrNull("EDGETHERM_METRICS_OUT")) {
+        if (auto r = telemetry::registry().writeJsonFile(path); !r)
+            warn("metrics sink failed: ", r.error().message);
+    }
+    if (const char *path = envOrNull("EDGETHERM_EVENTS_OUT")) {
+        if (auto r = telemetry::events().writeJsonlFile(path); !r)
+            warn("events sink failed: ", r.error().message);
+    }
+    if (const char *path = envOrNull("EDGETHERM_PROFILE_OUT")) {
+        telemetry::trace().end();
+        if (auto r = telemetry::trace().writeChromeJsonFile(path); !r)
+            warn("profile sink failed: ", r.error().message);
+    }
+}
 
 CampaignResult
 runCampaign(const core::SimulationConfig &config,
             std::unique_ptr<core::AttackPolicy> policy, double days,
             const std::string &label, double parameter)
 {
+    telemetry::TraceSpan span(telemetry::enabled()
+                                  ? "bench.campaign:" + label
+                                  : std::string());
     core::Simulation sim(config, std::move(policy));
     sim.runDays(days);
     const auto &m = sim.metrics();

@@ -80,6 +80,23 @@ findHighLoadWindow(const std::vector<core::MinuteRecord> &records,
                    MinuteIndex from, MinuteIndex to,
                    MinuteIndex window_minutes);
 
+/**
+ * Enable telemetry when any of EDGETHERM_METRICS_OUT, EDGETHERM_EVENTS_OUT
+ * or EDGETHERM_PROFILE_OUT is set in the environment (beginning a trace
+ * session for the latter), so any bench binary can be profiled without a
+ * rebuild. Honors EDGETHERM_LOG_LEVEL too. Returns true when telemetry was
+ * turned on. Called automatically at bench start via a static initializer
+ * in common.cc; harmless to call again.
+ */
+bool initTelemetryFromEnv();
+
+/**
+ * Write whichever telemetry sinks initTelemetryFromEnv() armed. Called
+ * automatically at normal process exit; safe to call early (e.g. right
+ * after the interesting phase) -- later writes just overwrite.
+ */
+void flushTelemetry();
+
 } // namespace ecolo::benchutil
 
 #endif // ECOLO_BENCH_COMMON_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "telemetry/telemetry.hh"
 #include "trace/generators.hh"
 #include "util/logging.hh"
 
@@ -155,17 +156,36 @@ Simulation::makeObservation(bool capping, bool outage)
         // channel (it knows and subtracts its own draw), then reasons in
         // terms of "benign load + my subscription" as in the paper. The
         // channel averages the per-minute ripple samples internally.
-        const Kilowatts estimate = channel_.estimateAveraged(
-            benignActualPower(), config_.sideChannel.samplesPerEstimate);
+        const Kilowatts benign_actual = benignActualPower();
+        Kilowatts estimate(0.0);
+        {
+            telemetry::TraceSpan span("engine.sidechannel");
+            estimate = channel_.estimateAveraged(
+                benign_actual, config_.sideChannel.samplesPerEstimate);
+        }
         if (std::isnan(estimate.value())) {
             // Sensor fault (dropout / corrupted samples): hold the last
             // valid estimate. Policies discretize estimatedLoad into
             // table indices, so a NaN must never reach them.
             obs.estimatedLoad = lastValidEstimate_;
             obs.estimateStale = true;
+            ECOLO_WARN_RATE_LIMITED(
+                5, "side-channel estimate invalid at minute ", now_,
+                "; holding last valid estimate (",
+                lastValidEstimate_.value(), " kW)");
+            if (telemetry::enabled()) {
+                telemetry::registry()
+                    .counter("sidechannel.estimate.stale").inc();
+            }
         } else {
             obs.estimatedLoad = estimate + config_.attackerSubscription;
             lastValidEstimate_ = obs.estimatedLoad;
+            if (telemetry::enabled()) {
+                telemetry::registry()
+                    .histogram("sidechannel.estimate_error_kw")
+                    .add(std::abs(estimate.value() -
+                                  benign_actual.value()));
+            }
         }
     }
 
@@ -183,8 +203,21 @@ void
 Simulation::stepMinute()
 {
     // ---- 0. Fault injection (skipped entirely on healthy configs). ----
-    if (faultsEnabled_)
+    if (faultsEnabled_) {
         applyFaultsForMinute();
+        if (telemetry::enabled()) {
+            const bool faults_active = faultsNow_.any();
+            if (faults_active != prevFaultsActive_) {
+                telemetry::emitEvent(now_,
+                                     faults_active
+                                         ? telemetry::EventKind::
+                                               FaultActivated
+                                         : telemetry::EventKind::
+                                               FaultExpired);
+                prevFaultsActive_ = faults_active;
+            }
+        }
+    }
 
     const bool capping = command_.capServers;
     const bool outage = command_.outage;
@@ -199,6 +232,14 @@ Simulation::stepMinute()
     const bool degraded_now = command_.degraded;
     const double shed_fraction_now = command_.shedFraction;
     const std::size_t n_attacker = config_.attackerNumServers;
+
+    if (telemetry::enabled() && any_cap != prevAnyCap_) {
+        telemetry::emitEvent(now_,
+                             any_cap ? telemetry::EventKind::CappingStart
+                                     : telemetry::EventKind::CappingEnd,
+                             any_cap ? cap_level.value() : 0.0);
+        prevAnyCap_ = any_cap;
+    }
 
     // ---- 1. Benign tenants follow their traces; operator commands. ----
     // A trace-gap fault freezes the telemetry feed: tenants keep replaying
@@ -250,7 +291,11 @@ Simulation::stepMinute()
         policy_->onDayBoundary(dayIndex(now_));
 
     // ---- 3. Decide and enforce protocol compliance. ----
-    AttackAction action = policy_->decide(obs);
+    AttackAction action;
+    {
+        telemetry::TraceSpan span("engine.policy_decide");
+        action = policy_->decide(obs);
+    }
     if (outage) {
         action = AttackAction::Standby;
     } else if (any_cap && !policy_->ignoresCapping() &&
@@ -332,7 +377,10 @@ Simulation::stepMinute()
     const Kilowatts metered_total = pdu_.totalMeteredPower();
 
     // ---- 6. Thermal step and operator reaction. ----
-    thermal_.stepMinute(lastHeat_);
+    {
+        telemetry::TraceSpan span("engine.thermal_step");
+        thermal_.stepMinute(lastHeat_);
+    }
     // The attacker's batteries breathe the data center air; with a
     // thermally-aware battery spec this derates their usable capacity.
     attackerSupply_.battery().setAmbient(thermal_.inletTemperature(0));
@@ -360,10 +408,70 @@ Simulation::stepMinute()
     while (emergenciesSeen_ < operator_.emergenciesDeclared()) {
         metrics_.noteEmergencyDeclared();
         ++emergenciesSeen_;
+        if (telemetry::enabled())
+            telemetry::registry().counter("engine.emergency.declared").inc();
     }
     while (outagesSeen_ < operator_.outages()) {
         metrics_.noteOutage();
         ++outagesSeen_;
+        if (telemetry::enabled())
+            telemetry::registry().counter("engine.outage.count").inc();
+    }
+
+    if (telemetry::enabled()) {
+        using telemetry::EventKind;
+        const OperatorState op_state = operator_.state();
+        if (op_state != prevOpState_) {
+            if (op_state == OperatorState::Emergency) {
+                telemetry::emitEvent(now_, EventKind::EmergencyDeclared,
+                                     sensed_inlet.value());
+            } else if (prevOpState_ == OperatorState::Emergency) {
+                telemetry::emitEvent(now_, EventKind::EmergencyCleared,
+                                     sensed_inlet.value());
+            }
+            if (op_state == OperatorState::Outage) {
+                telemetry::emitEvent(now_, EventKind::Outage,
+                                     sensed_inlet.value());
+            } else if (prevOpState_ == OperatorState::Outage) {
+                telemetry::emitEvent(now_, EventKind::OutageEnded,
+                                     sensed_inlet.value());
+            }
+            prevOpState_ = op_state;
+        }
+
+        // Degraded-mode severity tier: 0 = healthy, 1 = set-point raise
+        // only, 2 = preventive capping, 3 = partial shutdown.
+        int tier = 0;
+        if (command_.degraded) {
+            tier = 1;
+            if (command_.preventiveCapLevel.has_value())
+                tier = 2;
+            if (command_.shedFraction > 0.0)
+                tier = 3;
+        }
+        if (tier != prevDegradedTier_) {
+            telemetry::emitEvent(now_, EventKind::DegradedTierChange,
+                                 static_cast<double>(tier));
+            prevDegradedTier_ = tier;
+        }
+
+        const double soc = attackerSupply_.battery().soc();
+        const double min_soc = minAttackSoc(config_);
+        if (!batteryDepletedLatched_ && soc < min_soc) {
+            telemetry::emitEvent(now_, EventKind::BatteryDepleted, soc);
+            batteryDepletedLatched_ = true;
+        } else if (batteryDepletedLatched_ && soc >= min_soc) {
+            batteryDepletedLatched_ = false; // re-arm after recharge
+        }
+
+        auto &reg = telemetry::registry();
+        reg.counter("engine.minutes").inc();
+        if (any_cap)
+            reg.counter("engine.capping.minutes").inc();
+        if (action == AttackAction::Attack)
+            reg.counter("engine.attack.minutes").inc();
+        reg.gauge("engine.inlet.max_c").set(max_inlet.value());
+        reg.gauge("battery.soc").set(soc);
     }
 
     // ---- 7. Performance accounting during capped minutes. ----

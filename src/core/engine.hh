@@ -137,6 +137,17 @@ class Simulation
     MinuteIndex now_ = 0;
     std::size_t emergenciesSeen_ = 0;
     std::size_t outagesSeen_ = 0;
+
+    // ---- Telemetry-only edge trackers. Deliberately NOT checkpointed:
+    // telemetry is excluded from state fingerprints (see
+    // telemetry/telemetry.hh), so a resumed run simply re-observes
+    // transitions from the resume point onward. Only touched when
+    // telemetry::enabled().
+    OperatorState prevOpState_ = OperatorState::Normal;
+    bool prevAnyCap_ = false;
+    bool prevFaultsActive_ = false;
+    int prevDegradedTier_ = 0;
+    bool batteryDepletedLatched_ = false;
 };
 
 /** Factory helpers used across examples and benches. */

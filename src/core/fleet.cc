@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -49,6 +50,9 @@ FleetSimulation::run(MinuteIndex minutes)
     std::vector<std::vector<unsigned char>> down_at(
         num_sites, std::vector<unsigned char>(span, 0));
     util::parallelFor(0, num_sites, [&](std::size_t s) {
+        telemetry::TraceSpan site_span(
+            telemetry::enabled() ? "fleet.site[" + std::to_string(s) + "]"
+                                 : std::string());
         Simulation &site = *sites_[s];
         std::vector<unsigned char> &down = down_at[s];
         for (std::size_t m = 0; m < span; ++m) {
@@ -134,6 +138,8 @@ FleetSimulation::saveCheckpoint(const std::string &path) const
                            "cannot rename checkpoint into place: ", tmp,
                            " -> ", path);
     }
+    telemetry::emitEvent(now_, telemetry::EventKind::CheckpointSaved,
+                         static_cast<double>(now_), path);
     return {};
 }
 
@@ -188,6 +194,10 @@ FleetSimulation::loadCheckpoint(const std::string &path)
     for (auto &site : sites_)
         site->loadState(reader);
 
+    if (reader.ok()) {
+        telemetry::emitEvent(now_, telemetry::EventKind::CheckpointRestored,
+                             static_cast<double>(now_), path);
+    }
     return reader.status();
 }
 

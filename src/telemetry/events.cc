@@ -1,0 +1,185 @@
+#include "telemetry/events.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ecolo::telemetry {
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::EmergencyDeclared:
+        return "emergency_declared";
+      case EventKind::EmergencyCleared:
+        return "emergency_cleared";
+      case EventKind::CappingStart:
+        return "capping_start";
+      case EventKind::CappingEnd:
+        return "capping_end";
+      case EventKind::Outage:
+        return "outage";
+      case EventKind::OutageEnded:
+        return "outage_ended";
+      case EventKind::FaultActivated:
+        return "fault_activated";
+      case EventKind::FaultExpired:
+        return "fault_expired";
+      case EventKind::DegradedTierChange:
+        return "degraded_tier_change";
+      case EventKind::CheckpointSaved:
+        return "checkpoint_saved";
+      case EventKind::CheckpointRestored:
+        return "checkpoint_restored";
+      case EventKind::BatteryDepleted:
+        return "battery_depleted";
+    }
+    return "unknown";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity)
+{
+    ECOLO_ASSERT(capacity_ > 0, "event log needs a positive capacity");
+}
+
+void
+EventLog::emit(MinuteIndex minute, EventKind kind, double value,
+               std::string detail)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(
+            Event{minute, kind, value, std::move(detail)});
+        head_ = ring_.size() % capacity_;
+        return;
+    }
+    ring_[head_] = Event{minute, kind, value, std::move(detail)};
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+}
+
+std::vector<Event>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+        return out;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % capacity_]);
+    return out;
+}
+
+std::size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::size_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+EventLog::setCapacity(std::size_t capacity)
+{
+    ECOLO_ASSERT(capacity > 0, "event log needs a positive capacity");
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+}
+
+void
+EventLog::writeJsonl(std::ostream &os) const
+{
+    for (const Event &e : snapshot()) {
+        os << "{\"minute\":" << e.minute << ",\"kind\":\""
+           << toString(e.kind) << "\",\"value\":";
+        if (std::isfinite(e.value)) {
+            std::ostringstream num;
+            num << std::setprecision(17) << e.value;
+            os << num.str();
+        } else {
+            os << "null";
+        }
+        os << ",\"detail\":\"" << jsonEscape(e.detail) << "\"}\n";
+    }
+}
+
+util::Result<void>
+EventLog::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open event log output file: ", path);
+    }
+    writeJsonl(os);
+    os.flush();
+    if (!os) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "short write to event log output file: ", path);
+    }
+    return {};
+}
+
+} // namespace ecolo::telemetry

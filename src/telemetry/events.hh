@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Structured event log: a bounded ring buffer of typed simulation events.
+ *
+ * Where the stats registry answers "how much / how often", the event log
+ * answers "when and in what order": every protocol transition the paper's
+ * analysis cares about (emergency onsets, capping windows, outages,
+ * fault activations, degraded-mode tier changes, checkpoint traffic,
+ * battery depletion) is recorded with its MinuteIndex and a short detail
+ * string, and can be exported as JSONL for post-hoc timeline analysis of
+ * any run.
+ *
+ * The buffer is bounded (default 64k events) so a pathological year-long
+ * run cannot exhaust memory: once full, the oldest events are overwritten
+ * and the drop count records how many were lost.
+ */
+
+#ifndef ECOLO_TELEMETRY_EVENTS_HH
+#define ECOLO_TELEMETRY_EVENTS_HH
+
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/result.hh"
+#include "util/sim_time.hh"
+
+namespace ecolo::telemetry {
+
+/** Event taxonomy (see docs/observability.md for semantics). */
+enum class EventKind
+{
+    EmergencyDeclared,  //!< operator entered Emergency; value = inlet C
+    EmergencyCleared,   //!< capping window expired; value = inlet C
+    CappingStart,       //!< per-server cap came into force; value = cap kW
+    CappingEnd,         //!< cap lifted; value = cap kW that was in force
+    Outage,             //!< PDU de-energized; value = inlet C
+    OutageEnded,        //!< restart window expired
+    FaultActivated,     //!< first minute with any fault in force
+    FaultExpired,       //!< first minute with no fault in force again
+    DegradedTierChange, //!< value = new tier (0 none .. 3 shedding)
+    CheckpointSaved,    //!< value = checkpoint minute
+    CheckpointRestored, //!< value = resume minute
+    BatteryDepleted,    //!< SoC fell below one attack-minute; value = SoC
+};
+
+const char *toString(EventKind kind);
+
+/** One timeline entry. */
+struct Event
+{
+    MinuteIndex minute = 0;
+    EventKind kind = EventKind::EmergencyDeclared;
+    double value = 0.0;
+    std::string detail; //!< short free-form context, may be empty
+};
+
+/** Bounded, thread-safe ring buffer of Events. */
+class EventLog
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+    /** Append one event (oldest entry is overwritten when full). */
+    void emit(MinuteIndex minute, EventKind kind, double value = 0.0,
+              std::string detail = {});
+
+    /** Events currently retained, oldest first. */
+    std::vector<Event> snapshot() const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /** Events overwritten because the buffer was full. */
+    std::size_t dropped() const;
+
+    /**
+     * Replace the capacity and drop all retained events. Call before a
+     * run, not during one.
+     */
+    void setCapacity(std::size_t capacity);
+
+    void clear();
+
+    /** One JSON object per line, oldest first. */
+    void writeJsonl(std::ostream &os) const;
+    util::Result<void> writeJsonlFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::size_t head_ = 0; //!< next write slot once the ring is full
+    std::size_t dropped_ = 0;
+    std::vector<Event> ring_;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace ecolo::telemetry
+
+#endif // ECOLO_TELEMETRY_EVENTS_HH

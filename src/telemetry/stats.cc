@@ -1,0 +1,391 @@
+#include "telemetry/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace ecolo::telemetry {
+
+namespace {
+
+/** JSON-format a double: finite values round-trip, non-finite as null. */
+void
+appendJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream oss;
+    oss << std::setprecision(17) << v;
+    os << oss.str();
+}
+
+/** Relaxed CAS accumulate (atomic<double> has no fetch_add pre-C++20
+ * library support everywhere). */
+void
+atomicAdd(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMin(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (v < cur && !target.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (v > cur && !target.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+const char *
+toString(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter:
+        return "counter";
+      case StatKind::Gauge:
+        return "gauge";
+      case StatKind::Scalar:
+        return "scalar";
+      case StatKind::Histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+// ---- Counter / Gauge / ScalarStat ----
+
+void
+Counter::appendJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"counter\",\"value\":" << value() << "}";
+}
+
+std::string
+Counter::textValue() const
+{
+    return std::to_string(value());
+}
+
+void
+Gauge::appendJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"gauge\",\"value\":";
+    appendJsonNumber(os, value());
+    os << "}";
+}
+
+std::string
+Gauge::textValue() const
+{
+    std::ostringstream oss;
+    oss << value();
+    return oss.str();
+}
+
+void
+ScalarStat::appendJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"scalar\",\"value\":";
+    appendJsonNumber(os, value());
+    os << "}";
+}
+
+std::string
+ScalarStat::textValue() const
+{
+    std::ostringstream oss;
+    oss << value();
+    return oss.str();
+}
+
+// ---- TelemetryHistogram ----
+
+std::size_t
+TelemetryHistogram::bucketIndex(double v)
+{
+    // Callers must reject NaN/negatives before binning.
+    if (v < 1.0)
+        return 0;
+    if (std::isinf(v))
+        return kNumBuckets - 1;
+    const int e = std::ilogb(v); // floor(log2(v)), v >= 1 here
+    const std::size_t i = static_cast<std::size_t>(e) + 1;
+    return std::min(i, kNumBuckets - 1);
+}
+
+double
+TelemetryHistogram::bucketLo(std::size_t i)
+{
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double
+TelemetryHistogram::bucketHi(std::size_t i)
+{
+    if (i >= kNumBuckets - 1)
+        return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, static_cast<int>(i));
+}
+
+void
+TelemetryHistogram::add(double v)
+{
+    if (std::isnan(v) || v < 0.0) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t prev =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    if (prev == 0) {
+        // First sample initializes min/max; races with concurrent adds
+        // resolve through the CAS loops below.
+        double expected = 0.0;
+        min_.compare_exchange_strong(expected, v,
+                                     std::memory_order_relaxed);
+        expected = 0.0;
+        max_.compare_exchange_strong(expected, v,
+                                     std::memory_order_relaxed);
+    }
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+double
+TelemetryHistogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double
+TelemetryHistogram::min() const
+{
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+TelemetryHistogram::max() const
+{
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+void
+TelemetryHistogram::appendJson(std::ostream &os) const
+{
+    os << "{\"kind\":\"histogram\",\"count\":" << count()
+       << ",\"rejected\":" << rejected() << ",\"sum\":";
+    appendJsonNumber(os, sum());
+    os << ",\"mean\":";
+    appendJsonNumber(os, mean());
+    os << ",\"min\":";
+    appendJsonNumber(os, min());
+    os << ",\"max\":";
+    appendJsonNumber(os, max());
+    os << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        const std::uint64_t c = bucketCount(i);
+        if (c == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"lo\":";
+        appendJsonNumber(os, bucketLo(i));
+        os << ",\"hi\":";
+        appendJsonNumber(os, bucketHi(i));
+        os << ",\"count\":" << c << "}";
+    }
+    os << "]}";
+}
+
+std::string
+TelemetryHistogram::textValue() const
+{
+    std::ostringstream oss;
+    oss << "n=" << count() << " mean=" << mean() << " min=" << min()
+        << " max=" << max();
+    if (rejected() > 0)
+        oss << " rejected=" << rejected();
+    return oss.str();
+}
+
+void
+TelemetryHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    rejected_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---- Registry ----
+
+bool
+Registry::validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : name) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+template <typename T>
+T &
+Registry::getOrCreate(const std::string &name, StatKind kind)
+{
+    ECOLO_ASSERT(validName(name), "invalid stat name '", name,
+                 "' (expected dotted [A-Za-z0-9_-] segments)");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        auto stat = std::make_unique<T>(name);
+        T &ref = *stat;
+        stats_.emplace(name, std::move(stat));
+        return ref;
+    }
+    ECOLO_ASSERT(it->second->kind() == kind, "stat name collision: '",
+                 name, "' is already registered as ",
+                 toString(it->second->kind()), ", requested ",
+                 toString(kind));
+    return static_cast<T &>(*it->second);
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return getOrCreate<Counter>(name, StatKind::Counter);
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return getOrCreate<Gauge>(name, StatKind::Gauge);
+}
+
+ScalarStat &
+Registry::scalar(const std::string &name)
+{
+    return getOrCreate<ScalarStat>(name, StatKind::Scalar);
+}
+
+TelemetryHistogram &
+Registry::histogram(const std::string &name)
+{
+    return getOrCreate<TelemetryHistogram>(name, StatKind::Histogram);
+}
+
+const StatBase *
+Registry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+std::size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.size();
+}
+
+void
+Registry::dumpText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TextTable table({"stat", "kind", "value"});
+    for (const auto &[name, stat] : stats_)
+        table.addRow(name, toString(stat->kind()), stat->textValue());
+    table.print(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"schema\":\"edgetherm-metrics-v1\",\"stats\":{";
+    bool first = true;
+    for (const auto &[name, stat] : stats_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":";
+        stat->appendJson(os);
+    }
+    os << "}}\n";
+}
+
+util::Result<void>
+Registry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open metrics output file: ", path);
+    }
+    dumpJson(os);
+    os.flush();
+    if (!os) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "short write to metrics output file: ", path);
+    }
+    return {};
+}
+
+void
+Registry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+}
+
+void
+Registry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.clear();
+}
+
+} // namespace ecolo::telemetry

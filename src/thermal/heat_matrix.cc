@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -148,6 +149,8 @@ HeatDistributionMatrix::extractFromCfd(
     ECOLO_ASSERT(baseline_powers.size() == n,
                  "baseline power vector size mismatch");
     ECOLO_ASSERT(spike.value() > 0.0, "spike must be positive");
+
+    telemetry::TraceSpan extract_span("cfd.extract");
 
     // Bring the container to a quasi-steady state once, then reuse it as
     // the starting point of every spike run (the solver is copyable).

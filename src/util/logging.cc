@@ -5,6 +5,58 @@
 #include <stdexcept>
 
 namespace ecolo {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::Info)};
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        g_log_level.load(std::memory_order_relaxed));
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "error")
+        out = LogLevel::Error;
+    else if (name == "warn")
+        out = LogLevel::Warn;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "debug")
+        out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "unknown";
+}
+
 namespace detail {
 
 void
@@ -33,6 +85,12 @@ void
 informImpl(const std::string &msg)
 {
     std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -1,7 +1,12 @@
 #include "util/parallel.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "util/logging.hh"
 
@@ -15,14 +20,58 @@ thread_local bool t_in_parallel_region = false;
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;
 
+/** Telemetry task-timing hook; nullptr keeps the dispatch loops bare. */
+std::atomic<ThreadPool::TaskHook> g_task_hook{nullptr};
+
+/**
+ * Name the calling thread "edgetherm-N" so profiles, core dumps and TSan
+ * reports attribute work to the right pool worker (pthread names are
+ * capped at 15 characters, which "edgetherm-9999" still fits).
+ */
+void
+nameWorkerThread(std::size_t worker_index)
+{
+#if defined(__linux__)
+    char name[16];
+    std::snprintf(name, sizeof(name), "edgetherm-%zu", worker_index);
+    pthread_setname_np(pthread_self(), name);
+#else
+    (void)worker_index;
+#endif
+}
+
+/** Run one claimed index, timing it when a task hook is installed. */
+void
+runBody(const std::function<void(std::size_t)> &body, std::size_t i,
+        ThreadPool::TaskHook hook)
+{
+    if (hook) {
+        const auto start = std::chrono::steady_clock::now();
+        body(i);
+        hook(i, start, std::chrono::steady_clock::now());
+    } else {
+        body(i);
+    }
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
     ECOLO_ASSERT(num_threads > 0, "thread pool needs at least one thread");
     workers_.reserve(num_threads - 1);
-    for (std::size_t t = 0; t + 1 < num_threads; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+        workers_.emplace_back([this, t] {
+            nameWorkerThread(t + 1);
+            workerLoop();
+        });
+    }
+}
+
+void
+ThreadPool::setTaskHook(TaskHook hook)
+{
+    g_task_hook.store(hook, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool()
@@ -55,13 +104,14 @@ ThreadPool::workerLoop()
             end = end_;
         }
 
+        const TaskHook hook = g_task_hook.load(std::memory_order_relaxed);
         t_in_parallel_region = true;
         for (;;) {
             const std::size_t i = next_.fetch_add(1);
             if (i >= end)
                 break;
             try {
-                (*body)(i);
+                runBody(*body, i, hook);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (!firstError_)
@@ -88,8 +138,9 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     // Inline paths: no workers, a single item, or a nested call (a body
     // that itself calls parallelFor must not wait on the same workers).
     if (workers_.empty() || end - begin == 1 || t_in_parallel_region) {
+        const TaskHook hook = g_task_hook.load(std::memory_order_relaxed);
         for (std::size_t i = begin; i < end; ++i)
-            body(i);
+            runBody(body, i, hook);
         return;
     }
 
@@ -106,13 +157,14 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     wake_.notify_all();
 
     // The caller claims indices alongside the workers.
+    const TaskHook hook = g_task_hook.load(std::memory_order_relaxed);
     t_in_parallel_region = true;
     for (;;) {
         const std::size_t i = next_.fetch_add(1);
         if (i >= end)
             break;
         try {
-            body(i);
+            runBody(body, i, hook);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
             if (!firstError_)

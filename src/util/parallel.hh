@@ -20,6 +20,7 @@
 #define ECOLO_UTIL_PARALLEL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -77,6 +78,19 @@ class ThreadPool
      * variable when set, otherwise std::thread::hardware_concurrency().
      */
     static std::size_t defaultThreads();
+
+    /**
+     * Observation hook called after each completed parallelFor body with
+     * the body's index and its start/end instants. The telemetry layer
+     * installs this to attribute task wall-clock to pool workers; nullptr
+     * (the default) keeps the dispatch loops hook-free apart from one
+     * relaxed atomic load per parallelFor call. The hook runs on the
+     * executing thread and must be thread-safe.
+     */
+    using TaskHook = void (*)(std::size_t index,
+                              std::chrono::steady_clock::time_point start,
+                              std::chrono::steady_clock::time_point end);
+    static void setTaskHook(TaskHook hook);
 
   private:
     void workerLoop();

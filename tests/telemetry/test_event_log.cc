@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hh"
+
+namespace {
+
+using namespace ecolo::telemetry;
+
+TEST(EventLog, EmitsInOrder)
+{
+    EventLog log(16);
+    log.emit(5, EventKind::EmergencyDeclared, 33.0, "rack0");
+    log.emit(7, EventKind::CappingStart, 0.12);
+    log.emit(12, EventKind::EmergencyCleared, 31.0);
+
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].minute, 5);
+    EXPECT_EQ(events[0].kind, EventKind::EmergencyDeclared);
+    EXPECT_DOUBLE_EQ(events[0].value, 33.0);
+    EXPECT_EQ(events[0].detail, "rack0");
+    EXPECT_EQ(events[1].kind, EventKind::CappingStart);
+    EXPECT_EQ(events[2].minute, 12);
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, WraparoundKeepsNewestOldestFirst)
+{
+    EventLog log(4);
+    for (int m = 0; m < 10; ++m)
+        log.emit(m, EventKind::CappingStart, static_cast<double>(m));
+
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.dropped(), 6u);
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // The four newest, oldest first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].minute, static_cast<long>(6 + i));
+}
+
+TEST(EventLog, KindNamesAreSnakeCase)
+{
+    EXPECT_STREQ(toString(EventKind::EmergencyDeclared),
+                 "emergency_declared");
+    EXPECT_STREQ(toString(EventKind::EmergencyCleared),
+                 "emergency_cleared");
+    EXPECT_STREQ(toString(EventKind::CappingStart), "capping_start");
+    EXPECT_STREQ(toString(EventKind::CappingEnd), "capping_end");
+    EXPECT_STREQ(toString(EventKind::Outage), "outage");
+    EXPECT_STREQ(toString(EventKind::OutageEnded), "outage_ended");
+    EXPECT_STREQ(toString(EventKind::FaultActivated), "fault_activated");
+    EXPECT_STREQ(toString(EventKind::FaultExpired), "fault_expired");
+    EXPECT_STREQ(toString(EventKind::DegradedTierChange),
+                 "degraded_tier_change");
+    EXPECT_STREQ(toString(EventKind::CheckpointSaved), "checkpoint_saved");
+    EXPECT_STREQ(toString(EventKind::CheckpointRestored),
+                 "checkpoint_restored");
+    EXPECT_STREQ(toString(EventKind::BatteryDepleted), "battery_depleted");
+}
+
+TEST(EventLog, JsonlOneObjectPerLine)
+{
+    EventLog log(16);
+    log.emit(1, EventKind::EmergencyDeclared, 33.5, "detail \"quoted\"");
+    log.emit(2, EventKind::Outage, 45.25);
+
+    std::ostringstream os;
+    log.writeJsonl(os);
+    const std::string out = os.str();
+
+    std::vector<std::string> lines;
+    std::istringstream is(out);
+    for (std::string line; std::getline(is, line);)
+        if (!line.empty())
+            lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &line : lines) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"minute\":"), std::string::npos);
+        EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+        EXPECT_NE(line.find("\"value\":"), std::string::npos);
+    }
+    EXPECT_NE(lines[0].find("emergency_declared"), std::string::npos);
+    // The embedded quote must be escaped, never raw.
+    EXPECT_NE(lines[0].find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"kind\":\"outage\""), std::string::npos);
+}
+
+TEST(EventLog, SetCapacityDropsRetained)
+{
+    EventLog log(8);
+    log.emit(1, EventKind::CappingStart);
+    log.setCapacity(2);
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.capacity(), 2u);
+    log.emit(2, EventKind::CappingStart);
+    log.emit(3, EventKind::CappingStart);
+    log.emit(4, EventKind::CappingStart);
+    EXPECT_EQ(log.size(), 2u);
+    const auto events = log.snapshot();
+    EXPECT_EQ(events.front().minute, 3);
+    EXPECT_EQ(events.back().minute, 4);
+}
+
+TEST(JsonEscape, ControlAndSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+} // namespace

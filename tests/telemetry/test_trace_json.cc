@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Chrome trace-event output: JSON well-formedness (checked with a small
+ * recursive-descent parser -- no external JSON library in the image),
+ * thread-name metadata, and span attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+#include "util/parallel.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::telemetry;
+
+/** Minimal JSON validator: accepts exactly the RFC 8259 grammar. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+                const char esc = text_[pos_];
+                if (esc == 'u') {
+                    for (int k = 1; k <= 4; ++k) {
+                        if (pos_ + k >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + k]))) {
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+class TraceJsonTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetForTest(); }
+    void TearDown() override { resetForTest(); }
+};
+
+TEST_F(TraceJsonTest, ValidatorSanity)
+{
+    std::string good = "{\"a\":[1,2.5,-3e2,\"x\\n\",null,true]}";
+    std::string bad1 = "{\"a\":}";
+    std::string bad2 = "{\"a\":1,}";
+    std::string bad3 = "{\"a\":1} extra";
+    EXPECT_TRUE(JsonChecker(good).valid());
+    EXPECT_FALSE(JsonChecker(bad1).valid());
+    EXPECT_FALSE(JsonChecker(bad2).valid());
+    EXPECT_FALSE(JsonChecker(bad3).valid());
+}
+
+TEST_F(TraceJsonTest, EmptySessionIsValidJson)
+{
+    setEnabled(true);
+    trace().begin();
+    trace().end();
+    std::ostringstream os;
+    trace().writeChromeJson(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+TEST_F(TraceJsonTest, SpansProduceValidChromeTrace)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "telemetry compiled out (EDGETHERM_TELEMETRY=0)";
+    setEnabled(true);
+    trace().begin();
+    {
+        TraceSpan outer("unit.outer");
+        TraceSpan inner(std::string("unit.inner \"quoted\"\n"));
+    }
+    trace().end();
+    ASSERT_EQ(trace().eventCount(), 2u);
+
+    std::ostringstream os;
+    trace().writeChromeJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("unit.outer"), std::string::npos);
+    // The hostile span name must arrive escaped, not raw.
+    EXPECT_EQ(json.find('\n'), json.size() - 1); // only the final newline
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    // Main thread metadata track.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+
+    // Spans also land in the registry histogram even without a session.
+    const StatBase *h = registry().find("profile.unit.outer_us");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->kind(), StatKind::Histogram);
+}
+
+TEST_F(TraceJsonTest, PoolWorkersGetNamedTracks)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "telemetry compiled out (EDGETHERM_TELEMETRY=0)";
+    util::ThreadPool::setGlobalThreads(4);
+    setEnabled(true);
+    trace().begin();
+    std::vector<int> sink(64, 0);
+    util::parallelFor(0, sink.size(), [&](std::size_t i) {
+        TraceSpan span("unit.work");
+        // Long enough that the workers (not just the caller) reliably
+        // claim tasks, so worker tracks appear in the metadata.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        sink[i] = static_cast<int>(i * i);
+    });
+    trace().end();
+
+    std::ostringstream os;
+    trace().writeChromeJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("unit.work"), std::string::npos);
+    // The pool task hook records per-task spans attributed to workers;
+    // worker threads carry their pthread name into the metadata.
+    EXPECT_NE(json.find("edgetherm-"), std::string::npos);
+    ASSERT_NE(registry().find("profile.pool.task_us"), nullptr);
+    util::ThreadPool::setGlobalThreads(util::ThreadPool::defaultThreads());
+}
+
+TEST_F(TraceJsonTest, DisabledSpansRecordNothing)
+{
+    setEnabled(false);
+    {
+        TraceSpan span("unit.ghost");
+    }
+    EXPECT_EQ(registry().size(), 0u);
+    EXPECT_EQ(trace().eventCount(), 0u);
+}
+
+} // namespace

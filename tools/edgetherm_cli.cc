@@ -25,9 +25,17 @@
  *                     from it instead of cold-starting
  *   --checkpoint-every N
  *                     minutes between checkpoint writes (default 1440)
+ *   --metrics-out FILE  dump the telemetry stats registry as JSON
+ *   --events-out FILE   dump the structured event log as JSONL
+ *   --profile-out FILE  record a Chrome trace (chrome://tracing, Perfetto)
+ *   --log-level LEVEL   error | warn | info | debug (default info)
  *   --describe        print the effective configuration and exit
  *   --quiet           suppress the banner, print only the summary table
  *   --help            this text
+ *
+ * Every option also accepts the --flag=VALUE spelling. Any of the three
+ * telemetry sinks enables collection; without them the run pays no
+ * telemetry cost (and is bit-identical either way).
  */
 
 #include <algorithm>
@@ -40,6 +48,7 @@
 
 #include "core/cost.hh"
 #include "core/engine.hh"
+#include "telemetry/telemetry.hh"
 #include "core/scenario.hh"
 #include "core/report.hh"
 #include "core/threat_assessment.hh"
@@ -67,9 +76,20 @@ struct CliOptions
     std::string checkpointFile;
     long checkpointEvery = 1440;
     std::string reportFile;
+    std::string metricsOut;
+    std::string eventsOut;
+    std::string profileOut;
+    std::string logLevel;
     bool describe = false;
     bool assess = false;
     bool quiet = false;
+
+    bool
+    wantsTelemetry() const
+    {
+        return !metricsOut.empty() || !eventsOut.empty() ||
+               !profileOut.empty();
+    }
 };
 
 void
@@ -82,6 +102,9 @@ printUsage(std::ostream &os)
           "                     [--faults FILE] [--checkpoint FILE]\n"
           "                     [--checkpoint-every N]\n"
           "                     [--report FILE.md]\n"
+          "                     [--metrics-out FILE] [--events-out FILE]\n"
+          "                     [--profile-out FILE] "
+          "[--log-level LEVEL]\n"
           "                     [--describe] [--assess] [--quiet] "
           "[--help]\n";
 }
@@ -89,14 +112,31 @@ printUsage(std::ostream &os)
 CliOptions
 parseArgs(int argc, char **argv)
 {
-    CliOptions opts;
-    auto need_value = [&](int &i, const char *flag) -> const char * {
-        if (i + 1 >= argc)
-            ECOLO_FATAL("missing value for ", flag);
-        return argv[++i];
-    };
+    // Normalize --flag=VALUE into the two-token form first, so every
+    // option accepts both spellings (only the first '=' splits; --set's
+    // KEY=VALUE payload survives intact).
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
+        const std::string raw = argv[i];
+        const auto eq = raw.find('=');
+        if (raw.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(raw.substr(0, eq));
+            args.push_back(raw.substr(eq + 1));
+        } else {
+            args.push_back(raw);
+        }
+    }
+
+    CliOptions opts;
+    const std::size_t n = args.size();
+    auto need_value = [&](std::size_t &i,
+                          const std::string &flag) -> const char * {
+        if (i + 1 >= n)
+            ECOLO_FATAL("missing value for ", flag);
+        return args[++i].c_str();
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        const char *arg = args[i].c_str();
         if (std::strcmp(arg, "--scenario") == 0) {
             opts.scenarioFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--set") == 0) {
@@ -120,6 +160,20 @@ parseArgs(int argc, char **argv)
                 ECOLO_FATAL("--checkpoint-every must be at least 1");
         } else if (std::strcmp(arg, "--report") == 0) {
             opts.reportFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--metrics-out") == 0) {
+            opts.metricsOut = need_value(i, arg);
+        } else if (std::strcmp(arg, "--events-out") == 0) {
+            opts.eventsOut = need_value(i, arg);
+        } else if (std::strcmp(arg, "--profile-out") == 0) {
+            opts.profileOut = need_value(i, arg);
+        } else if (std::strcmp(arg, "--log-level") == 0) {
+            opts.logLevel = need_value(i, arg);
+            LogLevel level;
+            if (!parseLogLevel(opts.logLevel, level)) {
+                ECOLO_FATAL("unknown --log-level '", opts.logLevel,
+                            "' (expected error|warn|info|debug)");
+            }
+            setLogLevel(level);
         } else if (std::strcmp(arg, "--describe") == 0) {
             opts.describe = true;
         } else if (std::strcmp(arg, "--assess") == 0) {
@@ -221,6 +275,9 @@ saveSimCheckpoint(const std::string &path, const Simulation &sim,
                            "cannot rename checkpoint into place: ", tmp,
                            " -> ", path);
     }
+    telemetry::emitEvent(sim.now(),
+                         telemetry::EventKind::CheckpointSaved,
+                         static_cast<double>(sim.now()), path);
     return {};
 }
 
@@ -253,6 +310,11 @@ loadSimCheckpoint(const std::string &path, Simulation &sim,
                            policy_name, ")");
     }
     sim.loadState(reader);
+    if (reader.ok()) {
+        telemetry::emitEvent(sim.now(),
+                             telemetry::EventKind::CheckpointRestored,
+                             static_cast<double>(sim.now()), path);
+    }
     return reader.status();
 }
 
@@ -262,6 +324,12 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
+
+    if (opts.wantsTelemetry()) {
+        telemetry::setEnabled(true);
+        if (!opts.profileOut.empty())
+            telemetry::trace().begin();
+    }
 
     SimulationConfig config = SimulationConfig::paperDefault();
     KeyValueConfig kv;
@@ -403,5 +471,38 @@ main(int argc, char **argv)
     if (!opts.csvFile.empty() && !opts.quiet)
         std::cout << "per-minute records written to " << opts.csvFile
                   << "\n";
+
+    // ---- Telemetry sinks (written last so they cover the whole run). ----
+    if (!opts.metricsOut.empty()) {
+        if (const auto r = telemetry::registry().writeJsonFile(
+                opts.metricsOut);
+            !r.ok()) {
+            std::cerr << "edgetherm_cli: " << r.error().describe() << "\n";
+            return 1;
+        }
+        if (!opts.quiet)
+            std::cout << "metrics written to " << opts.metricsOut << "\n";
+    }
+    if (!opts.eventsOut.empty()) {
+        if (const auto r = telemetry::events().writeJsonlFile(
+                opts.eventsOut);
+            !r.ok()) {
+            std::cerr << "edgetherm_cli: " << r.error().describe() << "\n";
+            return 1;
+        }
+        if (!opts.quiet)
+            std::cout << "events written to " << opts.eventsOut << "\n";
+    }
+    if (!opts.profileOut.empty()) {
+        telemetry::trace().end();
+        if (const auto r = telemetry::trace().writeChromeJsonFile(
+                opts.profileOut);
+            !r.ok()) {
+            std::cerr << "edgetherm_cli: " << r.error().describe() << "\n";
+            return 1;
+        }
+        if (!opts.quiet)
+            std::cout << "profile written to " << opts.profileOut << "\n";
+    }
     return 0;
 }
