@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Serving-stack throughput benchmarks: wire-protocol codec rates, cache
+ * fingerprint/lookup rates, raw scheduler dispatch, and end-to-end
+ * request latency over loopback for both the cold (simulate) and warm
+ * (cache hit) paths.
+ *
+ * Like bench_perf_kernels, the binary always writes a *stable*-schema
+ * summary -- independent of google-benchmark's own JSON -- to
+ * BENCH_serve.json (or $EDGETHERM_BENCH_SERVE_JSON when set) so CI can
+ * archive serving-throughput trajectories across commits.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+#include "telemetry/events.hh" // jsonEscape
+#include "util/keyvalue.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ecolo;
+using namespace ecolo::serve;
+
+SubmitPayload
+sampleSubmit()
+{
+    SubmitPayload p;
+    p.priority = Priority::Interactive;
+    p.clientId = "bench-client";
+    p.policy = "myopic";
+    p.param = 7.4;
+    p.paramSet = true;
+    p.horizonMinutes = 1440;
+    p.scenarioText = "seed = 42\nbattery.capacityKwh = 0.4\n";
+    return p;
+}
+
+KeyValueConfig
+sampleScenario()
+{
+    std::istringstream is("seed = 42\nbattery.capacityKwh = 0.4\n");
+    return KeyValueConfig::tryParse(is, "<bench>").take();
+}
+
+// ---- Wire protocol: frame encode + decode round trip. ----
+
+void
+BM_ProtocolSubmitRoundTrip(benchmark::State &state)
+{
+    const SubmitPayload payload = sampleSubmit();
+    for (auto _ : state) {
+        const std::string frame =
+            encodeFrame(MessageType::Submit, 1, encodeSubmit(payload));
+        auto decoded = decodeSubmit(
+            frame.substr(kHeaderBytes));
+        benchmark::DoNotOptimize(decoded.ok());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolSubmitRoundTrip);
+
+void
+BM_ProtocolResultEncode(benchmark::State &state)
+{
+    const std::string report(static_cast<std::size_t>(state.range(0)),
+                             'r');
+    for (auto _ : state) {
+        const std::string frame =
+            encodeFrame(MessageType::ResultReport, 1,
+                        encodeResult({report}));
+        benchmark::DoNotOptimize(frame.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProtocolResultEncode)->Arg(1 << 10)->Arg(64 << 10);
+
+// ---- Result cache: fingerprint derivation and hit lookup. ----
+
+void
+BM_CacheKeyFingerprint(benchmark::State &state)
+{
+    const KeyValueConfig scenario = sampleScenario();
+    for (auto _ : state) {
+        const CacheKey key = makeCacheKey(scenario, "myopic", 7.4, 1440);
+        benchmark::DoNotOptimize(key.hash);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheKeyFingerprint);
+
+void
+BM_CacheHitLookup(benchmark::State &state)
+{
+    ResultCache cache(32u << 20, 1024);
+    const std::string report(16 << 10, 'r');
+    const CacheKey key{0x1234};
+    cache.insert(key, report);
+    for (auto _ : state) {
+        auto hit = cache.lookup(key);
+        benchmark::DoNotOptimize(hit.has_value());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitLookup);
+
+// ---- Scheduler: no-op job dispatch rate through the full
+// admission -> lane queue -> worker -> completion path. ----
+
+void
+BM_SchedulerDispatch(benchmark::State &state)
+{
+    const auto jobs_per_batch =
+        static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t next_id = 1;
+    for (auto _ : state) {
+        Scheduler::Options options;
+        options.numWorkers = 2;
+        options.maxQueued = jobs_per_batch;
+        Scheduler scheduler(options);
+        std::thread runner([&] { scheduler.run(); });
+        std::atomic<std::uint64_t> done{0};
+        for (std::uint64_t j = 0; j < jobs_per_batch; ++j) {
+            scheduler.submit(next_id++,
+                             j % 4 == 0 ? Lane::Batch : Lane::Interactive,
+                             "client-" + std::to_string(j % 8),
+                             [&done](const CancelToken &) {
+                                 done.fetch_add(1);
+                             });
+        }
+        scheduler.drain(false);
+        runner.join();
+        benchmark::DoNotOptimize(done.load());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(jobs_per_batch));
+}
+BENCHMARK(BM_SchedulerDispatch)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---- End to end over loopback: cold simulate vs. warm cache hit. ----
+
+RequestSpec
+benchRequest(double days)
+{
+    RequestSpec spec;
+    spec.clientId = "bench";
+    spec.policy = "myopic";
+    spec.horizonMinutes = static_cast<std::int64_t>(days * 24 * 60);
+    spec.scenarioText = "seed = 42\n";
+    return spec;
+}
+
+void
+BM_EndToEndColdRequest(benchmark::State &state)
+{
+    ServerOptions options;
+    options.numWorkers = 2;
+    Server server(std::move(options));
+    if (!server.start().ok()) {
+        state.SkipWithError("server failed to start");
+        return;
+    }
+    ServeClient client(server.port());
+    // A distinct seed per iteration defeats the cache: every request
+    // pays connection + parse + simulate (0.05 days) + render.
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        RequestSpec spec = benchRequest(0.05);
+        spec.scenarioText = "seed = " + std::to_string(seed++) + "\n";
+        const auto outcome = client.submit(spec);
+        if (!outcome.ok() ||
+            outcome.value().status != OutcomeStatus::Completed) {
+            state.SkipWithError("cold request failed");
+            break;
+        }
+        benchmark::DoNotOptimize(outcome.value().report.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndColdRequest)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndWarmCacheHit(benchmark::State &state)
+{
+    ServerOptions options;
+    options.numWorkers = 2;
+    Server server(std::move(options));
+    if (!server.start().ok()) {
+        state.SkipWithError("server failed to start");
+        return;
+    }
+    ServeClient client(server.port());
+    const RequestSpec spec = benchRequest(0.05);
+    {
+        const auto warm = client.submit(spec); // fill the cache
+        if (!warm.ok() ||
+            warm.value().status != OutcomeStatus::Completed) {
+            state.SkipWithError("warm-up request failed");
+            return;
+        }
+    }
+    for (auto _ : state) {
+        const auto outcome = client.submit(spec);
+        if (!outcome.ok() || !outcome.value().cacheHit) {
+            state.SkipWithError("expected a cache hit");
+            break;
+        }
+        benchmark::DoNotOptimize(outcome.value().report.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndWarmCacheHit)->Unit(benchmark::kMillisecond);
+
+/** Collects finished runs for the stable-schema JSON summary. */
+class ServeJsonReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct CollectedRun
+    {
+        std::string name;
+        std::string label;
+        std::int64_t iterations = 0;
+        double realTimeNs = 0.0;
+        double cpuTimeNs = 0.0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(report);
+        for (const Run &run : report) {
+            if (run.error_occurred)
+                continue;
+            CollectedRun collected;
+            collected.name = run.benchmark_name();
+            collected.label = run.report_label;
+            collected.iterations = run.iterations;
+            const double iters =
+                run.iterations > 0 ? static_cast<double>(run.iterations)
+                                   : 1.0;
+            collected.realTimeNs =
+                run.real_accumulated_time * 1e9 / iters;
+            collected.cpuTimeNs = run.cpu_accumulated_time * 1e9 / iters;
+            for (const auto &[counter_name, counter] : run.counters) {
+                collected.counters.emplace_back(
+                    counter_name, static_cast<double>(counter));
+            }
+            runs_.push_back(std::move(collected));
+        }
+    }
+
+    const std::vector<CollectedRun> &runs() const { return runs_; }
+
+  private:
+    std::vector<CollectedRun> runs_;
+};
+
+bool
+writeServeJson(const std::string &path,
+               const std::vector<ServeJsonReporter::CollectedRun> &runs)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return false;
+    using ecolo::telemetry::jsonEscape;
+    os << "{\"schema\":\"edgetherm-bench-serve-v1\",\"benchmarks\":[";
+    os.precision(17);
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+        const auto &run = runs[k];
+        if (k > 0)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(run.name)
+           << "\",\"iterations\":" << run.iterations
+           << ",\"real_time_ns\":" << run.realTimeNs
+           << ",\"cpu_time_ns\":" << run.cpuTimeNs << ",\"label\":\""
+           << jsonEscape(run.label) << "\",\"counters\":{";
+        for (std::size_t c = 0; c < run.counters.size(); ++c) {
+            if (c > 0)
+                os << ",";
+            os << "\"" << jsonEscape(run.counters[c].first)
+               << "\":" << run.counters[c].second;
+        }
+        os << "}}";
+    }
+    os << "]}\n";
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    ServeJsonReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const char *env_path = std::getenv("EDGETHERM_BENCH_SERVE_JSON");
+    const std::string path = (env_path != nullptr && env_path[0] != '\0')
+                                 ? env_path
+                                 : "BENCH_serve.json";
+    if (!writeServeJson(path, reporter.runs())) {
+        ecolo::warn("could not write serve summary: ", path);
+        return 1;
+    }
+    ecolo::inform("wrote serve summary: ", path, " (",
+                  reporter.runs().size(), " benchmarks)");
+    return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/telemetry.hh"
+#include "util/state_io.hh"
+
+namespace ecolo::core {
+
+util::Result<void>
+saveSimulationCheckpoint(const std::string &path, const Simulation &sim,
+                         const std::string &policy_name,
+                         std::uint32_t schema_version)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "cannot open checkpoint file for writing: ",
+                               tmp);
+        }
+        util::StateWriter writer(os);
+        writer.header();
+        writer.tag("CLI ");
+        writer.u32(schema_version);
+        writer.u64(sim.config().seed);
+        writer.u64(sim.config().numServers());
+        writer.str(policy_name);
+        sim.saveState(writer);
+        os.flush();
+        if (!writer.good() || !os) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "short write to checkpoint file: ", tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot rename checkpoint into place: ", tmp,
+                           " -> ", path);
+    }
+    telemetry::emitEvent(sim.now(), telemetry::EventKind::CheckpointSaved,
+                         static_cast<double>(sim.now()), path);
+    return {};
+}
+
+util::Result<void>
+loadSimulationCheckpoint(const std::string &path, Simulation &sim,
+                         const std::string &policy_name,
+                         std::uint32_t schema_version)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return ECOLO_ERROR(util::ErrorCode::IoError,
+                           "cannot open checkpoint file: ", path);
+    }
+    util::StateReader reader(is);
+    reader.header();
+    reader.tag("CLI ");
+    const std::uint32_t version = reader.u32();
+    const std::uint64_t seed = reader.u64();
+    const std::uint64_t servers = reader.u64();
+    const std::string policy = reader.str();
+    if (!reader.ok())
+        return reader.status().error();
+    if (version != schema_version) {
+        return ECOLO_ERROR(util::ErrorCode::StateError,
+                           "engine schema version mismatch for ", path,
+                           ": checkpoint v", version, " vs build v",
+                           schema_version,
+                           " (refusing to resume across builds)");
+    }
+    if (seed != sim.config().seed ||
+        servers != sim.config().numServers() || policy != policy_name) {
+        return ECOLO_ERROR(util::ErrorCode::StateError,
+                           "checkpoint fingerprint mismatch for ", path,
+                           ": checkpoint (seed ", seed, ", ", servers,
+                           " servers, policy ", policy,
+                           ") vs run (seed ", sim.config().seed, ", ",
+                           sim.config().numServers(), " servers, policy ",
+                           policy_name, ")");
+    }
+    sim.loadState(reader);
+    if (reader.ok()) {
+        telemetry::emitEvent(sim.now(),
+                             telemetry::EventKind::CheckpointRestored,
+                             static_cast<double>(sim.now()), path);
+    }
+    return reader.status();
+}
+
+} // namespace ecolo::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Whole-Simulation checkpoint save/restore with a versioned fingerprint.
+ *
+ * Hoisted out of edgetherm_cli so the serving stack (SIGTERM drain
+ * checkpoints its in-flight runs) and tests share one implementation.
+ * The file layout is the PR-2 StateWriter format: header, "CLI " tag,
+ * then a fingerprint -- engine schema version, seed, server count,
+ * policy name -- that must match the restoring run before any state is
+ * interpreted. The schema version gate guarantees a checkpoint written
+ * by an older, behaviorally different build is rejected instead of
+ * silently resuming a diverged trajectory.
+ */
+
+#ifndef ECOLO_CORE_CHECKPOINT_HH
+#define ECOLO_CORE_CHECKPOINT_HH
+
+#include <string>
+
+#include "core/engine.hh"
+#include "core/version.hh"
+#include "util/result.hh"
+
+namespace ecolo::core {
+
+/**
+ * Atomically persist one Simulation (fingerprint + full state) to
+ * `path` via tmp+rename. @param schema_version is the build's engine
+ * version; overriding it exists for regression tests only.
+ */
+util::Result<void>
+saveSimulationCheckpoint(const std::string &path, const Simulation &sim,
+                         const std::string &policy_name,
+                         std::uint32_t schema_version =
+                             kEngineSchemaVersion);
+
+/**
+ * Restore a checkpoint written by saveSimulationCheckpoint into a
+ * freshly constructed, same-config Simulation. Fails with IoError on
+ * unreadable files and StateError on corrupt data or any fingerprint
+ * mismatch (schema version, seed, server count, policy name).
+ */
+util::Result<void>
+loadSimulationCheckpoint(const std::string &path, Simulation &sim,
+                         const std::string &policy_name,
+                         std::uint32_t schema_version =
+                             kEngineSchemaVersion);
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_CHECKPOINT_HH

@@ -663,8 +663,11 @@ void
 Simulation::run(MinuteIndex num_minutes)
 {
     ECOLO_ASSERT(num_minutes >= 0, "negative run length");
-    for (MinuteIndex i = 0; i < num_minutes; ++i)
+    for (MinuteIndex i = 0; i < num_minutes; ++i) {
+        if (cancel_ && cancel_())
+            break;
         stepMinute();
+    }
 }
 
 void
@@ -721,6 +724,42 @@ makeOneShotPolicy(const SimulationConfig &config, Kilowatts threshold,
 {
     (void)config;
     return std::make_unique<OneShotPolicy>(threshold, arm_delay);
+}
+
+util::Result<std::unique_ptr<AttackPolicy>>
+tryMakePolicyByName(const SimulationConfig &config,
+                    const std::string &name, double param)
+{
+    if (name == "standby")
+        return std::unique_ptr<AttackPolicy>(
+            std::make_unique<StandbyPolicy>());
+    if (name == "random")
+        return makeRandomPolicy(config, param);
+    if (name == "myopic")
+        return makeMyopicPolicy(config, Kilowatts(param));
+    if (name == "foresighted")
+        return std::unique_ptr<AttackPolicy>(
+            makeForesightedPolicy(config, param));
+    if (name == "oneshot")
+        return makeOneShotPolicy(config, Kilowatts(param), 0);
+    return ECOLO_ERROR(util::ErrorCode::ValidationError,
+                       "unknown policy '", name,
+                       "' (expected "
+                       "standby|random|myopic|foresighted|oneshot)");
+}
+
+double
+defaultPolicyParam(const std::string &name)
+{
+    if (name == "random")
+        return 0.08;
+    if (name == "myopic")
+        return 7.4;
+    if (name == "foresighted")
+        return 14.0;
+    if (name == "oneshot")
+        return 7.0;
+    return 0.0;
 }
 
 double

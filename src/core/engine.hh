@@ -29,6 +29,7 @@
 #include "power/tenant.hh"
 #include "sidechannel/voltage_channel.hh"
 #include "thermal/environment.hh"
+#include "util/result.hh"
 #include "util/rng.hh"
 
 namespace ecolo::core {
@@ -60,6 +61,17 @@ class Simulation
     /** Install a per-minute observer (time-series figures). */
     void setMinuteCallback(MinuteCallback callback)
     { callback_ = std::move(callback); }
+
+    /**
+     * Install a cooperative cancellation check, polled once per simulated
+     * minute before the step. When it returns true, run() stops early
+     * (now() tells how far it got); the simulation stays consistent and
+     * can be checkpointed or resumed. Unset (the default) costs one
+     * branch per minute and leaves trajectories bit-identical.
+     */
+    using CancelCheck = std::function<bool()>;
+    void setCancelCheck(CancelCheck check)
+    { cancel_ = std::move(check); }
 
     /** Current simulated minute. */
     MinuteIndex now() const { return now_; }
@@ -134,6 +146,7 @@ class Simulation
 
     SimulationMetrics metrics_;
     MinuteCallback callback_;
+    CancelCheck cancel_;
     MinuteIndex now_ = 0;
     std::size_t emergenciesSeen_ = 0;
     std::size_t outagesSeen_ = 0;
@@ -161,6 +174,19 @@ makeForesightedPolicy(const SimulationConfig &config, double weight,
 std::unique_ptr<AttackPolicy>
 makeOneShotPolicy(const SimulationConfig &config, Kilowatts threshold,
                   MinuteIndex arm_delay);
+
+/**
+ * Construct a policy from its CLI/RPC name
+ * (standby|random|myopic|foresighted|oneshot). Fails with a
+ * ValidationError naming the accepted set on an unknown name. Shared by
+ * edgetherm_cli and the serving stack so both speak the same names.
+ */
+util::Result<std::unique_ptr<AttackPolicy>>
+tryMakePolicyByName(const SimulationConfig &config,
+                    const std::string &name, double param);
+
+/** The per-policy default parameter (0.0 for standby/unknown names). */
+double defaultPolicyParam(const std::string &name);
 
 /** Minimum state of charge that funds one minute of attack. */
 double minAttackSoc(const SimulationConfig &config);

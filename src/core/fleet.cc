@@ -95,7 +95,8 @@ FleetSimulation::sitesDownNow() const
 }
 
 util::Result<void>
-FleetSimulation::saveCheckpoint(const std::string &path) const
+FleetSimulation::saveCheckpoint(const std::string &path,
+                                std::uint32_t schema_version) const
 {
     const std::string tmp = path + ".tmp";
     {
@@ -109,7 +110,9 @@ FleetSimulation::saveCheckpoint(const std::string &path) const
         writer.header();
         writer.tag("FLT ");
         // Config fingerprint: enough to reject a checkpoint written by a
-        // different campaign before any state is interpreted.
+        // different campaign -- or a behaviorally different build -- before
+        // any state is interpreted.
+        writer.u32(schema_version);
         writer.u64(sites_.size());
         writer.u64(sites_.front()->config().seed);
         writer.u64(sites_.front()->config().numServers());
@@ -144,7 +147,8 @@ FleetSimulation::saveCheckpoint(const std::string &path) const
 }
 
 util::Result<void>
-FleetSimulation::loadCheckpoint(const std::string &path)
+FleetSimulation::loadCheckpoint(const std::string &path,
+                                std::uint32_t schema_version)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
@@ -155,6 +159,14 @@ FleetSimulation::loadCheckpoint(const std::string &path)
     reader.header();
     reader.tag("FLT ");
 
+    const std::uint32_t version = reader.u32();
+    if (reader.ok() && version != schema_version) {
+        return ECOLO_ERROR(util::ErrorCode::StateError,
+                           "engine schema version mismatch for ", path,
+                           ": checkpoint v", version, " vs build v",
+                           schema_version,
+                           " (refusing to resume across builds)");
+    }
     const std::uint64_t num_sites = reader.u64();
     const std::uint64_t seed = reader.u64();
     const std::uint64_t num_servers = reader.u64();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/engine.hh"
+#include "core/version.hh"
 #include "util/result.hh"
 #include "util/state_io.hh"
 
@@ -86,9 +87,14 @@ class FleetSimulation
      * then renamed, so a crash mid-write never clobbers the previous
      * good checkpoint). A fleet constructed with the same parameters
      * and restored via loadCheckpoint continues bit-identically to the
-     * uninterrupted campaign.
+     * uninterrupted campaign. The fingerprint includes the engine
+     * schema version (core/version.hh); @param schema_version exists
+     * for regression tests only.
      */
-    util::Result<void> saveCheckpoint(const std::string &path) const;
+    util::Result<void>
+    saveCheckpoint(const std::string &path,
+                   std::uint32_t schema_version =
+                       kEngineSchemaVersion) const;
 
     /**
      * Restore a checkpoint written by saveCheckpoint into this (freshly
@@ -98,7 +104,9 @@ class FleetSimulation
      * discarded (callers typically rebuild and cold-start instead of
      * dying -- that is the graceful-degradation contract).
      */
-    util::Result<void> loadCheckpoint(const std::string &path);
+    util::Result<void>
+    loadCheckpoint(const std::string &path,
+                   std::uint32_t schema_version = kEngineSchemaVersion);
 
   private:
     std::vector<std::unique_ptr<Simulation>> sites_;

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The engine/schema version constant stamped into every durable artifact
+ * fingerprint (checkpoints, serve result-cache keys).
+ *
+ * Bump this whenever a change alters simulated trajectories or the
+ * serialized state layout: the version participates in the checkpoint
+ * fingerprints (core/checkpoint.hh, FleetSimulation) and in the
+ * content-addressed result-cache key (serve/result_cache.hh), so an
+ * artifact produced by an older build can never be restored or served as
+ * a hit by a newer, behaviorally different one.
+ */
+
+#ifndef ECOLO_CORE_VERSION_HH
+#define ECOLO_CORE_VERSION_HH
+
+#include <cstdint>
+
+namespace ecolo::core {
+
+/**
+ * Monotonically increasing engine/schema version. History:
+ *  - 1: PR 2 checkpoint layer (implicit; checkpoints carried no version)
+ *  - 2: PR 4 serving stack; version stamped into fingerprints/cache keys
+ */
+inline constexpr std::uint32_t kEngineSchemaVersion = 2;
+
+} // namespace ecolo::core
+
+#endif // ECOLO_CORE_VERSION_HH

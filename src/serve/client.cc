@@ -1,0 +1,181 @@
+#include "serve/client.hh"
+
+#include "util/socket.hh"
+
+namespace ecolo::serve {
+
+const char *
+toString(OutcomeStatus status)
+{
+    switch (status) {
+    case OutcomeStatus::Completed:
+        return "completed";
+    case OutcomeStatus::Cancelled:
+        return "cancelled";
+    case OutcomeStatus::Drained:
+        return "drained";
+    case OutcomeStatus::RetryLater:
+        return "retry-later";
+    case OutcomeStatus::Error:
+        return "error";
+    }
+    return "?";
+}
+
+util::Result<SubmitOutcome>
+ServeClient::submit(const RequestSpec &spec,
+                    const AcceptedCallback &on_accepted,
+                    const StatusCallback &on_status)
+{
+    auto conn = util::connectLoopback(port_);
+    if (!conn)
+        return conn.error();
+
+    SubmitPayload payload;
+    payload.priority = spec.priority;
+    payload.clientId = spec.clientId;
+    payload.policy = spec.policy;
+    payload.param = spec.param;
+    payload.paramSet = spec.paramSet;
+    payload.horizonMinutes = spec.horizonMinutes;
+    payload.scenarioText = spec.scenarioText;
+    ECOLO_TRY_VOID(writeFrame(conn.value(), MessageType::Submit, 0,
+                              encodeSubmit(payload)));
+
+    SubmitOutcome outcome;
+    for (;;) {
+        auto frame = readFrame(conn.value());
+        if (!frame)
+            return frame.error();
+        outcome.requestId = frame.value().requestId;
+        switch (frame.value().type) {
+        case MessageType::Accepted: {
+            auto accepted = decodeAccepted(frame.value().payload);
+            if (!accepted)
+                return accepted.error();
+            outcome.cacheHit = accepted.value().cacheHit;
+            if (on_accepted)
+                on_accepted(frame.value().requestId, accepted.value());
+            continue; // the terminal frame follows
+        }
+        case MessageType::Status: {
+            auto status = decodeStatus(frame.value().payload);
+            if (!status)
+                return status.error();
+            if (on_status)
+                on_status(status.value());
+            continue;
+        }
+        case MessageType::ResultReport: {
+            auto result = decodeResult(frame.value().payload);
+            if (!result)
+                return result.error();
+            outcome.status = OutcomeStatus::Completed;
+            outcome.report = std::move(result.value().report);
+            return outcome;
+        }
+        case MessageType::Cancelled: {
+            auto cancelled = decodeCancelled(frame.value().payload);
+            if (!cancelled)
+                return cancelled.error();
+            outcome.status = OutcomeStatus::Cancelled;
+            outcome.minutesDone = cancelled.value().minutesDone;
+            return outcome;
+        }
+        case MessageType::Drained: {
+            auto drained = decodeDrained(frame.value().payload);
+            if (!drained)
+                return drained.error();
+            outcome.status = OutcomeStatus::Drained;
+            outcome.minutesDone = drained.value().minutesDone;
+            outcome.checkpointPath =
+                std::move(drained.value().checkpointPath);
+            return outcome;
+        }
+        case MessageType::RetryAfter: {
+            auto retry = decodeRetryAfter(frame.value().payload);
+            if (!retry)
+                return retry.error();
+            outcome.status = OutcomeStatus::RetryLater;
+            outcome.retryAfterMs = retry.value().retryAfterMs;
+            return outcome;
+        }
+        case MessageType::ErrorReply: {
+            auto error = decodeError(frame.value().payload);
+            if (!error)
+                return error.error();
+            outcome.status = OutcomeStatus::Error;
+            outcome.errorCode = error.value().code;
+            outcome.errorMessage = std::move(error.value().message);
+            return outcome;
+        }
+        default:
+            return ECOLO_ERROR(util::ErrorCode::ParseError,
+                               "unexpected frame ",
+                               toString(frame.value().type),
+                               " in submit conversation");
+        }
+    }
+}
+
+util::Result<bool>
+ServeClient::cancel(std::uint64_t request_id)
+{
+    auto conn = util::connectLoopback(port_);
+    if (!conn)
+        return conn.error();
+    ECOLO_TRY_VOID(writeFrame(conn.value(), MessageType::Cancel, 0,
+                              encodeCancel(CancelPayload{request_id})));
+    auto frame = readFrame(conn.value());
+    if (!frame)
+        return frame.error();
+    if (frame.value().type != MessageType::CancelAck)
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "expected CANCEL_ACK, got ",
+                           toString(frame.value().type));
+    auto ack = decodeCancelAck(frame.value().payload);
+    if (!ack)
+        return ack.error();
+    return ack.value().found;
+}
+
+util::Result<std::string>
+ServeClient::stats()
+{
+    auto conn = util::connectLoopback(port_);
+    if (!conn)
+        return conn.error();
+    ECOLO_TRY_VOID(
+        writeFrame(conn.value(), MessageType::Stats, 0, ""));
+    auto frame = readFrame(conn.value());
+    if (!frame)
+        return frame.error();
+    if (frame.value().type != MessageType::StatsReport)
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "expected STATS_REPORT, got ",
+                           toString(frame.value().type));
+    auto report = decodeStatsReport(frame.value().payload);
+    if (!report)
+        return report.error();
+    return std::move(report.value().metricsJson);
+}
+
+util::Result<void>
+ServeClient::shutdown()
+{
+    auto conn = util::connectLoopback(port_);
+    if (!conn)
+        return conn.error();
+    ECOLO_TRY_VOID(
+        writeFrame(conn.value(), MessageType::Shutdown, 0, ""));
+    auto frame = readFrame(conn.value());
+    if (!frame)
+        return frame.error();
+    if (frame.value().type != MessageType::ShutdownAck)
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "expected SHUTDOWN_ACK, got ",
+                           toString(frame.value().type));
+    return {};
+}
+
+} // namespace ecolo::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Client library for edgetherm-serve (used by edgetherm_client, the
+ * e2e tests, and the serving bench).
+ *
+ * One protocol conversation per call: each method opens its own
+ * loopback connection, sends one request frame, and consumes the
+ * response stream. submit() blocks until the run resolves (result,
+ * cancelled, drained, backpressured, or error); the callbacks let the
+ * caller observe the assigned request id the moment ACCEPTED arrives --
+ * which is what a canceller needs, since CANCEL travels on a second
+ * connection while submit() is still streaming.
+ */
+
+#ifndef ECOLO_SERVE_CLIENT_HH
+#define ECOLO_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "util/result.hh"
+
+namespace ecolo::serve {
+
+/** What to run; mirrors SubmitPayload with client-side defaults. */
+struct RequestSpec
+{
+    std::string clientId = "anon";
+    Priority priority = Priority::Interactive;
+    std::string policy = "standby";
+    double param = 0.0;
+    bool paramSet = false; //!< false: server applies the policy default
+    std::int64_t horizonMinutes = 0;
+    std::string scenarioText;
+};
+
+/** How a submitted run resolved. */
+enum class OutcomeStatus
+{
+    Completed,  //!< report in hand (fresh or cached)
+    Cancelled,  //!< stopped by a CANCEL request
+    Drained,    //!< server shut down; maybe checkpointed
+    RetryLater, //!< backpressured; retry after retryAfterMs
+    Error,      //!< server rejected the request
+};
+
+const char *toString(OutcomeStatus status);
+
+struct SubmitOutcome
+{
+    OutcomeStatus status = OutcomeStatus::Error;
+    std::uint64_t requestId = 0;
+    bool cacheHit = false;
+    std::string report;          //!< Completed only
+    std::uint32_t retryAfterMs = 0; //!< RetryLater only
+    std::int64_t minutesDone = 0;   //!< Cancelled/Drained
+    std::string checkpointPath;     //!< Drained with a spool dir
+    RpcErrorCode errorCode = RpcErrorCode::Internal; //!< Error only
+    std::string errorMessage;                        //!< Error only
+};
+
+class ServeClient
+{
+  public:
+    using AcceptedCallback =
+        std::function<void(std::uint64_t request_id,
+                           const AcceptedPayload &)>;
+    using StatusCallback = std::function<void(const StatusPayload &)>;
+
+    explicit ServeClient(std::uint16_t port) : port_(port) {}
+
+    /**
+     * Submit one run and block until it resolves. The Result is an
+     * error only for transport/protocol failures; server-side
+     * rejections come back as OutcomeStatus::Error / RetryLater.
+     */
+    util::Result<SubmitOutcome>
+    submit(const RequestSpec &spec,
+           const AcceptedCallback &on_accepted = nullptr,
+           const StatusCallback &on_status = nullptr);
+
+    /** Flag a queued/running request; false when the id is unknown. */
+    util::Result<bool> cancel(std::uint64_t request_id);
+
+    /** Fetch the server's edgetherm-metrics-v1 JSON document. */
+    util::Result<std::string> stats();
+
+    /** Ask the server to drain and exit; returns once acknowledged. */
+    util::Result<void> shutdown();
+
+  private:
+    std::uint16_t port_;
+};
+
+} // namespace ecolo::serve
+
+#endif // ECOLO_SERVE_CLIENT_HH

@@ -1,0 +1,524 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+namespace ecolo::serve {
+
+namespace {
+
+// ---- Little-endian buffer primitives (mirrors util/state_io.cc; the
+// wire format is fixed little-endian on every platform we target). ----
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out.append(b, 4);
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out.append(b, 8);
+}
+
+void
+putI64(std::string &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(out, bits);
+}
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+/**
+ * Strict cursor over a payload: latches the first failure, and finish()
+ * additionally rejects trailing bytes so a payload must be consumed
+ * exactly.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &bytes) : bytes_(bytes) {}
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        raw(&v, 1);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        raw(&v, 4);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        raw(&v, 8);
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (!ok_)
+            return {};
+        if (len > bytes_.size() - pos_) {
+            fail("string length ", len, " exceeds remaining payload (",
+                 bytes_.size() - pos_, " bytes)");
+            return {};
+        }
+        std::string s = bytes_.substr(pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+    bool ok() const { return ok_; }
+
+    util::Result<void>
+    finish()
+    {
+        if (!ok_)
+            return error_;
+        if (pos_ != bytes_.size()) {
+            return ECOLO_ERROR(util::ErrorCode::ParseError,
+                               "trailing bytes in payload: consumed ",
+                               pos_, " of ", bytes_.size());
+        }
+        return {};
+    }
+
+    template <typename... Args>
+    void
+    fail(Args &&...args)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = ECOLO_ERROR(util::ErrorCode::ParseError,
+                                 std::forward<Args>(args)...);
+        }
+    }
+
+  private:
+    void
+    raw(void *out, std::size_t n)
+    {
+        if (!ok_)
+            return;
+        if (n > bytes_.size() - pos_) {
+            fail("truncated payload: need ", n, " bytes at offset ", pos_,
+                 ", have ", bytes_.size() - pos_);
+            return;
+        }
+        std::memcpy(out, bytes_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    const std::string &bytes_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    util::Error error_;
+};
+
+/** Shared tail: propagate the cursor's status, else return the value. */
+template <typename T>
+util::Result<T>
+finishAs(Cursor &c, T value)
+{
+    if (auto done = c.finish(); !done.ok())
+        return done.error();
+    return value;
+}
+
+} // namespace
+
+const char *
+toString(MessageType type)
+{
+    switch (type) {
+    case MessageType::Submit: return "submit";
+    case MessageType::Cancel: return "cancel";
+    case MessageType::Stats: return "stats";
+    case MessageType::Shutdown: return "shutdown";
+    case MessageType::Accepted: return "accepted";
+    case MessageType::RetryAfter: return "retry_after";
+    case MessageType::Status: return "status";
+    case MessageType::ResultReport: return "result";
+    case MessageType::Cancelled: return "cancelled";
+    case MessageType::Drained: return "drained";
+    case MessageType::ErrorReply: return "error";
+    case MessageType::StatsReport: return "stats_report";
+    case MessageType::ShutdownAck: return "shutdown_ack";
+    case MessageType::CancelAck: return "cancel_ack";
+    }
+    return "unknown";
+}
+
+bool
+isKnownMessageType(std::uint32_t raw)
+{
+    switch (static_cast<MessageType>(raw)) {
+    case MessageType::Submit:
+    case MessageType::Cancel:
+    case MessageType::Stats:
+    case MessageType::Shutdown:
+    case MessageType::Accepted:
+    case MessageType::RetryAfter:
+    case MessageType::Status:
+    case MessageType::ResultReport:
+    case MessageType::Cancelled:
+    case MessageType::Drained:
+    case MessageType::ErrorReply:
+    case MessageType::StatsReport:
+    case MessageType::ShutdownAck:
+    case MessageType::CancelAck:
+        return true;
+    }
+    return false;
+}
+
+// ---- Encoding ----
+
+std::string
+encodeFrame(MessageType type, std::uint64_t request_id,
+            const std::string &payload)
+{
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    putU32(out, kRpcMagic);
+    putU32(out, kRpcVersion);
+    putU32(out, static_cast<std::uint32_t>(type));
+    putU64(out, request_id);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+    return out;
+}
+
+std::string
+encodeSubmit(const SubmitPayload &p)
+{
+    std::string out;
+    putU8(out, static_cast<std::uint8_t>(p.priority));
+    putStr(out, p.clientId);
+    putStr(out, p.policy);
+    putF64(out, p.param);
+    putU8(out, p.paramSet ? 1 : 0);
+    putI64(out, p.horizonMinutes);
+    putStr(out, p.scenarioText);
+    return out;
+}
+
+std::string
+encodeCancel(const CancelPayload &p)
+{
+    std::string out;
+    putU64(out, p.targetId);
+    return out;
+}
+
+std::string
+encodeAccepted(const AcceptedPayload &p)
+{
+    std::string out;
+    putU8(out, p.cacheHit ? 1 : 0);
+    putU32(out, p.queueDepth);
+    return out;
+}
+
+std::string
+encodeRetryAfter(const RetryAfterPayload &p)
+{
+    std::string out;
+    putU32(out, p.retryAfterMs);
+    return out;
+}
+
+std::string
+encodeStatus(const StatusPayload &p)
+{
+    std::string out;
+    putI64(out, p.minutesDone);
+    putI64(out, p.horizonMinutes);
+    return out;
+}
+
+std::string
+encodeResult(const ResultPayload &p)
+{
+    std::string out;
+    putStr(out, p.report);
+    return out;
+}
+
+std::string
+encodeCancelled(const CancelledPayload &p)
+{
+    std::string out;
+    putI64(out, p.minutesDone);
+    return out;
+}
+
+std::string
+encodeDrained(const DrainedPayload &p)
+{
+    std::string out;
+    putI64(out, p.minutesDone);
+    putStr(out, p.checkpointPath);
+    return out;
+}
+
+std::string
+encodeError(const ErrorPayload &p)
+{
+    std::string out;
+    putU32(out, static_cast<std::uint32_t>(p.code));
+    putStr(out, p.message);
+    return out;
+}
+
+std::string
+encodeStatsReport(const StatsReportPayload &p)
+{
+    std::string out;
+    putStr(out, p.metricsJson);
+    return out;
+}
+
+std::string
+encodeCancelAck(const CancelAckPayload &p)
+{
+    std::string out;
+    putU8(out, p.found ? 1 : 0);
+    return out;
+}
+
+// ---- Decoding ----
+
+util::Result<FrameHeader>
+decodeHeader(const unsigned char (&buf)[kHeaderBytes])
+{
+    std::uint32_t magic, version, type, payload_len;
+    std::uint64_t request_id;
+    std::memcpy(&magic, buf + 0, 4);
+    std::memcpy(&version, buf + 4, 4);
+    std::memcpy(&type, buf + 8, 4);
+    std::memcpy(&request_id, buf + 12, 8);
+    std::memcpy(&payload_len, buf + 20, 4);
+
+    if (magic != kRpcMagic) {
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "bad frame magic 0x", std::hex, magic,
+                           " (not an edgetherm-rpc peer?)");
+    }
+    if (version != kRpcVersion) {
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "unsupported protocol version ", version,
+                           " (this build speaks v", kRpcVersion, ")");
+    }
+    if (!isKnownMessageType(type)) {
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "unknown message type ", type);
+    }
+    if (payload_len > kMaxPayloadBytes) {
+        return ECOLO_ERROR(util::ErrorCode::ParseError,
+                           "payload length ", payload_len,
+                           " exceeds the ", kMaxPayloadBytes,
+                           "-byte frame cap");
+    }
+    FrameHeader header;
+    header.type = static_cast<MessageType>(type);
+    header.requestId = request_id;
+    header.payloadLen = payload_len;
+    return header;
+}
+
+util::Result<SubmitPayload>
+decodeSubmit(const std::string &bytes)
+{
+    Cursor c(bytes);
+    SubmitPayload p;
+    const std::uint8_t lane = c.u8();
+    if (c.ok() && lane > 1)
+        c.fail("bad priority lane ", static_cast<unsigned>(lane));
+    p.priority = static_cast<Priority>(lane);
+    p.clientId = c.str();
+    p.policy = c.str();
+    p.param = c.f64();
+    p.paramSet = c.u8() != 0;
+    p.horizonMinutes = c.i64();
+    p.scenarioText = c.str();
+    return finishAs(c, std::move(p));
+}
+
+util::Result<CancelPayload>
+decodeCancel(const std::string &bytes)
+{
+    Cursor c(bytes);
+    CancelPayload p;
+    p.targetId = c.u64();
+    return finishAs(c, p);
+}
+
+util::Result<AcceptedPayload>
+decodeAccepted(const std::string &bytes)
+{
+    Cursor c(bytes);
+    AcceptedPayload p;
+    p.cacheHit = c.u8() != 0;
+    p.queueDepth = c.u32();
+    return finishAs(c, p);
+}
+
+util::Result<RetryAfterPayload>
+decodeRetryAfter(const std::string &bytes)
+{
+    Cursor c(bytes);
+    RetryAfterPayload p;
+    p.retryAfterMs = c.u32();
+    return finishAs(c, p);
+}
+
+util::Result<StatusPayload>
+decodeStatus(const std::string &bytes)
+{
+    Cursor c(bytes);
+    StatusPayload p;
+    p.minutesDone = c.i64();
+    p.horizonMinutes = c.i64();
+    return finishAs(c, p);
+}
+
+util::Result<ResultPayload>
+decodeResult(const std::string &bytes)
+{
+    Cursor c(bytes);
+    ResultPayload p;
+    p.report = c.str();
+    return finishAs(c, std::move(p));
+}
+
+util::Result<CancelledPayload>
+decodeCancelled(const std::string &bytes)
+{
+    Cursor c(bytes);
+    CancelledPayload p;
+    p.minutesDone = c.i64();
+    return finishAs(c, p);
+}
+
+util::Result<DrainedPayload>
+decodeDrained(const std::string &bytes)
+{
+    Cursor c(bytes);
+    DrainedPayload p;
+    p.minutesDone = c.i64();
+    p.checkpointPath = c.str();
+    return finishAs(c, std::move(p));
+}
+
+util::Result<ErrorPayload>
+decodeError(const std::string &bytes)
+{
+    Cursor c(bytes);
+    ErrorPayload p;
+    const std::uint32_t code = c.u32();
+    if (c.ok() && (code < 1 || code > 5))
+        c.fail("bad rpc error code ", code);
+    p.code = static_cast<RpcErrorCode>(code);
+    p.message = c.str();
+    return finishAs(c, std::move(p));
+}
+
+util::Result<StatsReportPayload>
+decodeStatsReport(const std::string &bytes)
+{
+    Cursor c(bytes);
+    StatsReportPayload p;
+    p.metricsJson = c.str();
+    return finishAs(c, std::move(p));
+}
+
+util::Result<CancelAckPayload>
+decodeCancelAck(const std::string &bytes)
+{
+    Cursor c(bytes);
+    CancelAckPayload p;
+    p.found = c.u8() != 0;
+    return finishAs(c, p);
+}
+
+// ---- Connection I/O ----
+
+util::Result<Frame>
+readFrame(util::TcpConnection &conn)
+{
+    unsigned char header_buf[kHeaderBytes];
+    ECOLO_TRY_VOID(conn.readAll(header_buf, kHeaderBytes));
+    auto header = decodeHeader(header_buf);
+    if (!header.ok())
+        return header.error();
+
+    Frame frame;
+    frame.type = header.value().type;
+    frame.requestId = header.value().requestId;
+    frame.payload.resize(header.value().payloadLen);
+    if (header.value().payloadLen > 0) {
+        ECOLO_TRY_VOID(
+            conn.readAll(frame.payload.data(), frame.payload.size()));
+    }
+    return frame;
+}
+
+util::Result<void>
+writeFrame(util::TcpConnection &conn, MessageType type,
+           std::uint64_t request_id, const std::string &payload)
+{
+    const std::string frame = encodeFrame(type, request_id, payload);
+    return conn.writeAll(frame.data(), frame.size());
+}
+
+} // namespace ecolo::serve

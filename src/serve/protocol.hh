@@ -1,0 +1,217 @@
+/**
+ * @file
+ * edgetherm-rpc-v1: the length-prefixed binary wire protocol between
+ * edgetherm-serve and its clients.
+ *
+ * Every message is one frame:
+ *
+ *     u32 magic      "ERPC" (0x45525043)
+ *     u32 version    1
+ *     u32 type       MessageType
+ *     u64 requestId  server-assigned id (0 before assignment)
+ *     u32 payloadLen bytes that follow (<= kMaxPayloadBytes)
+ *     u8[payloadLen] type-specific payload
+ *
+ * All integers little-endian; doubles are raw IEEE-754 bytes; strings
+ * are u32 length + bytes. Parsing is strict and total: decode functions
+ * return util::Result, never throw, and reject bad magic/version,
+ * unknown types, oversized lengths, truncated payloads, and trailing
+ * bytes. A conversation is one request frame followed by the server's
+ * response stream on the same connection:
+ *
+ *   Submit   -> RetryAfter | ErrorReply
+ *             | Accepted, Status*, (ResultReport|Cancelled|Drained)
+ *   Cancel   -> CancelAck | ErrorReply
+ *   Stats    -> StatsReport | ErrorReply
+ *   Shutdown -> ShutdownAck     (server then drains and exits)
+ *
+ * See docs/serving.md for the full protocol spec.
+ */
+
+#ifndef ECOLO_SERVE_PROTOCOL_HH
+#define ECOLO_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hh"
+#include "util/socket.hh"
+
+namespace ecolo::serve {
+
+inline constexpr std::uint32_t kRpcMagic = 0x45525043; // "ERPC"
+inline constexpr std::uint32_t kRpcVersion = 1;
+/** Upper bound on one frame's payload (reports are ~10 KiB). */
+inline constexpr std::size_t kMaxPayloadBytes = 4u << 20;
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/** Frame types. Requests are 1..9, responses 10+. */
+enum class MessageType : std::uint32_t
+{
+    Submit = 1,
+    Cancel = 2,
+    Stats = 3,
+    Shutdown = 4,
+
+    Accepted = 10,
+    RetryAfter = 11,
+    Status = 12,
+    ResultReport = 13,
+    Cancelled = 14,
+    Drained = 15,
+    ErrorReply = 16,
+    StatsReport = 17,
+    ShutdownAck = 18,
+    CancelAck = 19,
+};
+
+const char *toString(MessageType type);
+bool isKnownMessageType(std::uint32_t raw);
+
+/** Scheduling lane requested by the client. */
+enum class Priority : std::uint8_t
+{
+    Interactive = 0, //!< one-shot what-if runs; never starved
+    Batch = 1,       //!< year-long campaigns; filled in around them
+};
+
+/** Wire error codes carried by ErrorReply. */
+enum class RpcErrorCode : std::uint32_t
+{
+    ParseError = 1,      //!< malformed scenario/request payload
+    ValidationError = 2, //!< well-formed but inconsistent request
+    Unavailable = 3,     //!< server draining; resubmit elsewhere/later
+    UnknownRequest = 4,  //!< cancel target not queued or running
+    Internal = 5,        //!< server-side failure
+};
+
+// ---- Payload structs ----
+
+struct SubmitPayload
+{
+    Priority priority = Priority::Interactive;
+    std::string clientId;      //!< fairness bucket (tenant name)
+    std::string policy;        //!< standby|random|myopic|foresighted|oneshot
+    double param = 0.0;        //!< policy parameter
+    bool paramSet = false;     //!< false: server applies policy default
+    std::int64_t horizonMinutes = 0;
+    std::string scenarioText;  //!< key=value lines on top of Table I
+};
+
+struct CancelPayload
+{
+    std::uint64_t targetId = 0;
+};
+
+struct AcceptedPayload
+{
+    bool cacheHit = false;       //!< result follows immediately from cache
+    std::uint32_t queueDepth = 0; //!< jobs queued ahead (0 on hit)
+};
+
+struct RetryAfterPayload
+{
+    std::uint32_t retryAfterMs = 0;
+};
+
+struct StatusPayload
+{
+    std::int64_t minutesDone = 0;
+    std::int64_t horizonMinutes = 0;
+};
+
+/** The serialized campaign report; bytes are cached verbatim. */
+struct ResultPayload
+{
+    std::string report;
+};
+
+struct CancelledPayload
+{
+    std::int64_t minutesDone = 0;
+};
+
+struct DrainedPayload
+{
+    std::int64_t minutesDone = 0;
+    std::string checkpointPath; //!< empty when no spool dir configured
+};
+
+struct ErrorPayload
+{
+    RpcErrorCode code = RpcErrorCode::Internal;
+    std::string message;
+};
+
+struct StatsReportPayload
+{
+    std::string metricsJson; //!< edgetherm-metrics-v1 document
+};
+
+struct CancelAckPayload
+{
+    bool found = false;
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    MessageType type = MessageType::ErrorReply;
+    std::uint64_t requestId = 0;
+    std::string payload;
+};
+
+// ---- Encoding ----
+
+std::string encodeFrame(MessageType type, std::uint64_t request_id,
+                        const std::string &payload);
+
+std::string encodeSubmit(const SubmitPayload &p);
+std::string encodeCancel(const CancelPayload &p);
+std::string encodeAccepted(const AcceptedPayload &p);
+std::string encodeRetryAfter(const RetryAfterPayload &p);
+std::string encodeStatus(const StatusPayload &p);
+std::string encodeResult(const ResultPayload &p);
+std::string encodeCancelled(const CancelledPayload &p);
+std::string encodeDrained(const DrainedPayload &p);
+std::string encodeError(const ErrorPayload &p);
+std::string encodeStatsReport(const StatsReportPayload &p);
+std::string encodeCancelAck(const CancelAckPayload &p);
+
+// ---- Strict decoding ----
+
+/** Parse a 24-byte header; validates magic, version, type, length. */
+struct FrameHeader
+{
+    MessageType type = MessageType::ErrorReply;
+    std::uint64_t requestId = 0;
+    std::uint32_t payloadLen = 0;
+};
+util::Result<FrameHeader> decodeHeader(const unsigned char (&buf)[kHeaderBytes]);
+
+util::Result<SubmitPayload> decodeSubmit(const std::string &bytes);
+util::Result<CancelPayload> decodeCancel(const std::string &bytes);
+util::Result<AcceptedPayload> decodeAccepted(const std::string &bytes);
+util::Result<RetryAfterPayload> decodeRetryAfter(const std::string &bytes);
+util::Result<StatusPayload> decodeStatus(const std::string &bytes);
+util::Result<ResultPayload> decodeResult(const std::string &bytes);
+util::Result<CancelledPayload> decodeCancelled(const std::string &bytes);
+util::Result<DrainedPayload> decodeDrained(const std::string &bytes);
+util::Result<ErrorPayload> decodeError(const std::string &bytes);
+util::Result<StatsReportPayload>
+decodeStatsReport(const std::string &bytes);
+util::Result<CancelAckPayload> decodeCancelAck(const std::string &bytes);
+
+// ---- Connection I/O ----
+
+/** Read one complete frame (header + payload) from the connection. */
+util::Result<Frame> readFrame(util::TcpConnection &conn);
+
+/** Write one complete frame to the connection. */
+util::Result<void> writeFrame(util::TcpConnection &conn, MessageType type,
+                              std::uint64_t request_id,
+                              const std::string &payload);
+
+} // namespace ecolo::serve
+
+#endif // ECOLO_SERVE_PROTOCOL_HH

@@ -1,0 +1,453 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "core/checkpoint.hh"
+#include "core/engine.hh"
+#include "core/report.hh"
+#include "core/scenario.hh"
+#include "telemetry/telemetry.hh"
+#include "util/keyvalue.hh"
+#include "util/logging.hh"
+#include "util/sim_time.hh"
+
+namespace ecolo::serve {
+
+namespace {
+
+/** Accept-poll period; bounds drain latency of an idle acceptor. */
+constexpr int kAcceptPollMs = 200;
+
+bool
+isKnownPolicy(const std::string &name)
+{
+    return name == "standby" || name == "random" || name == "myopic" ||
+           name == "foresighted" || name == "oneshot";
+}
+
+RpcErrorCode
+toRpcError(util::ErrorCode code)
+{
+    switch (code) {
+    case util::ErrorCode::ParseError:
+        return RpcErrorCode::ParseError;
+    case util::ErrorCode::ValidationError:
+        return RpcErrorCode::ValidationError;
+    default:
+        return RpcErrorCode::Internal;
+    }
+}
+
+void
+replyError(util::TcpConnection &conn, std::uint64_t request_id,
+           RpcErrorCode code, const std::string &message)
+{
+    (void)writeFrame(conn, MessageType::ErrorReply, request_id,
+                     encodeError(ErrorPayload{code, message}));
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      scheduler_(Scheduler::Options{options_.numWorkers,
+                                    options_.maxQueued,
+                                    options_.batchBoostEvery}),
+      cache_(options_.cacheMaxBytes, options_.cacheMaxEntries)
+{}
+
+Server::~Server()
+{
+    requestDrain();
+    waitUntilStopped();
+}
+
+util::Result<void>
+Server::start()
+{
+    auto listener = util::TcpListener::listenLoopback(options_.port);
+    if (!listener)
+        return listener.error();
+    listener_ = listener.take();
+    port_ = listener_.port();
+    running_.store(true, std::memory_order_release);
+    schedulerThread_ = std::thread([this] { scheduler_.run(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    ecolo::inform("edgetherm-serve listening on 127.0.0.1:", port_, " (",
+                  options_.numWorkers, " workers, queue bound ",
+                  options_.maxQueued, ")");
+    return {};
+}
+
+void
+Server::requestDrain()
+{
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel))
+        return;
+    // With a spool dir, in-flight runs stop at the next simulated
+    // minute and checkpoint; without one they run to their horizon.
+    scheduler_.drain(!options_.drainCheckpointDir.empty());
+}
+
+void
+Server::waitUntilStopped()
+{
+    std::lock_guard<std::mutex> lock(stopMutex_);
+    if (stopped_)
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (schedulerThread_.joinable())
+        schedulerThread_.join();
+    {
+        std::lock_guard<std::mutex> handlers_lock(handlersMutex_);
+        for (Handler &handler : handlers_) {
+            if (handler.thread.joinable())
+                handler.thread.join();
+        }
+        handlers_.clear();
+    }
+    running_.store(false, std::memory_order_release);
+    stopped_ = true;
+}
+
+void
+Server::reapHandlerThreadsLocked()
+{
+    auto it = handlers_.begin();
+    while (it != handlers_.end()) {
+        if (it->done->load(std::memory_order_acquire)) {
+            it->thread.join();
+            it = handlers_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining_.load(std::memory_order_acquire)) {
+        auto accepted = listener_.acceptFor(kAcceptPollMs);
+        if (!accepted) {
+            if (!draining_.load(std::memory_order_acquire))
+                ecolo::warn("serve: accept failed: ",
+                            accepted.error().message);
+            break;
+        }
+        if (!accepted.value().has_value())
+            continue; // poll timeout: re-check the drain flag
+        connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_shared<util::TcpConnection>(
+            std::move(*accepted.value()));
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread thread([this, conn, done] {
+            handleConnection(conn);
+            done->store(true, std::memory_order_release);
+        });
+        std::lock_guard<std::mutex> lock(handlersMutex_);
+        reapHandlerThreadsLocked();
+        handlers_.push_back(Handler{std::move(thread), std::move(done)});
+    }
+    // Late connects get a hard refusal instead of an unanswered backlog.
+    listener_.close();
+}
+
+void
+Server::handleConnection(std::shared_ptr<util::TcpConnection> conn)
+{
+    (void)conn->setReceiveTimeout(options_.receiveTimeoutMs);
+    auto frame = readFrame(*conn);
+    if (!frame) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        replyError(*conn, 0, RpcErrorCode::ParseError,
+                   frame.error().message);
+        return;
+    }
+
+    switch (frame.value().type) {
+    case MessageType::Submit:
+        handleSubmit(conn, frame.value());
+        return;
+    case MessageType::Cancel: {
+        auto payload = decodeCancel(frame.value().payload);
+        if (!payload) {
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            replyError(*conn, 0, RpcErrorCode::ParseError,
+                       payload.error().message);
+            return;
+        }
+        const std::uint64_t target = payload.value().targetId;
+        const bool found =
+            scheduler_.cancel(target, CancelReason::Client);
+        (void)writeFrame(*conn, MessageType::CancelAck, target,
+                         encodeCancelAck(CancelAckPayload{found}));
+        return;
+    }
+    case MessageType::Stats:
+        (void)writeFrame(*conn, MessageType::StatsReport, 0,
+                         encodeStatsReport(
+                             StatsReportPayload{metricsJson()}));
+        return;
+    case MessageType::Shutdown:
+        // Ack first: requestDrain() closes the listener side of the
+        // world, but this connection stays answerable.
+        (void)writeFrame(*conn, MessageType::ShutdownAck, 0, "");
+        requestDrain();
+        return;
+    default:
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        replyError(*conn, frame.value().requestId,
+                   RpcErrorCode::ParseError,
+                   std::string("unexpected client frame type ") +
+                       toString(frame.value().type));
+        return;
+    }
+}
+
+void
+Server::handleSubmit(std::shared_ptr<util::TcpConnection> conn,
+                     const Frame &frame)
+{
+    auto decoded = decodeSubmit(frame.payload);
+    if (!decoded) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        replyError(*conn, 0, RpcErrorCode::ParseError,
+                   decoded.error().message);
+        return;
+    }
+    SubmitPayload request = decoded.take();
+    if (request.clientId.empty())
+        request.clientId = "anon";
+
+    // Validate everything up front: a request that can't run is
+    // answered here and never touches the scheduler or the cache.
+    if (!isKnownPolicy(request.policy)) {
+        replyError(*conn, 0, RpcErrorCode::ValidationError,
+                   "unknown policy '" + request.policy +
+                       "' (expected standby|random|myopic|foresighted|"
+                       "oneshot)");
+        return;
+    }
+    if (request.horizonMinutes <= 0 ||
+        request.horizonMinutes > options_.maxHorizonMinutes) {
+        replyError(*conn, 0, RpcErrorCode::ValidationError,
+                   "horizon must be in [1, " +
+                       std::to_string(options_.maxHorizonMinutes) +
+                       "] minutes, got " +
+                       std::to_string(request.horizonMinutes));
+        return;
+    }
+    std::istringstream scenario_stream(request.scenarioText);
+    auto kv = KeyValueConfig::tryParse(scenario_stream,
+                                       "<request scenario>");
+    if (!kv) {
+        replyError(*conn, 0, RpcErrorCode::ParseError,
+                   kv.error().message);
+        return;
+    }
+    core::SimulationConfig config = core::SimulationConfig::paperDefault();
+    if (auto applied = core::tryApplyScenario(kv.value(), config);
+        !applied) {
+        replyError(*conn, 0, toRpcError(applied.error().code),
+                   applied.error().message);
+        return;
+    }
+    if (auto valid = config.validated(); !valid) {
+        replyError(*conn, 0, RpcErrorCode::ValidationError,
+                   valid.error().message);
+        return;
+    }
+    if (!request.paramSet) {
+        request.param = core::defaultPolicyParam(request.policy);
+        request.paramSet = true;
+    }
+
+    // Content address: the canonical scenario (sorted key=value pairs,
+    // comments and ordering already gone) + policy + param + horizon +
+    // engine schema version.
+    const CacheKey key =
+        makeCacheKey(kv.value(), request.policy, request.param,
+                     request.horizonMinutes);
+    const std::uint64_t id =
+        nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+
+    if (auto hit = cache_.lookup(key); hit.has_value()) {
+        (void)writeFrame(*conn, MessageType::Accepted, id,
+                         encodeAccepted(AcceptedPayload{true, 0}));
+        (void)writeFrame(*conn, MessageType::ResultReport, id,
+                         encodeResult(ResultPayload{*hit}));
+        return;
+    }
+
+    // The job must not stream before this handler has written ACCEPTED
+    // (two threads interleaving frames on one socket would corrupt the
+    // stream), so it waits on a gate the handler opens after replying.
+    auto gate = std::make_shared<std::promise<void>>();
+    std::shared_future<void> accepted_sent = gate->get_future().share();
+    const Lane lane = request.priority == Priority::Batch
+                          ? Lane::Batch
+                          : Lane::Interactive;
+    auto job = [this, conn, id, request, config, key,
+                accepted_sent](const CancelToken &token) {
+        accepted_sent.wait();
+        runSimulationJob(conn, id, request, config, key, token);
+    };
+    const Scheduler::SubmitResult submitted =
+        scheduler_.submit(id, lane, request.clientId, std::move(job));
+    switch (submitted.admission) {
+    case Scheduler::Admission::Admitted: {
+        const std::uint32_t ahead =
+            submitted.queueDepth > 0
+                ? static_cast<std::uint32_t>(submitted.queueDepth - 1)
+                : 0;
+        (void)writeFrame(*conn, MessageType::Accepted, id,
+                         encodeAccepted(AcceptedPayload{false, ahead}));
+        gate->set_value();
+        return;
+    }
+    case Scheduler::Admission::QueueFull:
+        (void)writeFrame(
+            *conn, MessageType::RetryAfter, id,
+            encodeRetryAfter(RetryAfterPayload{options_.retryAfterMs}));
+        return;
+    case Scheduler::Admission::Draining:
+        replyError(*conn, id, RpcErrorCode::Unavailable,
+                   "server is draining; no new work accepted");
+        return;
+    }
+}
+
+void
+Server::runSimulationJob(std::shared_ptr<util::TcpConnection> conn,
+                         std::uint64_t request_id,
+                         const SubmitPayload &request,
+                         const core::SimulationConfig &config,
+                         const CacheKey &key, const CancelToken &token)
+{
+    auto policy =
+        core::tryMakePolicyByName(config, request.policy, request.param);
+    if (!policy) {
+        // Unreachable after handleSubmit's validation; fail loudly
+        // rather than silently if the name sets ever diverge.
+        replyError(*conn, request_id, RpcErrorCode::Internal,
+                   policy.error().message);
+        return;
+    }
+    core::Simulation sim(config, policy.take());
+    sim.setCancelCheck([token] { return token.cancelled(); });
+
+    const MinuteIndex horizon = request.horizonMinutes;
+    while (sim.now() < horizon && !token.cancelled()) {
+        const MinuteIndex chunk = std::min<MinuteIndex>(
+            options_.statusEveryMinutes, horizon - sim.now());
+        sim.run(chunk);
+        // A failed STATUS write means the client went away; keep
+        // simulating anyway so the completed run still fills the cache.
+        if (sim.now() < horizon && !token.cancelled())
+            (void)writeFrame(*conn, MessageType::Status, request_id,
+                             encodeStatus(
+                                 StatusPayload{sim.now(), horizon}));
+    }
+
+    if (token.cancelled()) {
+        if (token.reason() == CancelReason::Drain &&
+            !options_.drainCheckpointDir.empty()) {
+            const std::string path = options_.drainCheckpointDir +
+                                     "/request-" +
+                                     std::to_string(request_id) +
+                                     ".ckpt";
+            if (auto saved = core::saveSimulationCheckpoint(
+                    path, sim, request.policy);
+                !saved) {
+                ecolo::warn("serve: drain checkpoint for request ",
+                            request_id,
+                            " failed: ", saved.error().message);
+                replyError(*conn, request_id, RpcErrorCode::Internal,
+                           "drain checkpoint failed: " +
+                               saved.error().message);
+                return;
+            }
+            (void)writeFrame(
+                *conn, MessageType::Drained, request_id,
+                encodeDrained(DrainedPayload{sim.now(), path}));
+        } else if (token.reason() == CancelReason::Drain) {
+            (void)writeFrame(*conn, MessageType::Drained, request_id,
+                             encodeDrained(DrainedPayload{sim.now(), ""}));
+        } else {
+            (void)writeFrame(
+                *conn, MessageType::Cancelled, request_id,
+                encodeCancelled(CancelledPayload{sim.now()}));
+        }
+        return;
+    }
+
+    std::ostringstream report_stream;
+    core::ReportInputs inputs;
+    inputs.policyName = request.policy;
+    inputs.policyParameter = request.param;
+    inputs.simulatedDays =
+        static_cast<double>(horizon) / static_cast<double>(kMinutesPerDay);
+    core::writeMarkdownReport(report_stream, config, sim.metrics(),
+                              inputs);
+    std::string report = report_stream.str();
+    cache_.insert(key, report);
+    (void)writeFrame(*conn, MessageType::ResultReport, request_id,
+                     encodeResult(ResultPayload{std::move(report)}));
+}
+
+std::string
+Server::metricsJson() const
+{
+    // Serving counters are authoritative in their own structs (alive
+    // even with telemetry compiled out); the registry is only the dump
+    // format, refreshed here.
+    auto &reg = telemetry::registry();
+    const ResultCache::Stats cache = cache_.stats();
+    const Scheduler::Stats sched = scheduler_.stats();
+    const auto set = [&reg](const char *name, double value) {
+        reg.scalar(name).set(value);
+    };
+    set("serve.cache.hits", static_cast<double>(cache.hits));
+    set("serve.cache.misses", static_cast<double>(cache.misses));
+    set("serve.cache.evictions", static_cast<double>(cache.evictions));
+    set("serve.cache.insertions", static_cast<double>(cache.insertions));
+    set("serve.cache.oversize_rejected",
+        static_cast<double>(cache.oversizeRejected));
+    set("serve.cache.entries", static_cast<double>(cache.entries));
+    set("serve.cache.bytes", static_cast<double>(cache.bytes));
+    set("serve.requests.submitted",
+        static_cast<double>(sched.submitted));
+    set("serve.requests.admitted", static_cast<double>(sched.admitted));
+    set("serve.requests.rejected_queue_full",
+        static_cast<double>(sched.rejectedQueueFull));
+    set("serve.requests.rejected_draining",
+        static_cast<double>(sched.rejectedDraining));
+    set("serve.requests.completed",
+        static_cast<double>(sched.completed));
+    set("serve.requests.cancelled",
+        static_cast<double>(sched.cancelled));
+    set("serve.dispatch.interactive",
+        static_cast<double>(sched.dispatchedInteractive));
+    set("serve.dispatch.batch", static_cast<double>(sched.dispatchedBatch));
+    set("serve.queue.depth", static_cast<double>(sched.queuedNow));
+    set("serve.queue.running", static_cast<double>(sched.runningNow));
+    set("serve.connections.accepted",
+        static_cast<double>(
+            connectionsAccepted_.load(std::memory_order_relaxed)));
+    set("serve.protocol.errors",
+        static_cast<double>(
+            protocolErrors_.load(std::memory_order_relaxed)));
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    return os.str();
+}
+
+} // namespace ecolo::serve

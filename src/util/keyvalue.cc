@@ -106,6 +106,15 @@ KeyValueConfig::has(const std::string &key) const
     return values_.count(key) > 0;
 }
 
+std::map<std::string, std::string>
+KeyValueConfig::entries() const
+{
+    std::map<std::string, std::string> out;
+    for (const auto &[key, entry] : values_)
+        out.emplace(key, entry.value);
+    return out;
+}
+
 std::string
 KeyValueConfig::locate(const std::string &key) const
 {

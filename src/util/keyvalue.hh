@@ -80,6 +80,14 @@ class KeyValueConfig
     /** Keys that were never read (typos); empty means all consumed. */
     std::set<std::string> unconsumedKeys() const;
 
+    /**
+     * Every key=value pair, key-sorted. This is the document's canonical
+     * content -- comments, blank lines and declaration order have already
+     * been normalized away -- which is what the serving result cache
+     * hashes to content-address a scenario. Does not mark keys consumed.
+     */
+    std::map<std::string, std::string> entries() const;
+
     std::size_t size() const { return values_.size(); }
 
     /** Name of the parsed source ("<input>" for programmatic configs). */

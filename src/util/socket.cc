@@ -1,0 +1,232 @@
+#include "util/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace ecolo::util {
+
+namespace {
+
+Error
+errnoError(const char *what, int err)
+{
+    return ECOLO_ERROR(ErrorCode::IoError, what, ": ",
+                       std::strerror(err));
+}
+
+} // namespace
+
+// ---- TcpConnection ----
+
+TcpConnection::~TcpConnection() { close(); }
+
+TcpConnection::TcpConnection(TcpConnection &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{}
+
+TcpConnection &
+TcpConnection::operator=(TcpConnection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void
+TcpConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<void>
+TcpConnection::writeAll(const void *data, std::size_t size)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "write on closed socket");
+    const char *p = static_cast<const char *>(data);
+    std::size_t left = size;
+    while (left > 0) {
+        const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoError("socket write failed", errno);
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+Result<void>
+TcpConnection::readAll(void *data, std::size_t size)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "read on closed socket");
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "socket read timed out after ", got,
+                                   " of ", size, " bytes");
+            }
+            return errnoError("socket read failed", errno);
+        }
+        if (n == 0) {
+            if (got == 0) {
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "connection closed");
+            }
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "connection closed mid-record (", got,
+                               " of ", size, " bytes)");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+Result<void>
+TcpConnection::setReceiveTimeout(int milliseconds)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "socket is closed");
+    struct timeval tv = {};
+    tv.tv_sec = milliseconds / 1000;
+    tv.tv_usec = (milliseconds % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+        return errnoError("setsockopt(SO_RCVTIMEO) failed", errno);
+    return {};
+}
+
+// ---- TcpListener ----
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0))
+{}
+
+TcpListener &
+TcpListener::operator=(TcpListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, 0);
+    }
+    return *this;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<TcpListener>
+TcpListener::listenLoopback(std::uint16_t port, int backlog)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoError("cannot create socket", errno);
+    TcpListener listener;
+    listener.fd_ = fd;
+
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        return ECOLO_ERROR(ErrorCode::IoError,
+                           "cannot bind 127.0.0.1:", port, ": ",
+                           std::strerror(errno));
+    }
+    if (::listen(fd, backlog) != 0)
+        return errnoError("cannot listen", errno);
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0) {
+        return errnoError("cannot read bound port", errno);
+    }
+    listener.port_ = ntohs(addr.sin_port);
+    return listener;
+}
+
+Result<std::optional<TcpConnection>>
+TcpListener::acceptFor(int timeout_ms)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "listener is closed");
+    struct pollfd pfd = {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+        if (errno == EINTR)
+            return std::optional<TcpConnection>{};
+        return errnoError("poll on listener failed", errno);
+    }
+    if (ready == 0)
+        return std::optional<TcpConnection>{};
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED)
+            return std::optional<TcpConnection>{};
+        return errnoError("accept failed", errno);
+    }
+    return std::optional<TcpConnection>{TcpConnection(fd)};
+}
+
+Result<TcpConnection>
+connectLoopback(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoError("cannot create socket", errno);
+    TcpConnection conn(fd);
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        return ECOLO_ERROR(ErrorCode::IoError,
+                           "cannot connect to 127.0.0.1:", port, ": ",
+                           std::strerror(errno));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return conn;
+}
+
+} // namespace ecolo::util

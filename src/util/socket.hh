@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal loopback TCP primitives for the serving stack.
+ *
+ * edgetherm-serve speaks a length-prefixed binary protocol over local
+ * TCP (the edge-site deployment model: the scheduler/RL client runs on
+ * the same box or behind its own tunnel, so the transport stays a plain
+ * IPv4 loopback socket -- no TLS, no name resolution). Everything
+ * returns util::Result: a dropped peer is a recoverable per-connection
+ * failure, never a process-wide one. Writes use MSG_NOSIGNAL so a
+ * client that disconnects mid-response costs the server an error
+ * return, not a SIGPIPE.
+ */
+
+#ifndef ECOLO_UTIL_SOCKET_HH
+#define ECOLO_UTIL_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/result.hh"
+
+namespace ecolo::util {
+
+/** One connected stream socket; closes on destruction. */
+class TcpConnection
+{
+  public:
+    TcpConnection() = default;
+    explicit TcpConnection(int fd) : fd_(fd) {}
+    ~TcpConnection();
+
+    TcpConnection(TcpConnection &&other) noexcept;
+    TcpConnection &operator=(TcpConnection &&other) noexcept;
+    TcpConnection(const TcpConnection &) = delete;
+    TcpConnection &operator=(const TcpConnection &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+
+    /** Write exactly `size` bytes (retrying short writes/EINTR). */
+    Result<void> writeAll(const void *data, std::size_t size);
+
+    /**
+     * Read exactly `size` bytes. A clean EOF before any byte fails with
+     * message "connection closed"; EOF mid-record or a receive timeout
+     * is reported as the I/O error it is.
+     */
+    Result<void> readAll(void *data, std::size_t size);
+
+    /**
+     * Bound every subsequent read; 0 restores "block forever". A stuck
+     * peer then costs one handler thread for at most this long.
+     */
+    Result<void> setReceiveTimeout(int milliseconds);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** A listening IPv4 loopback socket. */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(TcpListener &&other) noexcept;
+    TcpListener &operator=(TcpListener &&other) noexcept;
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind 127.0.0.1:`port` (0 picks an ephemeral port; port() tells
+     * which) with SO_REUSEADDR and start listening.
+     */
+    static Result<TcpListener> listenLoopback(std::uint16_t port,
+                                              int backlog = 64);
+
+    bool valid() const { return fd_ >= 0; }
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Wait up to `timeout_ms` for a connection. Returns the connection,
+     * std::nullopt on timeout (so accept loops can poll a stop flag), or
+     * an error once the listener is closed/broken.
+     */
+    Result<std::optional<TcpConnection>> acceptFor(int timeout_ms);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/** Connect to 127.0.0.1:`port`. */
+Result<TcpConnection> connectLoopback(std::uint16_t port);
+
+} // namespace ecolo::util
+
+#endif // ECOLO_UTIL_SOCKET_HH

@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "core/engine.hh"
 #include "core/fleet.hh"
+#include "core/version.hh"
 #include "util/state_io.hh"
 
 namespace {
@@ -120,6 +122,66 @@ TEST(Checkpoint, RestoreIntoWrongConfigFails)
     EXPECT_EQ(reader.status().error().code, util::ErrorCode::StateError);
 }
 
+class SimCheckpointFileTest : public ::testing::Test
+{
+  protected:
+    std::string path_ =
+        ::testing::TempDir() + "edgetherm_sim_checkpoint.bin";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SimCheckpointFileTest, SaveAndLoadHelpersRoundTrip)
+{
+    const auto config = smallConfig();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    sim.run(500);
+    const auto saved = saveSimulationCheckpoint(path_, sim, "myopic");
+    ASSERT_TRUE(saved.ok()) << saved.error().describe();
+
+    Simulation resumed(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    const auto loaded =
+        loadSimulationCheckpoint(path_, resumed, "myopic");
+    ASSERT_TRUE(loaded.ok()) << loaded.error().describe();
+    EXPECT_EQ(resumed.now(), 500);
+}
+
+TEST_F(SimCheckpointFileTest, SchemaVersionFlipInvalidatesCheckpoint)
+{
+    // Satellite regression: a checkpoint stamped with a different
+    // engine schema version must be refused on load -- resuming a
+    // trajectory across behaviorally different builds would silently
+    // produce garbage continuations.
+    const auto config = smallConfig();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    sim.run(100);
+    const auto saved = saveSimulationCheckpoint(
+        path_, sim, "myopic", kEngineSchemaVersion + 1);
+    ASSERT_TRUE(saved.ok()) << saved.error().describe();
+
+    Simulation resumed(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    const auto loaded =
+        loadSimulationCheckpoint(path_, resumed, "myopic");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, util::ErrorCode::StateError);
+    EXPECT_NE(loaded.error().message.find("schema version"),
+              std::string::npos);
+}
+
+TEST_F(SimCheckpointFileTest, PolicyNameMismatchRejected)
+{
+    const auto config = smallConfig();
+    Simulation sim(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    sim.run(100);
+    ASSERT_TRUE(saveSimulationCheckpoint(path_, sim, "myopic").ok());
+
+    Simulation resumed(config, makeMyopicPolicy(config, Kilowatts(7.4)));
+    const auto loaded =
+        loadSimulationCheckpoint(path_, resumed, "standby");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, util::ErrorCode::StateError);
+}
+
 class FleetCheckpointTest : public ::testing::Test
 {
   protected:
@@ -195,6 +257,21 @@ TEST_F(FleetCheckpointTest, FingerprintMismatchRejected)
     ASSERT_FALSE(loaded.ok());
     EXPECT_EQ(loaded.error().code, util::ErrorCode::StateError);
     EXPECT_NE(loaded.error().message.find("fingerprint mismatch"),
+              std::string::npos);
+}
+
+TEST_F(FleetCheckpointTest, SchemaVersionFlipInvalidatesCheckpoint)
+{
+    auto fleet = makeFleet();
+    fleet.run(100);
+    ASSERT_TRUE(
+        fleet.saveCheckpoint(path_, core::kEngineSchemaVersion + 1).ok());
+
+    auto other = makeFleet();
+    const auto loaded = other.loadCheckpoint(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, util::ErrorCode::StateError);
+    EXPECT_NE(loaded.error().message.find("schema version"),
               std::string::npos);
 }
 

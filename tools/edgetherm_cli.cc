@@ -36,16 +36,22 @@
  * Every option also accepts the --flag=VALUE spelling. Any of the three
  * telemetry sinks enables collection; without them the run pays no
  * telemetry cost (and is bit-identical either way).
+ *
+ * Exit status: 0 on success; 2 on a usage error (unknown option, bad
+ * flag value, unknown policy -- usage goes to stderr); 1 on a runtime
+ * failure (unreadable files, I/O errors). Scripts can tell "you called
+ * me wrong" from "the run went wrong".
  */
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "core/cost.hh"
 #include "core/engine.hh"
 #include "telemetry/telemetry.hh"
@@ -55,7 +61,6 @@
 #include "faults/schedule.hh"
 #include "util/logging.hh"
 #include "util/result.hh"
-#include "util/state_io.hh"
 #include "util/table.hh"
 
 namespace {
@@ -109,6 +114,53 @@ printUsage(std::ostream &os)
           "[--help]\n";
 }
 
+/**
+ * Caller misuse: usage to stderr, then the complaint, then exit 2
+ * (distinct from ECOLO_FATAL's exit 1 for runtime failures).
+ */
+template <typename... Args>
+[[noreturn]] void
+usageError(Args &&...args)
+{
+    printUsage(std::cerr);
+    std::cerr << "edgetherm_cli: ";
+    (std::cerr << ... << std::forward<Args>(args));
+    std::cerr << "\n";
+    std::exit(2);
+}
+
+double
+parseDoubleArg(const char *flag, const char *text)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(text, &pos);
+        if (pos != std::strlen(text))
+            usageError("invalid number for ", flag, ": '", text, "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        usageError("invalid number for ", flag, ": '", text, "'");
+    } catch (const std::out_of_range &) {
+        usageError("out-of-range number for ", flag, ": '", text, "'");
+    }
+}
+
+long
+parseLongArg(const char *flag, const char *text)
+{
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(text, &pos);
+        if (pos != std::strlen(text))
+            usageError("invalid integer for ", flag, ": '", text, "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        usageError("invalid integer for ", flag, ": '", text, "'");
+    } catch (const std::out_of_range &) {
+        usageError("out-of-range integer for ", flag, ": '", text, "'");
+    }
+}
+
 CliOptions
 parseArgs(int argc, char **argv)
 {
@@ -132,7 +184,7 @@ parseArgs(int argc, char **argv)
     auto need_value = [&](std::size_t &i,
                           const std::string &flag) -> const char * {
         if (i + 1 >= n)
-            ECOLO_FATAL("missing value for ", flag);
+            usageError("missing value for ", flag);
         return args[++i].c_str();
     };
     for (std::size_t i = 0; i < n; ++i) {
@@ -144,10 +196,10 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(arg, "--policy") == 0) {
             opts.policy = need_value(i, arg);
         } else if (std::strcmp(arg, "--param") == 0) {
-            opts.param = std::stod(need_value(i, arg));
+            opts.param = parseDoubleArg(arg, need_value(i, arg));
             opts.paramSet = true;
         } else if (std::strcmp(arg, "--days") == 0) {
-            opts.days = std::stod(need_value(i, arg));
+            opts.days = parseDoubleArg(arg, need_value(i, arg));
         } else if (std::strcmp(arg, "--csv") == 0) {
             opts.csvFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--faults") == 0) {
@@ -155,9 +207,9 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(arg, "--checkpoint") == 0) {
             opts.checkpointFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
-            opts.checkpointEvery = std::stol(need_value(i, arg));
+            opts.checkpointEvery = parseLongArg(arg, need_value(i, arg));
             if (opts.checkpointEvery < 1)
-                ECOLO_FATAL("--checkpoint-every must be at least 1");
+                usageError("--checkpoint-every must be at least 1");
         } else if (std::strcmp(arg, "--report") == 0) {
             opts.reportFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--metrics-out") == 0) {
@@ -170,8 +222,8 @@ parseArgs(int argc, char **argv)
             opts.logLevel = need_value(i, arg);
             LogLevel level;
             if (!parseLogLevel(opts.logLevel, level)) {
-                ECOLO_FATAL("unknown --log-level '", opts.logLevel,
-                            "' (expected error|warn|info|debug)");
+                usageError("unknown --log-level '", opts.logLevel,
+                           "' (expected error|warn|info|debug)");
             }
             setLogLevel(level);
         } else if (std::strcmp(arg, "--describe") == 0) {
@@ -185,43 +237,21 @@ parseArgs(int argc, char **argv)
             printUsage(std::cout);
             std::exit(0);
         } else {
-            printUsage(std::cerr);
-            ECOLO_FATAL("unknown option: ", arg);
+            usageError("unknown option: ", arg);
         }
     }
     return opts;
 }
 
-double
-defaultParamFor(const std::string &policy)
-{
-    if (policy == "random")
-        return 0.08;
-    if (policy == "myopic")
-        return 7.4;
-    if (policy == "foresighted")
-        return 14.0;
-    if (policy == "oneshot")
-        return 7.0;
-    return 0.0;
-}
-
+/** Shared factory; an unknown name is caller misuse, so exit 2. */
 std::unique_ptr<AttackPolicy>
 makePolicy(const std::string &name, double param,
            const SimulationConfig &config)
 {
-    if (name == "standby")
-        return std::make_unique<StandbyPolicy>();
-    if (name == "random")
-        return makeRandomPolicy(config, param);
-    if (name == "myopic")
-        return makeMyopicPolicy(config, Kilowatts(param));
-    if (name == "foresighted")
-        return makeForesightedPolicy(config, param);
-    if (name == "oneshot")
-        return makeOneShotPolicy(config, Kilowatts(param), 0);
-    ECOLO_FATAL("unknown policy '", name,
-                "' (expected standby|random|myopic|foresighted|oneshot)");
+    auto policy = tryMakePolicyByName(config, name, param);
+    if (!policy.ok())
+        usageError(policy.error().message);
+    return policy.take();
 }
 
 void
@@ -244,80 +274,6 @@ writeCsvRow(std::ostream &os, const MinuteRecord &r)
        << r.shedFraction << ',' << (r.estimateStale ? 1 : 0) << '\n';
 }
 
-/** Atomically persist one Simulation (config fingerprint + full state). */
-util::Result<void>
-saveSimCheckpoint(const std::string &path, const Simulation &sim,
-                  const std::string &policy_name)
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            return ECOLO_ERROR(util::ErrorCode::IoError,
-                               "cannot open checkpoint file for writing: ",
-                               tmp);
-        }
-        util::StateWriter writer(os);
-        writer.header();
-        writer.tag("CLI ");
-        writer.u64(sim.config().seed);
-        writer.u64(sim.config().numServers());
-        writer.str(policy_name);
-        sim.saveState(writer);
-        os.flush();
-        if (!writer.good() || !os) {
-            return ECOLO_ERROR(util::ErrorCode::IoError,
-                               "short write to checkpoint file: ", tmp);
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        return ECOLO_ERROR(util::ErrorCode::IoError,
-                           "cannot rename checkpoint into place: ", tmp,
-                           " -> ", path);
-    }
-    telemetry::emitEvent(sim.now(),
-                         telemetry::EventKind::CheckpointSaved,
-                         static_cast<double>(sim.now()), path);
-    return {};
-}
-
-/** Restore a checkpoint into a freshly constructed Simulation. */
-util::Result<void>
-loadSimCheckpoint(const std::string &path, Simulation &sim,
-                  const std::string &policy_name)
-{
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        return ECOLO_ERROR(util::ErrorCode::IoError,
-                           "cannot open checkpoint file: ", path);
-    }
-    util::StateReader reader(is);
-    reader.header();
-    reader.tag("CLI ");
-    const std::uint64_t seed = reader.u64();
-    const std::uint64_t servers = reader.u64();
-    const std::string policy = reader.str();
-    if (!reader.ok())
-        return reader.status().error();
-    if (seed != sim.config().seed ||
-        servers != sim.config().numServers() || policy != policy_name) {
-        return ECOLO_ERROR(util::ErrorCode::StateError,
-                           "checkpoint fingerprint mismatch for ", path,
-                           ": checkpoint (seed ", seed, ", ", servers,
-                           " servers, policy ", policy,
-                           ") vs run (seed ", sim.config().seed, ", ",
-                           sim.config().numServers(), " servers, policy ",
-                           policy_name, ")");
-    }
-    sim.loadState(reader);
-    if (reader.ok()) {
-        telemetry::emitEvent(sim.now(),
-                             telemetry::EventKind::CheckpointRestored,
-                             static_cast<double>(sim.now()), path);
-    }
-    return reader.status();
-}
-
 } // namespace
 
 int
@@ -338,8 +294,8 @@ main(int argc, char **argv)
     for (const std::string &override_str : opts.overrides) {
         const auto eq = override_str.find('=');
         if (eq == std::string::npos)
-            ECOLO_FATAL("--set expects KEY=VALUE, got '", override_str,
-                        "'");
+            usageError("--set expects KEY=VALUE, got '", override_str,
+                       "'");
         kv.set(override_str.substr(0, eq), override_str.substr(eq + 1));
     }
     applyScenario(kv, config);
@@ -378,7 +334,7 @@ main(int argc, char **argv)
     }
 
     const double param =
-        opts.paramSet ? opts.param : defaultParamFor(opts.policy);
+        opts.paramSet ? opts.param : defaultPolicyParam(opts.policy);
     auto sim = std::make_unique<Simulation>(
         config, makePolicy(opts.policy, param, config));
 
@@ -387,8 +343,8 @@ main(int argc, char **argv)
     // a cold start with a warning instead of killing the run.
     if (!opts.checkpointFile.empty() &&
         std::ifstream(opts.checkpointFile).good()) {
-        if (const auto loaded = loadSimCheckpoint(opts.checkpointFile,
-                                                  *sim, opts.policy);
+        if (const auto loaded = loadSimulationCheckpoint(
+                opts.checkpointFile, *sim, opts.policy);
             !loaded.ok()) {
             std::cerr << "edgetherm_cli: checkpoint restore failed ("
                       << loaded.error().describe()
@@ -425,7 +381,7 @@ main(int argc, char **argv)
             const MinuteIndex chunk = std::min<MinuteIndex>(
                 opts.checkpointEvery, total - sim->now());
             sim->run(chunk);
-            if (const auto saved = saveSimCheckpoint(
+            if (const auto saved = saveSimulationCheckpoint(
                     opts.checkpointFile, *sim, opts.policy);
                 !saved.ok()) {
                 std::cerr << "edgetherm_cli: checkpoint save failed ("

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * edgetherm_client: submit simulation runs to edgetherm-serve.
+ *
+ *   edgetherm_client --port 4590 --policy myopic --days 30 --out run.md
+ *   edgetherm_client --port 4590 --stats
+ *   edgetherm_client --port 4590 --shutdown
+ *
+ * Options:
+ *   --port N          server port (required)
+ *   --scenario FILE   key=value scenario file sent with the request
+ *   --set KEY=VALUE   append one scenario line (repeatable)
+ *   --policy NAME     standby | random | myopic | foresighted | oneshot
+ *   --param X         policy parameter (server default when omitted)
+ *   --days N          simulated days (default 30)
+ *   --priority P      interactive | batch (default interactive)
+ *   --client-id ID    fairness bucket (default "anon")
+ *   --out FILE        write the report here instead of stdout
+ *   --cancel-after-ms N  cancel the run N ms after it is accepted
+ *                     (exercises cooperative cancellation)
+ *   --connect-retries N  retry the initial connect (server startup races)
+ *   --stats           fetch the server's metrics JSON and exit
+ *   --shutdown        ask the server to drain and exit
+ *   --quiet           suppress progress chatter on stderr
+ *   --help            this text
+ *
+ * The report goes to stdout (or --out) and nothing else does, so
+ * `edgetherm_client ... > run.md` captures exactly the report bytes.
+ * Exit status: 0 completed; 1 transport/server failure; 2 usage error;
+ * 3 backpressured (RETRY_AFTER); 4 cancelled; 5 drained.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+
+namespace {
+
+using namespace ecolo;
+
+struct ClientCliOptions
+{
+    std::uint16_t port = 0;
+    bool portSet = false;
+    std::string scenarioFile;
+    std::vector<std::string> overrides;
+    serve::RequestSpec spec;
+    std::string outFile;
+    long cancelAfterMs = -1;
+    int connectRetries = 20;
+    bool stats = false;
+    bool shutdown = false;
+    bool quiet = false;
+};
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: edgetherm_client --port N [--scenario FILE] "
+          "[--set KEY=VALUE]...\n"
+          "                        [--policy NAME] [--param X] "
+          "[--days N]\n"
+          "                        [--priority interactive|batch]\n"
+          "                        [--client-id ID] [--out FILE]\n"
+          "                        [--cancel-after-ms N] "
+          "[--connect-retries N]\n"
+          "                        [--stats] [--shutdown] [--quiet] "
+          "[--help]\n";
+}
+
+template <typename... Args>
+[[noreturn]] void
+usageError(Args &&...args)
+{
+    printUsage(std::cerr);
+    std::cerr << "edgetherm_client: ";
+    (std::cerr << ... << std::forward<Args>(args));
+    std::cerr << "\n";
+    std::exit(2);
+}
+
+double
+parseDoubleArg(const char *flag, const char *text)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(text, &pos);
+        if (pos != std::strlen(text))
+            usageError("invalid number for ", flag, ": '", text, "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        usageError("invalid number for ", flag, ": '", text, "'");
+    } catch (const std::out_of_range &) {
+        usageError("out-of-range number for ", flag, ": '", text, "'");
+    }
+}
+
+long
+parseLongArg(const char *flag, const char *text)
+{
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(text, &pos);
+        if (pos != std::strlen(text))
+            usageError("invalid integer for ", flag, ": '", text, "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        usageError("invalid integer for ", flag, ": '", text, "'");
+    } catch (const std::out_of_range &) {
+        usageError("out-of-range integer for ", flag, ": '", text, "'");
+    }
+}
+
+ClientCliOptions
+parseArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string raw = argv[i];
+        const auto eq = raw.find('=');
+        if (raw.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(raw.substr(0, eq));
+            args.push_back(raw.substr(eq + 1));
+        } else {
+            args.push_back(raw);
+        }
+    }
+
+    ClientCliOptions opts;
+    double days = 30.0;
+    const std::size_t n = args.size();
+    auto need_value = [&](std::size_t &i,
+                          const std::string &flag) -> const char * {
+        if (i + 1 >= n)
+            usageError("missing value for ", flag);
+        return args[++i].c_str();
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        const char *arg = args[i].c_str();
+        if (std::strcmp(arg, "--port") == 0) {
+            const long port = parseLongArg(arg, need_value(i, arg));
+            if (port < 1 || port > 65535)
+                usageError("--port must be in [1, 65535], got ", port);
+            opts.port = static_cast<std::uint16_t>(port);
+            opts.portSet = true;
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            opts.scenarioFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--set") == 0) {
+            const std::string kv = need_value(i, arg);
+            if (kv.find('=') == std::string::npos)
+                usageError("--set expects KEY=VALUE, got '", kv, "'");
+            opts.overrides.push_back(kv);
+        } else if (std::strcmp(arg, "--policy") == 0) {
+            opts.spec.policy = need_value(i, arg);
+        } else if (std::strcmp(arg, "--param") == 0) {
+            opts.spec.param = parseDoubleArg(arg, need_value(i, arg));
+            opts.spec.paramSet = true;
+        } else if (std::strcmp(arg, "--days") == 0) {
+            days = parseDoubleArg(arg, need_value(i, arg));
+            if (days <= 0.0)
+                usageError("--days must be positive, got ", days);
+        } else if (std::strcmp(arg, "--priority") == 0) {
+            const std::string p = need_value(i, arg);
+            if (p == "interactive")
+                opts.spec.priority = serve::Priority::Interactive;
+            else if (p == "batch")
+                opts.spec.priority = serve::Priority::Batch;
+            else
+                usageError("unknown --priority '", p,
+                           "' (expected interactive|batch)");
+        } else if (std::strcmp(arg, "--client-id") == 0) {
+            opts.spec.clientId = need_value(i, arg);
+        } else if (std::strcmp(arg, "--out") == 0) {
+            opts.outFile = need_value(i, arg);
+        } else if (std::strcmp(arg, "--cancel-after-ms") == 0) {
+            opts.cancelAfterMs = parseLongArg(arg, need_value(i, arg));
+            if (opts.cancelAfterMs < 0)
+                usageError("--cancel-after-ms must be >= 0");
+        } else if (std::strcmp(arg, "--connect-retries") == 0) {
+            opts.connectRetries = static_cast<int>(
+                parseLongArg(arg, need_value(i, arg)));
+            if (opts.connectRetries < 0)
+                usageError("--connect-retries must be >= 0");
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            opts.stats = true;
+        } else if (std::strcmp(arg, "--shutdown") == 0) {
+            opts.shutdown = true;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            opts.quiet = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            printUsage(std::cout);
+            std::exit(0);
+        } else {
+            usageError("unknown option: ", arg);
+        }
+    }
+    if (!opts.portSet)
+        usageError("--port is required");
+    opts.spec.horizonMinutes =
+        static_cast<std::int64_t>(days * 24.0 * 60.0);
+    return opts;
+}
+
+/** The scenario text the server will parse: file content + overrides. */
+util::Result<std::string>
+buildScenarioText(const ClientCliOptions &opts)
+{
+    std::ostringstream text;
+    if (!opts.scenarioFile.empty()) {
+        std::ifstream is(opts.scenarioFile);
+        if (!is) {
+            return ECOLO_ERROR(util::ErrorCode::IoError,
+                               "cannot open scenario file: ",
+                               opts.scenarioFile);
+        }
+        text << is.rdbuf();
+        text << "\n";
+    }
+    for (const std::string &kv : opts.overrides)
+        text << kv << "\n";
+    return text.str();
+}
+
+/** Retry the first connect: in scripts the server may still be binding. */
+template <typename Fn>
+auto
+withConnectRetries(int retries, Fn &&fn) -> decltype(fn())
+{
+    for (int attempt = 0;; ++attempt) {
+        auto result = fn();
+        if (result.ok() || attempt >= retries)
+            return result;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ClientCliOptions opts = parseArgs(argc, argv);
+    serve::ServeClient client(opts.port);
+
+    if (opts.stats) {
+        auto stats = withConnectRetries(
+            opts.connectRetries, [&] { return client.stats(); });
+        if (!stats.ok()) {
+            std::cerr << "edgetherm_client: " << stats.error().describe()
+                      << "\n";
+            return 1;
+        }
+        std::cout << stats.value() << "\n";
+        return 0;
+    }
+    if (opts.shutdown) {
+        auto down = withConnectRetries(
+            opts.connectRetries, [&] { return client.shutdown(); });
+        if (!down.ok()) {
+            std::cerr << "edgetherm_client: " << down.error().describe()
+                      << "\n";
+            return 1;
+        }
+        if (!opts.quiet)
+            std::cerr << "server acknowledged shutdown\n";
+        return 0;
+    }
+
+    serve::RequestSpec spec = opts.spec;
+    if (auto scenario = buildScenarioText(opts); scenario.ok()) {
+        spec.scenarioText = scenario.take();
+    } else {
+        std::cerr << "edgetherm_client: " << scenario.error().describe()
+                  << "\n";
+        return 1;
+    }
+
+    // --cancel-after-ms: a second connection carries the CANCEL once
+    // ACCEPTED has told us our request id.
+    std::thread canceller;
+    auto on_accepted = [&](std::uint64_t request_id,
+                           const serve::AcceptedPayload &accepted) {
+        if (!opts.quiet) {
+            std::cerr << "request " << request_id
+                      << (accepted.cacheHit
+                              ? " answered from cache"
+                              : " accepted (" +
+                                    std::to_string(accepted.queueDepth) +
+                                    " ahead)")
+                      << "\n";
+        }
+        if (opts.cancelAfterMs >= 0 && !accepted.cacheHit) {
+            const long delay = opts.cancelAfterMs;
+            canceller = std::thread([&client, request_id, delay] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+                (void)client.cancel(request_id);
+            });
+        }
+    };
+    auto on_status = [&](const serve::StatusPayload &status) {
+        if (!opts.quiet) {
+            std::cerr << "progress: " << status.minutesDone << "/"
+                      << status.horizonMinutes << " minutes\n";
+        }
+    };
+
+    auto outcome = withConnectRetries(opts.connectRetries, [&] {
+        return client.submit(spec, on_accepted, on_status);
+    });
+    if (canceller.joinable())
+        canceller.join();
+    if (!outcome.ok()) {
+        std::cerr << "edgetherm_client: " << outcome.error().describe()
+                  << "\n";
+        return 1;
+    }
+
+    const serve::SubmitOutcome &result = outcome.value();
+    switch (result.status) {
+    case serve::OutcomeStatus::Completed: {
+        if (opts.outFile.empty()) {
+            std::cout << result.report;
+        } else {
+            std::ofstream os(opts.outFile, std::ios::trunc);
+            if (!os) {
+                std::cerr << "edgetherm_client: cannot open output file: "
+                          << opts.outFile << "\n";
+                return 1;
+            }
+            os << result.report;
+            if (!os) {
+                std::cerr << "edgetherm_client: short write to "
+                          << opts.outFile << "\n";
+                return 1;
+            }
+        }
+        if (!opts.quiet)
+            std::cerr << "completed"
+                      << (result.cacheHit ? " (cache hit)" : "") << "\n";
+        return 0;
+    }
+    case serve::OutcomeStatus::Cancelled:
+        if (!opts.quiet)
+            std::cerr << "cancelled after " << result.minutesDone
+                      << " simulated minutes\n";
+        return 4;
+    case serve::OutcomeStatus::Drained:
+        if (!opts.quiet) {
+            std::cerr << "drained after " << result.minutesDone
+                      << " simulated minutes";
+            if (!result.checkpointPath.empty())
+                std::cerr << "; checkpoint at " << result.checkpointPath;
+            std::cerr << "\n";
+        }
+        return 5;
+    case serve::OutcomeStatus::RetryLater:
+        if (!opts.quiet)
+            std::cerr << "server busy; retry after "
+                      << result.retryAfterMs << " ms\n";
+        return 3;
+    case serve::OutcomeStatus::Error:
+        std::cerr << "edgetherm_client: server rejected the request: "
+                  << result.errorMessage << "\n";
+        return 1;
+    }
+    return 1;
+}
