@@ -145,6 +145,83 @@ BM_ThermalRisesLowRank(benchmark::State &state)
 }
 BENCHMARK(BM_ThermalRisesLowRank)->Arg(40)->Arg(80);
 
+// ---- Year-long slot loop: the acceptance metric of the streaming ----
+// ---- kernel (push + computeAllRises per slot, N=40, H=10).        ----
+
+/**
+ * The engine's per-slot usage pattern over a deterministic "year": each
+ * benchmark iteration replays one day (1440 slots) of a pseudo-random
+ * schedule, so a normal run covers hundreds of simulated days and the
+ * counters yield a stable ns/slot. The `slots_per_iter` counter is what
+ * writePerfJson divides real_time_ns by to derive the `ns_per_slot`
+ * metric that tools/bench_compare.py gates regressions on.
+ */
+void
+benchYearSlotLoop(benchmark::State &state, KernelMode mode)
+{
+    constexpr std::size_t kSlotsPerDay = 1440;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t horizon = 10;
+    MatrixThermalModel model(
+        HeatDistributionMatrix::analyticDefault(
+            layoutWithServers(n), HeatDistributionMatrix::AnalyticParams(),
+            horizon),
+        mode);
+
+    // One precomputed day of mostly-idle-with-bursts power vectors.
+    std::vector<std::vector<Kilowatts>> day(
+        kSlotsPerDay, std::vector<Kilowatts>(n));
+    std::uint64_t lcg = 0x853c49e6748fea9bULL;
+    for (auto &powers : day) {
+        for (auto &p : powers) {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            const double u = static_cast<double>(lcg >> 11) * 0x1.0p-53;
+            p = Kilowatts(u > 0.9 ? 0.45 + 0.3 * u : 0.05 + 0.25 * u);
+        }
+    }
+
+    std::vector<double> rises;
+    for (auto _ : state) {
+        for (const auto &powers : day) {
+            model.pushPowers(powers);
+            model.computeAllRises(rises);
+            benchmark::DoNotOptimize(rises.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kSlotsPerDay));
+    state.counters["slots_per_iter"] =
+        static_cast<double>(kSlotsPerDay);
+    state.SetLabel(std::string("kernel=") +
+                   kernelModeName(model.activeKernel()) +
+                   " rank=" + std::to_string(model.factorizationRank()));
+}
+
+void
+BM_YearSlotLoopDense(benchmark::State &state)
+{
+    benchYearSlotLoop(state, KernelMode::Dense);
+}
+BENCHMARK(BM_YearSlotLoopDense)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void
+BM_YearSlotLoopFactorized(benchmark::State &state)
+{
+    benchYearSlotLoop(state, KernelMode::Factorized);
+}
+BENCHMARK(BM_YearSlotLoopFactorized)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_YearSlotLoopStreaming(benchmark::State &state)
+{
+    benchYearSlotLoop(state, KernelMode::Streaming);
+}
+BENCHMARK(BM_YearSlotLoopStreaming)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
 // ---- End-to-end campaign: dense vs. factorized engine hot path. ----
 
 void
@@ -161,6 +238,7 @@ benchCampaign(benchmark::State &state, ThermalComputeMode mode)
     }
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(days * 24 * 60));
+    state.counters["slots_per_iter"] = days * 24 * 60;
 }
 
 void
@@ -173,9 +251,16 @@ BENCHMARK(BM_CampaignDense)->Unit(benchmark::kMillisecond);
 void
 BM_CampaignFactorized(benchmark::State &state)
 {
-    benchCampaign(state, ThermalComputeMode::Auto);
+    benchCampaign(state, ThermalComputeMode::Factorized);
 }
 BENCHMARK(BM_CampaignFactorized)->Unit(benchmark::kMillisecond);
+
+void
+BM_CampaignStreaming(benchmark::State &state)
+{
+    benchCampaign(state, ThermalComputeMode::Streaming);
+}
+BENCHMARK(BM_CampaignStreaming)->Unit(benchmark::kMillisecond);
 
 // ---- Serial vs. parallel fleet simulation. ----
 
@@ -283,6 +368,15 @@ class PerfJsonReporter : public benchmark::ConsoleReporter
             for (const auto &[counter_name, counter] : run.counters) {
                 collected.counters.emplace_back(
                     counter_name, static_cast<double>(counter));
+            }
+            // Hardware-comparable per-slot cost for slot-loop benches:
+            // tools/bench_compare.py gates regressions on this counter.
+            for (const auto &[counter_name, value] : collected.counters) {
+                if (counter_name == "slots_per_iter" && value > 0.0) {
+                    collected.counters.emplace_back(
+                        "ns_per_slot", collected.realTimeNs / value);
+                    break;
+                }
             }
             runs_.push_back(std::move(collected));
         }

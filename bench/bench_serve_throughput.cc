@@ -97,7 +97,8 @@ BM_CacheKeyFingerprint(benchmark::State &state)
 {
     const KeyValueConfig scenario = sampleScenario();
     for (auto _ : state) {
-        const CacheKey key = makeCacheKey(scenario, "myopic", 7.4, 1440);
+        const CacheKey key = makeCacheKey(scenario, "myopic", 7.4, 1440,
+                                          thermal::KernelMode::Auto);
         benchmark::DoNotOptimize(key.hash);
     }
     state.SetItemsProcessed(state.iterations());

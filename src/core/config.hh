@@ -67,13 +67,22 @@ struct SimulationConfig
     thermal::HeatDistributionMatrix::AnalyticParams matrixParams{};
     std::size_t matrixHorizonMinutes = 10;
     /**
-     * Rise-computation kernel. Auto factorizes the heat matrix when that
-     * is faster and within tolerance (the analytic matrix is exactly
-     * separable, so campaigns normally run factorized); Dense forces the
-     * exact reference convolution.
+     * Rise-computation kernel. Auto picks the streaming recurrence when
+     * the exponential-mode fit is within factorization.streamingTolerance
+     * (the analytic matrix fits exactly, so campaigns normally stream),
+     * the factorized walk when only the low-rank truncation holds, and
+     * the dense reference convolution otherwise. Dense / Factorized /
+     * Streaming force a specific kernel (Streaming falls back to
+     * Factorized, with a warning, when the fit misses tolerance).
+     * Scenario key: thermal.kernel = auto|dense|factorized|streaming.
      */
-    thermal::ThermalComputeMode thermalMode =
-        thermal::ThermalComputeMode::Auto;
+    thermal::KernelMode thermalMode = thermal::KernelMode::Auto;
+    /**
+     * Truncation tolerance / rank cap for the factorized kernel and the
+     * fit-residual admission knob for the streaming kernel
+     * (thermal.streamingTolerance).
+     */
+    thermal::FactorizationOptions factorization{};
 
     // ---- Operator / emergency protocol ----
     Celsius emergencyThreshold{32.0};

@@ -56,7 +56,8 @@ Simulation::Simulation(SimulationConfig config,
       thermal_(thermal::HeatDistributionMatrix::analyticDefault(
                    layout_, config_.matrixParams,
                    config_.matrixHorizonMinutes),
-               config_.cooling, 15.0, config_.thermalMode),
+               config_.cooling, 15.0, config_.thermalMode,
+               config_.factorization),
       channel_(config_.sideChannel, Rng(config_.seed ^ 0x5e1dc4a2ULL)),
       latency_(config_.latency),
       pdu_(config_.capacity),
@@ -155,13 +156,16 @@ Simulation::makeObservation(bool capping, bool outage)
         // The attacker estimates the benign aggregate via the voltage side
         // channel (it knows and subtracts its own draw), then reasons in
         // terms of "benign load + my subscription" as in the paper. The
-        // channel averages the per-minute ripple samples internally.
+        // channel averages the per-minute ripple samples into the
+        // engine-owned scratch (sized once; the slot loop allocates
+        // nothing afterwards).
         const Kilowatts benign_actual = benignActualPower();
         Kilowatts estimate(0.0);
         {
             telemetry::TraceSpan span("engine.sidechannel");
             estimate = channel_.estimateAveraged(
-                benign_actual, config_.sideChannel.samplesPerEstimate);
+                benign_actual, config_.sideChannel.samplesPerEstimate,
+                sampleScratch_);
         }
         if (std::isnan(estimate.value())) {
             // Sensor fault (dropout / corrupted samples): hold the last

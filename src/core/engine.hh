@@ -143,6 +143,9 @@ class Simulation
 
     std::vector<Kilowatts> lastHeat_;
     std::vector<Kilowatts> lastMetered_;
+    /** Side-channel per-sample scratch arena: sized on the first minute,
+     * reused every minute after (no per-slot heap traffic). */
+    std::vector<double> sampleScratch_;
 
     SimulationMetrics metrics_;
     MinuteCallback callback_;

@@ -46,15 +46,18 @@ FleetSimulation::run(MinuteIndex minutes)
     // pre-forked RNG streams), so they advance in parallel, each recording
     // its per-minute outage flags into its own pre-sized slot. The serial
     // aggregation below then walks minutes in order, making the result
-    // bit-identical to the old site-per-minute interleaving.
-    std::vector<std::vector<unsigned char>> down_at(
-        num_sites, std::vector<unsigned char>(span, 0));
+    // bit-identical to the old site-per-minute interleaving. The scratch
+    // rows persist across calls; assign() only reallocates when a call
+    // spans more minutes than any before it.
+    downScratch_.resize(num_sites);
+    for (auto &row : downScratch_)
+        row.assign(span, 0);
     util::parallelFor(0, num_sites, [&](std::size_t s) {
         telemetry::TraceSpan site_span(
             telemetry::enabled() ? "fleet.site[" + std::to_string(s) + "]"
                                  : std::string());
         Simulation &site = *sites_[s];
-        std::vector<unsigned char> &down = down_at[s];
+        std::vector<unsigned char> &down = downScratch_[s];
         for (std::size_t m = 0; m < span; ++m) {
             site.run(1);
             down[m] =
@@ -66,7 +69,7 @@ FleetSimulation::run(MinuteIndex minutes)
         ++now_;
         std::size_t down = 0;
         for (std::size_t s = 0; s < num_sites; ++s) {
-            downNow_[s] = down_at[s][m] != 0;
+            downNow_[s] = downScratch_[s][m] != 0;
             if (downNow_[s]) {
                 ++down;
                 ++result_.siteOutageMinutes[s];

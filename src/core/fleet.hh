@@ -114,6 +114,13 @@ class FleetSimulation
     MinuteIndex strikeMinute_;
     MinuteIndex now_ = 0;
     FleetResult result_;
+    /**
+     * Per-site outage-flag scratch reused across run() calls (rows keep
+     * their capacity), so the steady-state campaign loop -- e.g. a
+     * checkpointing driver calling run() in small chunks -- allocates
+     * nothing per chunk once warm.
+     */
+    std::vector<std::vector<unsigned char>> downScratch_;
 };
 
 } // namespace ecolo::core

@@ -129,6 +129,19 @@ tryApplyScenario(const KeyValueConfig &kv, SimulationConfig &config,
     ECOLO_TRY_VOID(dbl("rl.rewardMargin",
                        config.foresightedRewardMargin));
 
+    if (const auto v = kv.getString("thermal.kernel")) {
+        thermal::KernelMode mode;
+        if (!thermal::parseKernelMode(*v, mode)) {
+            return ECOLO_ERROR(
+                util::ErrorCode::ParseError, kv.locate("thermal.kernel"),
+                ": unknown thermal.kernel '", *v,
+                "' (expected auto|dense|factorized|streaming)");
+        }
+        config.thermalMode = mode;
+    }
+    ECOLO_TRY_VOID(dbl("thermal.streamingTolerance",
+                       config.factorization.streamingTolerance));
+
     ECOLO_TRY_VOID(dbl("trace.baseUtilization",
                        config.diurnalParams.baseUtilization));
     ECOLO_TRY_VOID(dbl("trace.diurnalAmplitude",
@@ -225,6 +238,8 @@ describeConfig(std::ostream &os, const SimulationConfig &config)
                  : config.traceKind == TraceKind::GoogleStyle
                      ? "google-style"
                      : "request-level");
+    table.addRow("thermal kernel",
+                 thermal::kernelModeName(config.thermalMode));
     table.addRow("seed", config.seed);
     table.print(os);
 }

@@ -22,8 +22,12 @@ namespace ecolo::core {
  * Monotonically increasing engine/schema version. History:
  *  - 1: PR 2 checkpoint layer (implicit; checkpoints carried no version)
  *  - 2: PR 4 serving stack; version stamped into fingerprints/cache keys
+ *  - 3: PR 5 streaming thermal kernel: Auto now resolves to the
+ *       recurrent kernel (fp-level trajectory shift) and the thermal
+ *       checkpoint section gained the kernel mode + mode accumulators
+ *       (THIS -> THS2)
  */
-inline constexpr std::uint32_t kEngineSchemaVersion = 2;
+inline constexpr std::uint32_t kEngineSchemaVersion = 3;
 
 } // namespace ecolo::core
 

@@ -18,6 +18,7 @@ fnv1a64(const std::string &bytes, std::uint64_t seed)
 CacheKey
 makeCacheKey(const KeyValueConfig &scenario, const std::string &policy,
              double param, std::int64_t horizon_minutes,
+             thermal::KernelMode kernel_mode,
              std::uint32_t schema_version)
 {
     // Canonical request byte string. Fields are separated by '\x1f'
@@ -32,6 +33,9 @@ makeCacheKey(const KeyValueConfig &scenario, const std::string &policy,
     std::memcpy(&param_bits, &param, sizeof(param_bits));
     canon += "param=" + std::to_string(param_bits) + "\x1f";
     canon += "horizon=" + std::to_string(horizon_minutes) + "\x1f";
+    canon += "kernel=";
+    canon += thermal::kernelModeName(kernel_mode);
+    canon += '\x1f';
     for (const auto &[key, value] : scenario.entries()) {
         canon += key;
         canon += '=';

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "core/version.hh"
+#include "thermal/heat_matrix.hh"
 #include "util/keyvalue.hh"
 
 namespace ecolo::serve {
@@ -50,12 +51,17 @@ struct CacheKey
 
 /**
  * Build the content-addressed key. @param scenario is the parsed
- * request scenario; @param schema_version defaults to the build's
- * engine version and is overridable for regression tests.
+ * request scenario; @param kernel_mode is the thermal kernel the run
+ * resolves to from the applied config (a mode switch changes the
+ * fp-level trajectory, so it is part of the content address even when
+ * the scenario text omits thermal.kernel); @param schema_version
+ * defaults to the build's engine version and is overridable for
+ * regression tests.
  */
 CacheKey makeCacheKey(const KeyValueConfig &scenario,
                       const std::string &policy, double param,
                       std::int64_t horizon_minutes,
+                      thermal::KernelMode kernel_mode,
                       std::uint32_t schema_version =
                           core::kEngineSchemaVersion);
 

@@ -271,10 +271,13 @@ Server::handleSubmit(std::shared_ptr<util::TcpConnection> conn,
 
     // Content address: the canonical scenario (sorted key=value pairs,
     // comments and ordering already gone) + policy + param + horizon +
-    // engine schema version.
+    // the thermal kernel the applied config resolves to + engine schema
+    // version. The kernel is hashed explicitly so a mode switch (even
+    // via a changed server default, with no thermal.kernel in the
+    // scenario text) can never serve a stale cross-kernel result.
     const CacheKey key =
         makeCacheKey(kv.value(), request.policy, request.param,
-                     request.horizonMinutes);
+                     request.horizonMinutes, config.thermalMode);
     const std::uint64_t id =
         nextRequestId_.fetch_add(1, std::memory_order_relaxed);
 

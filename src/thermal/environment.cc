@@ -9,9 +9,10 @@ namespace ecolo::thermal {
 ThermalEnvironment::ThermalEnvironment(HeatDistributionMatrix matrix,
                                        CoolingParams cooling,
                                        double server_airflow_w_per_k,
-                                       ThermalComputeMode mode)
-    : matrixModel_(std::move(matrix), mode), cooling_(cooling),
-      serverAirflowWPerK_(server_airflow_w_per_k)
+                                       KernelMode mode,
+                                       FactorizationOptions factorization)
+    : matrixModel_(std::move(matrix), mode, factorization),
+      cooling_(cooling), serverAirflowWPerK_(server_airflow_w_per_k)
 {
     ECOLO_ASSERT(serverAirflowWPerK_ > 0.0,
                  "server airflow must be positive");

@@ -32,12 +32,15 @@ class ThermalEnvironment
      *        watts of heat per kelvin of inlet->outlet temperature rise
      *        (m_dot * c_p). The default (15 W/K) gives the paper's
      *        "outlet typically 10+ C above inlet" at ~150 W per server.
-     * @param mode rise-computation kernel (Auto: factorize when faster
-     *        and within tolerance; Dense: exact reference convolution)
+     * @param mode rise-computation kernel (Auto picks streaming /
+     *        factorized / dense by accuracy and cost; see KernelMode)
+     * @param factorization truncation + streaming-fit tolerances
      */
     ThermalEnvironment(HeatDistributionMatrix matrix, CoolingParams cooling,
                        double server_airflow_w_per_k = 15.0,
-                       ThermalComputeMode mode = ThermalComputeMode::Auto);
+                       KernelMode mode = KernelMode::Auto,
+                       FactorizationOptions factorization =
+                           FactorizationOptions());
 
     std::size_t numServers() const { return matrixModel_.numServers(); }
 

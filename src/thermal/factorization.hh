@@ -17,6 +17,18 @@
  * SVD of that unfolding. MatrixThermalModel uses the factors to turn the
  * O(N^2 H) per-minute convolution into R temporally-smoothed power states
  * (O(N H) each) followed by R N x N GEMVs -- O(R (N H + N^2)) total.
+ *
+ * On top of the factors this module also fits each temporal factor with a
+ * short sum of exponential modes, V_r[tau] ~= sum_m w_m * lambda_m^tau
+ * (Prony's method). A factor that admits such a fit turns the smoothed
+ * power state into a *streaming recurrence* -- each mode accumulator
+ * updates as a <- lambda * a + p, with an exact window-tail correction --
+ * so MatrixThermalModel::pushPowers advances the thermal state in O(N)
+ * per mode with no history traversal at all (KernelMode::Streaming). The
+ * analytic default kernel, increments of 1 - exp(-t/T), is *exactly* one
+ * exponential mode with lambda = exp(-1/T), so the fit is machine-exact
+ * there; CFD-extracted factors fall back to the factorized walk whenever
+ * the combined fit residual exceeds FactorizationOptions::streamingTolerance.
  */
 
 #ifndef ECOLO_THERMAL_FACTORIZATION_HH
@@ -40,7 +52,46 @@ struct FactorizationOptions
     double relTolerance = 1e-6;
     /** Largest admissible rank; 0 means the full horizon (exact). */
     std::size_t maxRank = 0;
+    /**
+     * Admission bound for the streaming kernel: the relative error the
+     * exponential-mode fits add on top of the factorized reconstruction
+     * must stay below this for KernelMode::Streaming (or Auto's streaming
+     * preference) to engage. The analytic kernel fits at ~1e-16; CFD
+     * tensors that fit worse silently use the factorized walk instead.
+     * Scenario key: thermal.streamingTolerance.
+     */
+    double streamingTolerance = 1e-9;
+    /** Most exponential modes tried per temporal factor (Prony order). */
+    std::size_t maxModesPerFactor = 3;
 };
+
+/** One term of an exponential-sum fit: weight * decay^tau. */
+struct ExponentialMode
+{
+    double weight = 0.0;
+    double decay = 0.0; //!< |decay| <= 1 so the recurrence is stable
+};
+
+/** Exponential-sum fit of one temporal factor. */
+struct ExponentialFit
+{
+    std::vector<ExponentialMode> modes;
+    /** Relative L2 misfit ||v - fit|| / ||v||; 1.0 when nothing fit. */
+    double relError = 1.0;
+};
+
+/**
+ * Fit `values` (length >= 1) with at most max_modes exponential terms via
+ * Prony's method: linear-prediction least squares for the characteristic
+ * polynomial, closed-form real roots (order <= 3), then a Vandermonde
+ * least-squares solve for the weights. Stops at the first order whose
+ * relative misfit is <= rel_tolerance; otherwise returns the best order
+ * tried. Complex, unstable (|lambda| > 1), or near-duplicate roots reject
+ * that order. An all-zero input fits exactly with zero modes.
+ */
+ExponentialFit fitExponentialModes(const std::vector<double> &values,
+                                   std::size_t max_modes,
+                                   double rel_tolerance);
 
 /** The computed factors, ordered by decreasing singular value. */
 class TemporalFactorization
@@ -71,12 +122,27 @@ class TemporalFactorization
     const std::vector<double> &temporal(std::size_t r) const
     { return temporal_.at(r); }
 
+    /** Exponential-mode fit of temporal factor r (for streaming). */
+    const ExponentialFit &temporalFit(std::size_t r) const
+    { return fits_.at(r); }
+
+    /**
+     * Relative Frobenius error the exponential-mode fits add on top of
+     * the factorized reconstruction: the per-factor misfits weighted by
+     * their singular values. This is the number the streaming kernel's
+     * admission is gated on; the end-to-end error against the dense
+     * tensor is bounded by relError() + streamingRelError().
+     */
+    double streamingRelError() const { return streamingRelError_; }
+
   private:
     std::size_t numServers_ = 0;
     std::size_t horizon_ = 0;
     double relError_ = 0.0;
+    double streamingRelError_ = 0.0;
     std::vector<std::vector<double>> spatial_;
     std::vector<std::vector<double>> temporal_;
+    std::vector<ExponentialFit> fits_;
 };
 
 } // namespace ecolo::thermal

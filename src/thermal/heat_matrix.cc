@@ -18,7 +18,149 @@ namespace {
  */
 constexpr double kFactorizedCostAdvantage = 0.75;
 
+/** Stable ids for the checkpoint section (never reorder). */
+constexpr std::uint32_t
+kernelModeId(KernelMode mode)
+{
+    switch (mode) {
+      case KernelMode::Auto:
+        return 0;
+      case KernelMode::Dense:
+        return 1;
+      case KernelMode::Factorized:
+        return 2;
+      case KernelMode::Streaming:
+        return 3;
+    }
+    return 1;
+}
+
+/**
+ * The streaming kernel's only O(N^2) step: rises[i] += sum_j s[j] *
+ * ut[j * n + i] with the spatial factor stored transposed, so the inner
+ * loop is independent contiguous adds (vectorizable under strict FP;
+ * the row-wise reduction form is not). Function multi-versioning compiles
+ * wider-vector clones next to the baseline-ISA default and dispatches
+ * once at load time: the binary stays portable while the hot loop uses
+ * the machine's full vector width. Contraction into FMA changes only
+ * sub-1e-9 rounding; runs on one machine stay bit-deterministic.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+
+/** 8-wide double vector; on ISAs narrower than 512 bits the compiler
+ * lowers each op to several native-width ops, lane math unchanged. */
+typedef double Vec8 __attribute__((vector_size(64)));
+
+// The helpers always inline into the clones below, so the by-value
+// vector ABI the -Wpsabi warning is about never crosses a real call.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+__attribute__((always_inline)) inline Vec8
+loadVec8(const double *p)
+{
+    Vec8 v;
+    __builtin_memcpy(&v, p, sizeof(v)); // unaligned vector load
+    return v;
+}
+
+__attribute__((always_inline)) inline void
+storeVec8(double *p, Vec8 v)
+{
+    __builtin_memcpy(p, &v, sizeof(v));
+}
+
+#if defined(__x86_64__) && !defined(__clang__)
+__attribute__((target_clones("avx512f", "avx2,fma", "default")))
+#endif
+void
+accumulateColumnAxpy(const double *ut, const double *s, double *rises,
+                     std::size_t n)
+{
+    // Register blocking: an 8-row block of the output accumulates in
+    // four explicit vector registers for the whole column sweep, so
+    // rises[] is touched once per block instead of once per column
+    // group, and the four independent chains hide FMA latency. The
+    // explicit vector type pins the lowering -- GCC's auto-vectorizer
+    // scalarizes the equivalent array form. Per-lane math and the final
+    // chain association are fixed, so results do not depend on n or on
+    // which clone the resolver picks being re-lowered differently.
+    constexpr std::size_t kBlock = 8;
+    std::size_t i0 = 0;
+    for (; i0 + kBlock <= n; i0 += kBlock) {
+        Vec8 acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {};
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const double *c0 = &ut[j * n + i0];
+            const double *c1 = c0 + n;
+            const double *c2 = c1 + n;
+            const double *c3 = c2 + n;
+            acc0 += s[j] * loadVec8(c0);
+            acc1 += s[j + 1] * loadVec8(c1);
+            acc2 += s[j + 2] * loadVec8(c2);
+            acc3 += s[j + 3] * loadVec8(c3);
+        }
+        for (; j < n; ++j)
+            acc0 += s[j] * loadVec8(&ut[j * n + i0]);
+        const Vec8 sum = (acc0 + acc1) + (acc2 + acc3);
+        storeVec8(&rises[i0], loadVec8(&rises[i0]) + sum);
+    }
+    for (; i0 < n; ++i0) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += s[j] * ut[j * n + i0];
+        rises[i0] += acc;
+    }
+}
+
+#pragma GCC diagnostic pop
+
+#else // !(__GNUC__ || __clang__): portable column-AXPY fallback
+
+void
+accumulateColumnAxpy(const double *ut, const double *s, double *rises,
+                     std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        const double sj = s[j];
+        const double *col = &ut[j * n];
+        for (std::size_t i = 0; i < n; ++i)
+            rises[i] += sj * col[i];
+    }
+}
+
+#endif
+
 } // namespace
+
+const char *
+kernelModeName(KernelMode mode)
+{
+    switch (mode) {
+      case KernelMode::Auto:
+        return "auto";
+      case KernelMode::Dense:
+        return "dense";
+      case KernelMode::Factorized:
+        return "factorized";
+      case KernelMode::Streaming:
+        return "streaming";
+    }
+    return "dense";
+}
+
+bool
+parseKernelMode(std::string_view text, KernelMode &out)
+{
+    for (KernelMode mode : {KernelMode::Auto, KernelMode::Dense,
+                            KernelMode::Factorized, KernelMode::Streaming}) {
+        if (text == kernelModeName(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
 
 HeatDistributionMatrix::HeatDistributionMatrix(std::size_t num_servers,
                                                std::size_t horizon_minutes)
@@ -190,50 +332,146 @@ HeatDistributionMatrix::extractFromCfd(
 }
 
 MatrixThermalModel::MatrixThermalModel(HeatDistributionMatrix matrix,
-                                       ThermalComputeMode mode,
+                                       KernelMode mode,
                                        FactorizationOptions factorization)
-    : matrix_(std::move(matrix)),
-      history_(matrix_.horizon(),
-               std::vector<double>(matrix_.numServers(), 0.0))
+    : matrix_(std::move(matrix)), requested_(mode),
+      history_(matrix_.horizon() * matrix_.numServers(), 0.0)
 {
-    if (mode == ThermalComputeMode::Auto) {
-        const double n = static_cast<double>(matrix_.numServers());
-        const double h = static_cast<double>(matrix_.horizon());
-        TemporalFactorization factors =
-            TemporalFactorization::compute(matrix_, factorization);
-        const double factorized_cost =
-            static_cast<double>(factors.rank()) * (n * h + n * n);
-        const double dense_cost = n * n * h;
-        if (factors.relError() <= factorization.relTolerance &&
-            factorized_cost <= kFactorizedCostAdvantage * dense_cost) {
+    if (mode == KernelMode::Dense) {
+        active_ = KernelMode::Dense;
+        return;
+    }
+
+    const double n = static_cast<double>(matrix_.numServers());
+    const double h = static_cast<double>(matrix_.horizon());
+    TemporalFactorization factors =
+        TemporalFactorization::compute(matrix_, factorization);
+    const double factorized_cost =
+        static_cast<double>(factors.rank()) * (n * h + n * n);
+    const double dense_cost = n * n * h;
+    const bool factorized_worthwhile =
+        factors.relError() <= factorization.relTolerance &&
+        factorized_cost <= kFactorizedCostAdvantage * dense_cost;
+    const bool streaming_fits =
+        factors.streamingRelError() <= factorization.streamingTolerance;
+
+    switch (mode) {
+      case KernelMode::Factorized:
+        // Forced: exact at full rank by construction, so always honored.
+        factors_ = std::move(factors);
+        active_ = KernelMode::Factorized;
+        break;
+      case KernelMode::Streaming:
+        factors_ = std::move(factors);
+        if (streaming_fits) {
+            active_ = KernelMode::Streaming;
+        } else {
+            ECOLO_WARN_ONCE(
+                "streaming kernel requested but the exponential fit "
+                "misses tolerance (", factors_.streamingRelError(), " > ",
+                factorization.streamingTolerance,
+                "); falling back to the factorized walk");
+            active_ = KernelMode::Factorized;
+        }
+        break;
+      case KernelMode::Auto:
+      default:
+        if (factorized_worthwhile) {
             factors_ = std::move(factors);
-            factorizedActive_ = true;
+            active_ = streaming_fits ? KernelMode::Streaming
+                                     : KernelMode::Factorized;
+        } else {
+            active_ = KernelMode::Dense;
+        }
+        break;
+    }
+    if (active_ == KernelMode::Streaming)
+        initStreamingState();
+}
+
+void
+MatrixThermalModel::initStreamingState()
+{
+    const std::size_t n = matrix_.numServers();
+    const std::size_t rank = factors_.rank();
+    const double horizon = static_cast<double>(matrix_.horizon());
+
+    rankModeBegin_.assign(rank + 1, 0);
+    for (std::size_t r = 0; r < rank; ++r) {
+        rankModeBegin_[r + 1] =
+            rankModeBegin_[r] + factors_.temporalFit(r).modes.size();
+    }
+    const std::size_t total_modes = rankModeBegin_[rank];
+    modeDecay_.resize(total_modes);
+    modeTail_.resize(total_modes);
+    modeWeight_.resize(total_modes);
+    for (std::size_t r = 0; r < rank; ++r) {
+        const auto &modes = factors_.temporalFit(r).modes;
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            const std::size_t q = rankModeBegin_[r] + m;
+            modeDecay_[q] = modes[m].decay;
+            modeTail_[q] = std::pow(modes[m].decay, horizon);
+            modeWeight_[q] = modes[m].weight;
         }
     }
+    modeAccum_.assign(total_modes * n, 0.0);
+    spatialT_.assign(rank * n * n, 0.0);
+    for (std::size_t r = 0; r < rank; ++r) {
+        const double *u = factors_.spatial(r).data();
+        double *ut = &spatialT_[r * n * n];
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                ut[j * n + i] = u[i * n + j];
+    }
+    streamRises_.assign(n, 0.0);
+    pushScratch_.assign(n, 0.0);
+    streamSum_.assign(n, 0.0);
 }
 
 void
 MatrixThermalModel::pushPowers(const std::vector<Kilowatts> &powers)
 {
-    ECOLO_ASSERT(powers.size() == matrix_.numServers(),
-                 "power vector size mismatch");
-    auto &slot = history_[head_];
-    for (std::size_t j = 0; j < powers.size(); ++j)
-        slot[j] = powers[j].value();
-    head_ = (head_ + 1) % history_.size();
-    filled_ = std::min(filled_ + 1, history_.size());
+    const std::size_t n = matrix_.numServers();
+    const std::size_t horizon = matrix_.horizon();
+    ECOLO_ASSERT(powers.size() == n, "power vector size mismatch");
+    double *slot = &history_[head_ * n];
+    if (active_ == KernelMode::Streaming) {
+        double *pnew = pushScratch_.data();
+        for (std::size_t j = 0; j < n; ++j)
+            pnew[j] = powers[j].value();
+        // `slot` still holds P(t - H) -- exactly the sample leaving the
+        // window (zeros while warming up, so the correction is a no-op
+        // then): a_q <- lambda_q a_q + P(t) - lambda_q^H P(t - H).
+        const std::size_t total_modes = modeDecay_.size();
+        for (std::size_t q = 0; q < total_modes; ++q) {
+            const double lambda = modeDecay_[q];
+            const double tail = modeTail_[q];
+            double *a = &modeAccum_[q * n];
+            for (std::size_t j = 0; j < n; ++j)
+                a[j] = lambda * a[j] + pnew[j] - tail * slot[j];
+        }
+        std::copy(pnew, pnew + n, slot);
+    } else {
+        for (std::size_t j = 0; j < n; ++j)
+            slot[j] = powers[j].value();
+    }
+    head_ = (head_ + 1) % horizon;
+    filled_ = std::min(filled_ + 1, horizon);
+    if (active_ == KernelMode::Streaming)
+        updateStreamingRises();
 }
 
 CelsiusDelta
 MatrixThermalModel::inletRise(std::size_t i) const
 {
-    const std::size_t horizon = history_.size();
+    const std::size_t n = matrix_.numServers();
+    const std::size_t horizon = matrix_.horizon();
     double rise = 0.0;
     for (std::size_t tau = 0; tau < filled_; ++tau) {
         // tau = 0 is the most recently pushed vector.
         const std::size_t pos = (head_ + horizon - 1 - tau) % horizon;
-        const auto &powers = history_[pos];
-        for (std::size_t j = 0; j < powers.size(); ++j)
+        const double *powers = &history_[pos * n];
+        for (std::size_t j = 0; j < n; ++j)
             rise += matrix_.coeff(i, j, tau) * powers[j];
     }
     return CelsiusDelta(rise);
@@ -242,7 +480,12 @@ MatrixThermalModel::inletRise(std::size_t i) const
 void
 MatrixThermalModel::computeAllRises(std::vector<double> &rises_out) const
 {
-    if (factorizedActive_)
+    if (active_ == KernelMode::Streaming) {
+        // The recurrence already advanced in pushPowers; serve the cache.
+        rises_out.assign(streamRises_.begin(), streamRises_.end());
+        return;
+    }
+    if (active_ == KernelMode::Factorized)
         computeAllRisesFactorized(rises_out);
     else
         computeAllRisesDense(rises_out);
@@ -253,11 +496,11 @@ MatrixThermalModel::computeAllRisesDense(std::vector<double> &rises_out)
     const
 {
     const std::size_t n = matrix_.numServers();
-    const std::size_t horizon = history_.size();
+    const std::size_t horizon = matrix_.horizon();
     rises_out.assign(n, 0.0);
     for (std::size_t tau = 0; tau < filled_; ++tau) {
         const std::size_t pos = (head_ + horizon - 1 - tau) % horizon;
-        const auto &powers = history_[pos];
+        const double *powers = &history_[pos * n];
         for (std::size_t i = 0; i < n; ++i) {
             double acc = 0.0;
             for (std::size_t j = 0; j < n; ++j)
@@ -272,14 +515,14 @@ MatrixThermalModel::computeAllRisesFactorized(
     std::vector<double> &rises_out) const
 {
     const std::size_t n = matrix_.numServers();
-    const std::size_t horizon = history_.size();
+    const std::size_t horizon = matrix_.horizon();
     const std::size_t rank = factors_.rank();
 
     // Temporally-smoothed power states s_r[j] = sum_tau V_r[tau] P_j(t-tau).
     smoothed_.assign(rank * n, 0.0);
     for (std::size_t tau = 0; tau < filled_; ++tau) {
         const std::size_t pos = (head_ + horizon - 1 - tau) % horizon;
-        const double *powers = history_[pos].data();
+        const double *powers = &history_[pos * n];
         for (std::size_t r = 0; r < rank; ++r) {
             const double k = factors_.temporal(r)[tau];
             double *s = &smoothed_[r * n];
@@ -303,6 +546,39 @@ MatrixThermalModel::computeAllRisesFactorized(
     }
 }
 
+void
+MatrixThermalModel::updateStreamingRises()
+{
+    const std::size_t n = matrix_.numServers();
+    const std::size_t rank = factors_.rank();
+    double *rises = streamRises_.data();
+    std::fill(rises, rises + n, 0.0);
+    for (std::size_t r = 0; r < rank; ++r) {
+        // Combine the rank's mode accumulators into its smoothed state
+        // s_r[j] = sum_m w_m a_m[j] ...
+        const std::size_t begin = rankModeBegin_[r];
+        const std::size_t end = rankModeBegin_[r + 1];
+        if (begin == end)
+            continue; // a zero factor fits with zero modes
+        double *s = streamSum_.data();
+        {
+            const double w = modeWeight_[begin];
+            const double *a = &modeAccum_[begin * n];
+            for (std::size_t j = 0; j < n; ++j)
+                s[j] = w * a[j];
+        }
+        for (std::size_t q = begin + 1; q < end; ++q) {
+            const double w = modeWeight_[q];
+            const double *a = &modeAccum_[q * n];
+            for (std::size_t j = 0; j < n; ++j)
+                s[j] += w * a[j];
+        }
+        // ... then the spatial GEMV, rises += U_r s_r (see
+        // accumulateColumnAxpy for the layout and dispatch story).
+        accumulateColumnAxpy(&spatialT_[r * n * n], s, rises, n);
+    }
+}
+
 CelsiusDelta
 MatrixThermalModel::maxInletRise() const
 {
@@ -316,8 +592,9 @@ MatrixThermalModel::maxInletRise() const
 void
 MatrixThermalModel::reset()
 {
-    for (auto &slot : history_)
-        std::fill(slot.begin(), slot.end(), 0.0);
+    std::fill(history_.begin(), history_.end(), 0.0);
+    std::fill(modeAccum_.begin(), modeAccum_.end(), 0.0);
+    std::fill(streamRises_.begin(), streamRises_.end(), 0.0);
     head_ = 0;
     filled_ = 0;
 }
@@ -325,40 +602,81 @@ MatrixThermalModel::reset()
 void
 MatrixThermalModel::saveState(util::StateWriter &writer) const
 {
-    writer.tag("THIS");
-    writer.u64(history_.size());
-    for (const auto &slot : history_)
-        writer.f64Vector(slot);
+    // THS2: v1 ("THIS") stored the ring as per-slot vectors and knew no
+    // kernel modes; v2 stores the flat SoA ring, the active kernel, and
+    // the streaming accumulators (empty vectors off the streaming path).
+    writer.tag("THS2");
+    writer.u32(kernelModeId(active_));
+    writer.u64(matrix_.horizon());
+    writer.u64(matrix_.numServers());
+    writer.f64Vector(history_);
     writer.u64(head_);
     writer.u64(filled_);
+    writer.f64Vector(modeAccum_);
+    writer.f64Vector(streamRises_);
 }
 
 void
 MatrixThermalModel::loadState(util::StateReader &reader)
 {
-    reader.tag("THIS");
-    const std::uint64_t slots = reader.u64();
-    if (reader.ok() && slots != history_.size()) {
+    reader.tag("THS2");
+    const std::uint32_t saved_mode = reader.u32();
+    if (reader.ok() && saved_mode != kernelModeId(active_)) {
+        const char *saved_name = "unknown";
+        for (KernelMode mode :
+             {KernelMode::Dense, KernelMode::Factorized,
+              KernelMode::Streaming}) {
+            if (saved_mode == kernelModeId(mode))
+                saved_name = kernelModeName(mode);
+        }
         reader.fail(ECOLO_ERROR(
             util::ErrorCode::StateError,
-            "thermal history slot count mismatch: checkpoint has ", slots,
-            ", model has ", history_.size(),
+            "thermal kernel mode mismatch: checkpoint was written under "
+            "the '", saved_name, "' kernel but the model resolved to '",
+            kernelModeName(active_),
+            "'; resume with the same thermal.kernel setting (the "
+            "streaming accumulators are not portable across kernels)"));
+        return;
+    }
+    const std::uint64_t slots = reader.u64();
+    const std::uint64_t width = reader.u64();
+    if (reader.ok() && (slots != matrix_.horizon() ||
+                        width != matrix_.numServers())) {
+        reader.fail(ECOLO_ERROR(
+            util::ErrorCode::StateError,
+            "thermal history shape mismatch: checkpoint has ", slots,
+            " slots x ", width, " servers, model has ", matrix_.horizon(),
+            " x ", matrix_.numServers(),
             " (was the checkpoint written with a different config?)"));
         return;
     }
-    for (auto &slot : history_) {
-        const std::size_t expected = slot.size();
-        slot = reader.f64Vector();
-        if (reader.ok() && slot.size() != expected) {
-            reader.fail(ECOLO_ERROR(
-                util::ErrorCode::StateError,
-                "thermal history width mismatch: checkpoint has ",
-                slot.size(), " servers, model has ", expected));
-            return;
-        }
+    std::vector<double> history = reader.f64Vector();
+    if (reader.ok() && history.size() != history_.size()) {
+        reader.fail(ECOLO_ERROR(
+            util::ErrorCode::StateError,
+            "thermal history length mismatch: checkpoint has ",
+            history.size(), " samples, model has ", history_.size()));
+        return;
     }
     head_ = static_cast<std::size_t>(reader.u64());
     filled_ = static_cast<std::size_t>(reader.u64());
+    std::vector<double> accum = reader.f64Vector();
+    std::vector<double> rises = reader.f64Vector();
+    if (reader.ok() && (accum.size() != modeAccum_.size() ||
+                        rises.size() != streamRises_.size())) {
+        reader.fail(ECOLO_ERROR(
+            util::ErrorCode::StateError,
+            "streaming accumulator shape mismatch: checkpoint has ",
+            accum.size(), " + ", rises.size(), " values, model expects ",
+            modeAccum_.size(), " + ", streamRises_.size(),
+            " (different factorization tolerances?)"));
+        return;
+    }
+    if (!reader.ok())
+        return;
+    history_ = std::move(history);
+    modeAccum_ = std::move(accum);
+    streamRises_ = std::move(rises);
 }
 
 } // namespace ecolo::thermal

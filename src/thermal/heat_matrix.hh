@@ -17,12 +17,22 @@
  * instead of O(N^2 H) -- an exact rank-1 split for the analytic default,
  * a truncated low-rank one for CFD-extracted tensors, and a dense
  * fallback otherwise. Selection is automatic; call sites are unchanged.
+ *
+ * When each temporal factor additionally admits an exponential-mode fit
+ * (see ExponentialFit), the smoothed states become streaming accumulators
+ * advanced inside pushPowers -- a <- lambda a + p(t) - lambda^H p(t-H),
+ * with the departing ring slot supplying the exact window tail -- and
+ * computeAllRises returns a cached vector with *no history traversal at
+ * all*: O(N modes) update plus the unavoidable R GEMVs per slot
+ * (KernelMode::Streaming). Admission is gated on the combined fit
+ * residual, so CFD tensors that fit poorly keep the factorized walk.
  */
 
 #ifndef ECOLO_THERMAL_HEAT_MATRIX_HH
 #define ECOLO_THERMAL_HEAT_MATRIX_HH
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "power/layout.hh"
@@ -115,11 +125,22 @@ class HeatDistributionMatrix
 };
 
 /** How MatrixThermalModel computes rises. */
-enum class ThermalComputeMode
+enum class KernelMode
 {
-    Auto,  //!< factorize when accurate and cheaper; dense otherwise
-    Dense, //!< always the reference O(N^2 H) convolution
+    Auto,       //!< streaming when exact enough, else factorized, else dense
+    Dense,      //!< always the reference O(N^2 H) convolution
+    Factorized, //!< force the low-rank history-walk kernel
+    Streaming,  //!< recurrent O(N modes) kernel; falls back when unfit
 };
+
+/** Backward-compatible alias: pre-streaming call sites used this name. */
+using ThermalComputeMode = KernelMode;
+
+/** Stable lowercase name ("auto", "dense", ...) for messages and keys. */
+const char *kernelModeName(KernelMode mode);
+
+/** Parse a kernelModeName spelling; false (out untouched) on junk. */
+bool parseKernelMode(std::string_view text, KernelMode &out);
 
 /**
  * Applies a HeatDistributionMatrix to a streaming per-minute power history:
@@ -131,12 +152,14 @@ class MatrixThermalModel
   public:
     explicit MatrixThermalModel(
         HeatDistributionMatrix matrix,
-        ThermalComputeMode mode = ThermalComputeMode::Auto,
+        KernelMode mode = KernelMode::Auto,
         FactorizationOptions factorization = FactorizationOptions());
 
     std::size_t numServers() const { return matrix_.numServers(); }
 
-    /** Append this minute's per-server power vector. */
+    /** Append this minute's per-server power vector. Under the streaming
+     * kernel this is where the thermal state advances (the recurrence
+     * consumes both the new vector and the ring slot it overwrites). */
     void pushPowers(const std::vector<Kilowatts> &powers);
 
     /** Inlet rise of server i implied by the buffered history (always the
@@ -155,32 +178,72 @@ class MatrixThermalModel
     void reset();
 
     /**
-     * Serialize / restore the streaming state (the power-history ring).
+     * Serialize / restore the mutable state: the power-history ring and,
+     * under the streaming kernel, the mode accumulators and cached rises
+     * (so a resume is bit-identical -- the recurrence never replays).
      * The matrix and factorization are configuration, rebuilt from the
-     * same SimulationConfig on restore, so only the history travels.
+     * same SimulationConfig on restore, so they do not travel. The
+     * section records the active kernel mode; loading a checkpoint
+     * written under a different kernel fails with a StateError instead
+     * of silently mis-resuming.
      */
     void saveState(util::StateWriter &writer) const;
     void loadState(util::StateReader &reader);
 
     const HeatDistributionMatrix &matrix() const { return matrix_; }
 
-    /** True when the factorized kernel is active (introspection). */
-    bool usesFactorizedKernel() const { return factorizedActive_; }
+    /** The kernel actually running (after Auto selection / fallback). */
+    KernelMode activeKernel() const { return active_; }
+
+    /** The kernel the caller asked for at construction. */
+    KernelMode requestedKernel() const { return requested_; }
+
+    /** True when a factor-based kernel (factorized or streaming) is
+     * active (introspection; the dense walk is the alternative). */
+    bool usesFactorizedKernel() const
+    { return active_ != KernelMode::Dense; }
 
     /** Rank of the active factorization (0 on the dense path). */
     std::size_t factorizationRank() const
-    { return factorizedActive_ ? factors_.rank() : 0; }
+    { return active_ != KernelMode::Dense ? factors_.rank() : 0; }
+
+    /** Total exponential modes across ranks (0 unless streaming). */
+    std::size_t streamingModeCount() const { return modeDecay_.size(); }
 
   private:
     void computeAllRisesDense(std::vector<double> &rises_out) const;
     void computeAllRisesFactorized(std::vector<double> &rises_out) const;
+    void initStreamingState();
+    void updateStreamingRises();
 
     HeatDistributionMatrix matrix_;
     TemporalFactorization factors_;
-    bool factorizedActive_ = false;
-    std::vector<std::vector<double>> history_; //!< ring of kW vectors
-    std::size_t head_ = 0;                     //!< next write position
+    KernelMode requested_ = KernelMode::Auto;
+    KernelMode active_ = KernelMode::Dense;
+
+    /** Power ring, [slot][server] in one contiguous block (SoA) so the
+     * dense/factorized walks stride unit and auto-vectorize. */
+    std::vector<double> history_;
+    std::size_t head_ = 0; //!< next slot index to write
     std::size_t filled_ = 0;
+
+    // Streaming-kernel state: modes flattened across ranks; mode q of
+    // rank r lives at [rankModeBegin_[r], rankModeBegin_[r+1]).
+    std::vector<double> modeDecay_;   //!< lambda_q
+    std::vector<double> modeTail_;    //!< lambda_q^horizon (window exit)
+    std::vector<double> modeWeight_;  //!< w_q
+    std::vector<std::size_t> rankModeBegin_;
+    std::vector<double> modeAccum_;   //!< [q][j] accumulators
+    /** Spatial factors transposed, [r][j][i]: the streaming GEMV runs in
+     * column-AXPY form (rises[i] += s_j * U[i][j] with i innermost), so
+     * the inner loop is independent adds over contiguous memory -- which
+     * vectorizes under strict FP semantics, unlike the row-wise serial
+     * reduction. */
+    std::vector<double> spatialT_;
+    std::vector<double> streamRises_; //!< rises cached at last push
+    std::vector<double> pushScratch_; //!< new powers as raw kW
+    std::vector<double> streamSum_;   //!< per-rank combined state [j]
+
     mutable std::vector<double> smoothed_; //!< [r][j] factorized states
     mutable std::vector<double> riseScratch_; //!< maxInletRise buffer
 };

@@ -125,8 +125,13 @@ TEST(Checkpoint, RestoreIntoWrongConfigFails)
 class SimCheckpointFileTest : public ::testing::Test
 {
   protected:
+    // Suffix with the test name: ctest schedules each test as its own
+    // process, so a shared fixed path races with a sibling's TearDown
+    // under -j.
     std::string path_ =
-        ::testing::TempDir() + "edgetherm_sim_checkpoint.bin";
+        ::testing::TempDir() + "edgetherm_sim_checkpoint_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".bin";
 
     void TearDown() override { std::remove(path_.c_str()); }
 };
@@ -195,7 +200,9 @@ class FleetCheckpointTest : public ::testing::Test
     }
 
     std::string path_ =
-        ::testing::TempDir() + "edgetherm_fleet_checkpoint.bin";
+        ::testing::TempDir() + "edgetherm_fleet_checkpoint_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".bin";
 
     void TearDown() override { std::remove(path_.c_str()); }
 };

@@ -30,14 +30,14 @@ parseScenario(const std::string &text)
 TEST(ServeResultCache, KeyDependsOnEveryRequestField)
 {
     const KeyValueConfig kv = parseScenario("seed = 7\n");
-    const CacheKey base = makeCacheKey(kv, "myopic", 7.4, 1440);
+    const CacheKey base = makeCacheKey(kv, "myopic", 7.4, 1440, thermal::KernelMode::Auto);
 
-    EXPECT_NE(base.hash, makeCacheKey(kv, "random", 7.4, 1440).hash);
-    EXPECT_NE(base.hash, makeCacheKey(kv, "myopic", 7.5, 1440).hash);
-    EXPECT_NE(base.hash, makeCacheKey(kv, "myopic", 7.4, 1441).hash);
+    EXPECT_NE(base.hash, makeCacheKey(kv, "random", 7.4, 1440, thermal::KernelMode::Auto).hash);
+    EXPECT_NE(base.hash, makeCacheKey(kv, "myopic", 7.5, 1440, thermal::KernelMode::Auto).hash);
+    EXPECT_NE(base.hash, makeCacheKey(kv, "myopic", 7.4, 1441, thermal::KernelMode::Auto).hash);
     const KeyValueConfig other = parseScenario("seed = 8\n");
-    EXPECT_NE(base.hash, makeCacheKey(other, "myopic", 7.4, 1440).hash);
-    EXPECT_EQ(base.hash, makeCacheKey(kv, "myopic", 7.4, 1440).hash);
+    EXPECT_NE(base.hash, makeCacheKey(other, "myopic", 7.4, 1440, thermal::KernelMode::Auto).hash);
+    EXPECT_EQ(base.hash, makeCacheKey(kv, "myopic", 7.4, 1440, thermal::KernelMode::Auto).hash);
 }
 
 TEST(ServeResultCache, KeyIgnoresCommentsAndOrdering)
@@ -46,8 +46,8 @@ TEST(ServeResultCache, KeyIgnoresCommentsAndOrdering)
         parseScenario("seed = 7\nbattery.capacityKwh = 0.4\n");
     const KeyValueConfig b = parseScenario(
         "# a comment\nbattery.capacityKwh = 0.4\n\nseed = 7\n");
-    EXPECT_EQ(makeCacheKey(a, "myopic", 7.4, 1440).hash,
-              makeCacheKey(b, "myopic", 7.4, 1440).hash);
+    EXPECT_EQ(makeCacheKey(a, "myopic", 7.4, 1440, thermal::KernelMode::Auto).hash,
+              makeCacheKey(b, "myopic", 7.4, 1440, thermal::KernelMode::Auto).hash);
 }
 
 TEST(ServeResultCache, KeyChangesWithEngineSchemaVersion)
@@ -57,18 +57,38 @@ TEST(ServeResultCache, KeyChangesWithEngineSchemaVersion)
     // yesterday's cached report must not answer today's request.
     const KeyValueConfig kv = parseScenario("seed = 7\n");
     const CacheKey current = makeCacheKey(kv, "myopic", 7.4, 1440,
+                                          thermal::KernelMode::Auto,
                                           core::kEngineSchemaVersion);
     const CacheKey next = makeCacheKey(kv, "myopic", 7.4, 1440,
+                                       thermal::KernelMode::Auto,
                                        core::kEngineSchemaVersion + 1);
     EXPECT_NE(current.hash, next.hash);
+}
+
+TEST(ServeResultCache, KeyChangesWithKernelMode)
+{
+    // The thermal kernel is part of the content address, so switching
+    // modes can never serve a stale result -- even when the scenario
+    // text does not mention thermal.kernel (e.g. the server's default
+    // config changed between runs).
+    const KeyValueConfig kv = parseScenario("seed = 7\n");
+    const CacheKey as_auto =
+        makeCacheKey(kv, "myopic", 7.4, 1440, thermal::KernelMode::Auto);
+    const CacheKey as_dense =
+        makeCacheKey(kv, "myopic", 7.4, 1440, thermal::KernelMode::Dense);
+    const CacheKey as_stream = makeCacheKey(
+        kv, "myopic", 7.4, 1440, thermal::KernelMode::Streaming);
+    EXPECT_NE(as_auto.hash, as_dense.hash);
+    EXPECT_NE(as_auto.hash, as_stream.hash);
+    EXPECT_NE(as_dense.hash, as_stream.hash);
 }
 
 TEST(ServeResultCache, ParamBitsNotTextFeedTheKey)
 {
     // 0.1 + 0.2 != 0.3 in doubles; the key must see the exact bits.
     const KeyValueConfig kv = parseScenario("");
-    EXPECT_NE(makeCacheKey(kv, "myopic", 0.1 + 0.2, 60).hash,
-              makeCacheKey(kv, "myopic", 0.3, 60).hash);
+    EXPECT_NE(makeCacheKey(kv, "myopic", 0.1 + 0.2, 60, thermal::KernelMode::Auto).hash,
+              makeCacheKey(kv, "myopic", 0.3, 60, thermal::KernelMode::Auto).hash);
 }
 
 TEST(ServeResultCache, HitReturnsInsertedBytesAndCounts)
