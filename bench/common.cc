@@ -1,8 +1,11 @@
 #include "common.hh"
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "core/lane_batch.hh"
+#include "core/setup_cache.hh"
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -70,18 +73,13 @@ flushTelemetry()
     }
 }
 
-CampaignResult
-runCampaign(const core::SimulationConfig &config,
-            std::unique_ptr<core::AttackPolicy> policy, double days,
-            const std::string &label, double parameter)
-{
-    telemetry::TraceSpan span(telemetry::enabled()
-                                  ? "bench.campaign:" + label
-                                  : std::string());
-    core::Simulation sim(config, std::move(policy));
-    sim.runDays(days);
-    const auto &m = sim.metrics();
+namespace {
 
+CampaignResult
+summarizeCampaign(const core::Simulation &sim, const std::string &label,
+                  double parameter)
+{
+    const auto &m = sim.metrics();
     CampaignResult result;
     result.policy = label;
     result.parameter = parameter;
@@ -96,8 +94,64 @@ runCampaign(const core::SimulationConfig &config,
     return result;
 }
 
+} // namespace
+
+CampaignResult
+runCampaign(const core::SimulationConfig &config,
+            std::unique_ptr<core::AttackPolicy> policy, double days,
+            const std::string &label, double parameter)
+{
+    telemetry::TraceSpan span(telemetry::enabled()
+                                  ? "bench.campaign:" + label
+                                  : std::string());
+    core::Simulation sim(config, std::move(policy));
+    sim.runDays(days);
+    return summarizeCampaign(sim, label, parameter);
+}
+
 std::vector<CampaignResult>
 runCampaigns(const std::vector<CampaignSpec> &specs)
+{
+    // Setup (trace synthesis, Prony fits, factorization) dominates short
+    // campaigns, and sweep members mostly share it: one cache serves the
+    // whole batch. Construction still fans out across the pool -- the
+    // cache computes outside its lock and keeps the first-inserted
+    // artifact, so the shared values are deterministic either way.
+    auto cache = std::make_shared<core::SetupCache>();
+    std::vector<std::unique_ptr<core::Simulation>> sims(specs.size());
+    util::parallelFor(0, specs.size(), [&](std::size_t k) {
+        const CampaignSpec &spec = specs[k];
+        ECOLO_ASSERT(spec.makePolicy != nullptr,
+                     "campaign spec without a policy factory");
+        telemetry::TraceSpan span(telemetry::enabled()
+                                      ? "bench.campaign:" + spec.label
+                                      : std::string());
+        core::SimulationConfig config = spec.config;
+        if (!config.setupCache)
+            config.setupCache = cache;
+        sims[k] = std::make_unique<core::Simulation>(
+            config, spec.makePolicy(config));
+    });
+
+    core::LaneBatchRunner runner;
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+        runner.add(*sims[k],
+                   static_cast<MinuteIndex>(
+                       specs[k].days *
+                       static_cast<double>(kMinutesPerDay)));
+    }
+    runner.runAll();
+
+    std::vector<CampaignResult> results(specs.size());
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+        results[k] = summarizeCampaign(*sims[k], specs[k].label,
+                                       specs[k].parameter);
+    }
+    return results;
+}
+
+std::vector<CampaignResult>
+runCampaignsPerThread(const std::vector<CampaignSpec> &specs)
 {
     std::vector<CampaignResult> results(specs.size());
     util::parallelFor(0, specs.size(), [&](std::size_t k) {

@@ -55,13 +55,25 @@ struct CampaignSpec
 };
 
 /**
- * Run a batch of independent campaigns on the global thread pool and
- * return their results in spec order. Every campaign seeds its own
- * simulation from its config, so the results are bit-identical to
- * calling runCampaign serially on each spec.
+ * Run a batch of independent campaigns and return their results in spec
+ * order. Campaigns execute through the lane-batched engine
+ * (core/lane_batch.hh): setup artifacts (traces, Prony fits,
+ * factorizations) are shared through one SetupCache, and compatible
+ * campaigns advance together in SIMD lane groups on the global thread
+ * pool. Per campaign the result is bit-identical to calling runCampaign
+ * serially on each spec (the runner's tested contract).
  */
 std::vector<CampaignResult>
 runCampaigns(const std::vector<CampaignSpec> &specs);
+
+/**
+ * The pre-lane-batching execution model: one simulation per pool
+ * worker, no setup sharing. Kept as the measured baseline leg of the
+ * BM_LaneBatchSweep* benchmarks; results are bit-identical to
+ * runCampaigns on the same specs.
+ */
+std::vector<CampaignResult>
+runCampaignsPerThread(const std::vector<CampaignSpec> &specs);
 
 /**
  * Record every minute of a run into a vector (for snapshot figures).

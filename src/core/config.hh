@@ -11,6 +11,7 @@
 #define ECOLO_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "battery/battery.hh"
@@ -27,6 +28,8 @@
 #include "util/units.hh"
 
 namespace ecolo::core {
+
+class SetupCache;
 
 /** Which synthetic workload drives the benign tenants. */
 enum class TraceKind
@@ -133,6 +136,18 @@ struct SimulationConfig
 
     // ---- Reproducibility ----
     std::uint64_t seed = 42;
+
+    // ---- Campaign acceleration ----
+    /**
+     * Optional cache shared by campaign members (see core/setup_cache.hh):
+     * simulations constructed with the same cache reuse generated benign
+     * trace sets, the mean-power scale factor, the analytic heat matrix,
+     * and its temporal factorization instead of recomputing them. Purely
+     * a constructor-time accelerator -- behavior is bit-identical with or
+     * without it (every cached value is a deterministic function of the
+     * other config fields that key it). Never serialized.
+     */
+    std::shared_ptr<SetupCache> setupCache{};
 
     /** Total number of servers (benign + attacker). */
     std::size_t numServers() const

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "core/setup_cache.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/generators.hh"
 #include "util/logging.hh"
@@ -53,11 +54,7 @@ Simulation::Simulation(SimulationConfig config,
       attackerTenant_("attacker", config_.attackerSubscription,
                       config_.attackerNumServers, config_.serverSpec),
       attackerSupply_(config_.batterySpec, config_.attackerSubscription),
-      thermal_(thermal::HeatDistributionMatrix::analyticDefault(
-                   layout_, config_.matrixParams,
-                   config_.matrixHorizonMinutes),
-               config_.cooling, 15.0, config_.thermalMode,
-               config_.factorization),
+      thermal_(makeThermalEnvironment(config_, layout_)),
       channel_(config_.sideChannel, Rng(config_.seed ^ 0x5e1dc4a2ULL)),
       latency_(config_.latency),
       pdu_(config_.capacity),
@@ -87,18 +84,78 @@ Simulation::Simulation(SimulationConfig config,
         pdu_.addCircuit(tenant.name(), tenant.subscribedCapacity());
 }
 
+thermal::ThermalEnvironment
+Simulation::makeThermalEnvironment(const SimulationConfig &config,
+                                   const power::DataCenterLayout &layout)
+{
+    if (config.setupCache) {
+        auto &cache = *config.setupCache;
+        auto matrix =
+            cache.matrix(SetupCache::matrixKey(config), [&] {
+                return thermal::HeatDistributionMatrix::analyticDefault(
+                    layout, config.matrixParams,
+                    config.matrixHorizonMinutes);
+            });
+        // The factorization is the single most expensive thermal setup
+        // step and is shared by the factorized and streaming kernels;
+        // the dense kernel never computes one, so do not force it here.
+        std::shared_ptr<const thermal::TemporalFactorization> factors;
+        if (config.thermalMode != thermal::KernelMode::Dense) {
+            factors = cache.factorization(
+                SetupCache::factorizationKey(config), [&] {
+                    return thermal::TemporalFactorization::compute(
+                        *matrix, config.factorization);
+                });
+        }
+        return thermal::ThermalEnvironment(
+            *matrix, config.cooling, 15.0, config.thermalMode,
+            config.factorization, std::move(factors));
+    }
+    return thermal::ThermalEnvironment(
+        thermal::HeatDistributionMatrix::analyticDefault(
+            layout, config.matrixParams, config.matrixHorizonMinutes),
+        config.cooling, 15.0, config.thermalMode, config.factorization);
+}
+
 void
 Simulation::buildTenants()
 {
     const std::size_t per_tenant = config_.serversPerBenignTenant();
     benignTenants_.reserve(config_.numBenignTenants);
+    // Always fork, even when the trace cache hits: the fork advances
+    // rng_, and the engine's own stream must not depend on whether a
+    // cache was installed.
     Rng trace_rng = rng_.fork();
+    SetupCache *cache = (config_.setupCache != nullptr &&
+                         config_.externalBenignTraces.empty())
+                            ? config_.setupCache.get()
+                            : nullptr;
+
+    std::shared_ptr<const SetupCache::TraceSet> cached_traces;
+    if (cache != nullptr) {
+        cached_traces = cache->traceSet(
+            SetupCache::traceSetKey(config_), [&] {
+                // Generation consumes trace_rng exactly as the uncached
+                // path below does, so hit and miss yield the same traces.
+                SetupCache::TraceSet set(config_.numBenignTenants);
+                if (config_.traceKind == TraceKind::GoogleStyle) {
+                    const trace::UtilizationTrace shared =
+                        makeBenignTrace(config_, 0, trace_rng);
+                    for (auto &t : set)
+                        t = shared;
+                } else {
+                    for (std::size_t k = 0; k < set.size(); ++k)
+                        set[k] = makeBenignTrace(config_, k, trace_rng);
+                }
+                return set;
+            });
+    }
     // The alternate (Google-style) trace models ONE recorded cluster
     // trace driving the whole site (the paper's "alternate total power
     // trace"), so every tenant shares it; the default diurnal trace is
     // per-tenant with jitter.
     trace::UtilizationTrace shared_alternate;
-    if (config_.traceKind == TraceKind::GoogleStyle &&
+    if (cache == nullptr && config_.traceKind == TraceKind::GoogleStyle &&
         config_.externalBenignTraces.empty()) {
         shared_alternate = makeBenignTrace(config_, 0, trace_rng);
     }
@@ -109,6 +166,8 @@ Simulation::buildTenants()
         if (!config_.externalBenignTraces.empty()) {
             benignTenants_.back().setTrace(
                 config_.externalBenignTraces[k]);
+        } else if (cached_traces != nullptr) {
+            benignTenants_.back().setTrace((*cached_traces)[k]);
         } else if (!shared_alternate.empty()) {
             benignTenants_.back().setTrace(shared_alternate);
         } else {
@@ -129,7 +188,20 @@ Simulation::buildTenants()
     std::vector<power::Tenant *> tenant_ptrs;
     for (auto &tenant : benignTenants_)
         tenant_ptrs.push_back(&tenant);
-    power::scaleTenantsToMeanPower(tenant_ptrs, target);
+    if (cache != nullptr) {
+        const double factor = cache->scaleFactor(
+            SetupCache::scaleFactorKey(config_), [&] {
+                return power::computeMeanPowerScaleFactor(tenant_ptrs,
+                                                          target);
+            });
+        power::applyTraceScale(tenant_ptrs, factor);
+    } else {
+        power::scaleTenantsToMeanPower(tenant_ptrs, target);
+    }
+
+    workloadFingerprint_ = config_.externalBenignTraces.empty()
+                               ? SetupCache::scaleFactorKey(config_)
+                               : 0;
 }
 
 Kilowatts
@@ -142,7 +214,8 @@ Simulation::benignActualPower() const
 }
 
 AttackObservation
-Simulation::makeObservation(bool capping, bool outage)
+Simulation::makeObservation(bool capping, bool outage,
+                            const Kilowatts *benign_actual_override)
 {
     AttackObservation obs;
     obs.time = now_;
@@ -158,8 +231,12 @@ Simulation::makeObservation(bool capping, bool outage)
         // terms of "benign load + my subscription" as in the paper. The
         // channel averages the per-minute ripple samples into the
         // engine-owned scratch (sized once; the slot loop allocates
-        // nothing afterwards).
-        const Kilowatts benign_actual = benignActualPower();
+        // nothing afterwards). A lane group's leader may pass in the
+        // shared benign aggregate (bitwise equal to what this lane would
+        // compute; see SharedBenignSlot).
+        const Kilowatts benign_actual = benign_actual_override != nullptr
+                                            ? *benign_actual_override
+                                            : benignActualPower();
         Kilowatts estimate(0.0);
         {
             telemetry::TraceSpan span("engine.sidechannel");
@@ -204,7 +281,7 @@ Simulation::makeObservation(bool capping, bool outage)
 }
 
 void
-Simulation::stepMinute()
+Simulation::slotBegin(SlotContext &ctx)
 {
     // ---- 0. Fault injection (skipped entirely on healthy configs). ----
     if (faultsEnabled_) {
@@ -223,28 +300,49 @@ Simulation::stepMinute()
         }
     }
 
-    const bool capping = command_.capServers;
-    const bool outage = command_.outage;
+    ctx.capping = command_.capServers;
+    ctx.outage = command_.outage;
     // Degraded-mode preventive capping (operator fault response) caps at
     // its own level when no emergency cap is in force.
     const bool preventive =
-        !capping && command_.preventiveCapLevel.has_value();
-    const bool any_cap = capping || preventive;
-    const Kilowatts cap_level =
-        capping ? command_.capLevel.value_or(config_.perServerCap)
-                : command_.preventiveCapLevel.value_or(config_.perServerCap);
-    const bool degraded_now = command_.degraded;
-    const double shed_fraction_now = command_.shedFraction;
-    const std::size_t n_attacker = config_.attackerNumServers;
+        !ctx.capping && command_.preventiveCapLevel.has_value();
+    ctx.anyCap = ctx.capping || preventive;
+    ctx.capLevel =
+        ctx.capping
+            ? command_.capLevel.value_or(config_.perServerCap)
+            : command_.preventiveCapLevel.value_or(config_.perServerCap);
+    ctx.degradedNow = command_.degraded;
+    ctx.shedFraction = command_.shedFraction;
 
-    if (telemetry::enabled() && any_cap != prevAnyCap_) {
+    if (telemetry::enabled() && ctx.anyCap != prevAnyCap_) {
         telemetry::emitEvent(now_,
-                             any_cap ? telemetry::EventKind::CappingStart
-                                     : telemetry::EventKind::CappingEnd,
-                             any_cap ? cap_level.value() : 0.0);
-        prevAnyCap_ = any_cap;
+                             ctx.anyCap
+                                 ? telemetry::EventKind::CappingStart
+                                 : telemetry::EventKind::CappingEnd,
+                             ctx.anyCap ? ctx.capLevel.value() : 0.0);
+        prevAnyCap_ = ctx.anyCap;
     }
+}
 
+bool
+Simulation::slotBenignUniform(const SlotContext &ctx) const
+{
+    if (ctx.anyCap || ctx.outage)
+        return false;
+    if (faultsEnabled_ &&
+        (faultsNow_.traceGap || faultsNow_.failedServers > 0))
+        return false;
+    // Mirror the workload phase's shed computation exactly: a fraction
+    // small enough to shed zero servers leaves the slot uniform.
+    const std::size_t num_benign = config_.numBenignServers();
+    const std::size_t shed = static_cast<std::size_t>(
+        ctx.shedFraction * static_cast<double>(num_benign));
+    return shed == 0;
+}
+
+void
+Simulation::slotWorkloadBenign(const SlotContext &ctx)
+{
     // ---- 1. Benign tenants follow their traces; operator commands. ----
     // A trace-gap fault freezes the telemetry feed: tenants keep replaying
     // the last pre-gap minute instead of dying on missing data.
@@ -254,25 +352,20 @@ Simulation::stepMinute()
             : now_;
     for (auto &tenant : benignTenants_) {
         tenant.applyTraceAt(trace_minute);
-        tenant.setPoweredOn(!outage);
-        if (any_cap)
-            tenant.setPerServerCap(cap_level);
+        tenant.setPoweredOn(!ctx.outage);
+        if (ctx.anyCap)
+            tenant.setPerServerCap(ctx.capLevel);
         else
             tenant.clearCaps();
     }
-    attackerTenant_.setPoweredOn(!outage);
-    if (any_cap)
-        attackerTenant_.setPerServerCap(cap_level);
-    else
-        attackerTenant_.clearCaps();
 
     // Hard server failures (fault) and commanded partial shutdown
     // (degraded-mode response) power off benign servers from the back of
     // the bank; both are zero on healthy runs.
-    if (!outage) {
+    if (!ctx.outage) {
         const std::size_t num_benign = config_.numBenignServers();
         const std::size_t shed = static_cast<std::size_t>(
-            shed_fraction_now * static_cast<double>(num_benign));
+            ctx.shedFraction * static_cast<double>(num_benign));
         const std::size_t failed =
             faultsEnabled_ ? faultsNow_.failedServers : 0;
         std::size_t remaining = std::min(num_benign, shed + failed);
@@ -286,44 +379,64 @@ Simulation::stepMinute()
             }
         }
     }
+}
 
+void
+Simulation::slotWorkloadAttacker(const SlotContext &ctx)
+{
+    attackerTenant_.setPoweredOn(!ctx.outage);
+    if (ctx.anyCap)
+        attackerTenant_.setPerServerCap(ctx.capLevel);
+    else
+        attackerTenant_.clearCaps();
+}
+
+void
+Simulation::slotObserveDecide(SlotContext &ctx,
+                              const Kilowatts *shared_benign_actual)
+{
     // ---- 2. Observation, learning feedback, day boundary. ----
-    AttackObservation obs = makeObservation(any_cap, outage);
+    ctx.obs = makeObservation(ctx.anyCap, ctx.outage,
+                              shared_benign_actual);
     if (havePending_)
-        policy_->feedback(lastObs_, lastAction_, obs);
+        policy_->feedback(lastObs_, lastAction_, ctx.obs);
     if (now_ > 0 && now_ % kMinutesPerDay == 0)
         policy_->onDayBoundary(dayIndex(now_));
 
     // ---- 3. Decide and enforce protocol compliance. ----
-    AttackAction action;
     {
         telemetry::TraceSpan span("engine.policy_decide");
-        action = policy_->decide(obs);
+        ctx.action = policy_->decide(ctx.obs);
     }
-    if (outage) {
-        action = AttackAction::Standby;
-    } else if (any_cap && !policy_->ignoresCapping() &&
-               action == AttackAction::Attack) {
-        action = obs.batterySoc < 1.0 ? AttackAction::Charge
-                                      : AttackAction::Standby;
+    if (ctx.outage) {
+        ctx.action = AttackAction::Standby;
+    } else if (ctx.anyCap && !policy_->ignoresCapping() &&
+               ctx.action == AttackAction::Attack) {
+        ctx.action = ctx.obs.batterySoc < 1.0 ? AttackAction::Charge
+                                              : AttackAction::Standby;
     }
+}
 
+void
+Simulation::slotAttackerSupply(SlotContext &ctx)
+{
     // ---- 4. Attacker power execution. ----
     // A BMS cutout isolates the battery: neither discharging (the attack
     // fizzles at the grid cap) nor charging is possible.
     const bool bms_cutout = faultsEnabled_ && faultsNow_.bmsCutout;
-    battery::SupplyResult supply{Kilowatts(0.0), Kilowatts(0.0),
-                                 Kilowatts(0.0)};
-    if (!outage) {
+    ctx.supply = battery::SupplyResult{Kilowatts(0.0), Kilowatts(0.0),
+                                       Kilowatts(0.0)};
+    if (!ctx.outage) {
         std::optional<Kilowatts> grid_limit;
-        if (any_cap)
-            grid_limit = cap_level * static_cast<double>(n_attacker);
-        switch (action) {
+        if (ctx.anyCap)
+            grid_limit = ctx.capLevel *
+                         static_cast<double>(config_.attackerNumServers);
+        switch (ctx.action) {
           case AttackAction::Attack: {
             attackerTenant_.setUtilization(1.0);
             const Kilowatts demand =
                 config_.attackerSubscription + config_.attackLoad;
-            supply = attackerSupply_.step(
+            ctx.supply = attackerSupply_.step(
                 demand,
                 bms_cutout ? battery::SupplyMode::GridOnly
                            : battery::SupplyMode::DischargeBattery,
@@ -333,7 +446,7 @@ Simulation::stepMinute()
           case AttackAction::Charge: {
             attackerTenant_.setUtilization(
                 config_.attackerStandbyUtilization);
-            supply = attackerSupply_.step(
+            ctx.supply = attackerSupply_.step(
                 attackerTenant_.actualPower(),
                 bms_cutout ? battery::SupplyMode::GridOnly
                            : battery::SupplyMode::ChargeBattery,
@@ -343,52 +456,90 @@ Simulation::stepMinute()
           case AttackAction::Standby: {
             attackerTenant_.setUtilization(
                 config_.attackerStandbyUtilization);
-            supply = attackerSupply_.step(
+            ctx.supply = attackerSupply_.step(
                 attackerTenant_.actualPower(),
                 battery::SupplyMode::GridOnly, minutes(1), grid_limit);
             break;
           }
         }
     }
+}
 
+void
+Simulation::slotHeatAndMeter(SlotContext &ctx,
+                             const SharedBenignSlot *shared)
+{
     // ---- 5. Per-server heat and metering. ----
+    const std::size_t n_attacker = config_.attackerNumServers;
     const Kilowatts attacker_heat_per_server =
-        supply.serverPower / static_cast<double>(n_attacker);
+        ctx.supply.serverPower / static_cast<double>(n_attacker);
     const Kilowatts attacker_grid_per_server =
-        supply.gridPower / static_cast<double>(n_attacker);
+        ctx.supply.gridPower / static_cast<double>(n_attacker);
     std::size_t server = 0;
     for (; server < n_attacker; ++server) {
         lastHeat_[server] = attacker_heat_per_server;
         lastMetered_[server] = attacker_grid_per_server;
     }
     Kilowatts benign_total(0.0);
-    for (const auto &tenant : benignTenants_) {
-        for (const auto &srv : tenant.servers()) {
-            const Kilowatts p = srv.actualPower();
+    if (shared != nullptr) {
+        // Follower lane of a uniform slot: the leader's harvested values
+        // are bitwise what the loop below would recompute.
+        const std::size_t num_benign = config_.numBenignServers();
+        for (std::size_t i = 0; i < num_benign; ++i, ++server) {
+            const Kilowatts p(shared->serverKw[i]);
             lastHeat_[server] = p;
             lastMetered_[server] = p;
-            benign_total += p;
-            ++server;
+        }
+        benign_total = shared->flatTotal;
+    } else {
+        for (const auto &tenant : benignTenants_) {
+            for (const auto &srv : tenant.servers()) {
+                const Kilowatts p = srv.actualPower();
+                lastHeat_[server] = p;
+                lastMetered_[server] = p;
+                benign_total += p;
+                ++server;
+            }
         }
     }
     ECOLO_ASSERT(server == config_.numServers(),
                  "server heat vector not fully populated");
 
-    pdu_.setEnergized(!outage);
-    pdu_.setCircuitDraw(0, supply.gridPower);
+    pdu_.setEnergized(!ctx.outage);
+    pdu_.setCircuitDraw(0, ctx.supply.gridPower);
     for (std::size_t k = 0; k < benignTenants_.size(); ++k)
-        pdu_.setCircuitDraw(k + 1, benignTenants_[k].actualPower());
-    const Kilowatts metered_total = pdu_.totalMeteredPower();
+        pdu_.setCircuitDraw(k + 1,
+                            shared != nullptr
+                                ? shared->tenantKw[k]
+                                : benignTenants_[k].actualPower());
+    ctx.benignTotal = benign_total;
+    ctx.meteredTotal = pdu_.totalMeteredPower();
+}
 
-    // ---- 6. Thermal step and operator reaction. ----
-    {
-        telemetry::TraceSpan span("engine.thermal_step");
-        thermal_.stepMinute(lastHeat_);
-    }
+void
+Simulation::slotThermal()
+{
+    // ---- 6a. Thermal step. ----
+    telemetry::TraceSpan span("engine.thermal_step");
+    thermal_.stepMinute(lastHeat_);
+}
+
+void
+Simulation::slotThermalFromBank(const double *rises, std::size_t stride)
+{
+    telemetry::TraceSpan span("engine.thermal_step");
+    thermal_.applyLaneStep(lastHeat_, rises, stride);
+}
+
+void
+Simulation::slotOperatorReact(SlotContext &ctx)
+{
+    // ---- 6b. Operator reaction. ----
     // The attacker's batteries breathe the data center air; with a
     // thermally-aware battery spec this derates their usable capacity.
     attackerSupply_.battery().setAmbient(thermal_.inletTemperature(0));
-    const Celsius max_inlet = thermal_.maxInletTemperature();
+    ctx.maxInlet = thermal_.maxInletTemperature();
+    const Celsius max_inlet = ctx.maxInlet;
     // The operator trips on its own (possibly noisy) sensors; with noise
     // configured, occasional spurious emergencies occur even without an
     // attack -- the statistics the paper notes an attacker could hide
@@ -470,16 +621,20 @@ Simulation::stepMinute()
 
         auto &reg = telemetry::registry();
         reg.counter("engine.minutes").inc();
-        if (any_cap)
+        if (ctx.anyCap)
             reg.counter("engine.capping.minutes").inc();
-        if (action == AttackAction::Attack)
+        if (ctx.action == AttackAction::Attack)
             reg.counter("engine.attack.minutes").inc();
         reg.gauge("engine.inlet.max_c").set(max_inlet.value());
         reg.gauge("battery.soc").set(soc);
     }
+}
 
+void
+Simulation::slotFinish(const SlotContext &ctx)
+{
     // ---- 7. Performance accounting during capped minutes. ----
-    if (any_cap && !outage) {
+    if (ctx.anyCap && !ctx.outage) {
         double sum = 0.0;
         for (std::size_t k = 0; k < benignTenants_.size(); ++k) {
             const auto &tenant = benignTenants_[k];
@@ -500,7 +655,7 @@ Simulation::stepMinute()
     // ---- 8. Record the minute. ----
     MinuteRecord record;
     record.time = now_;
-    record.meteredTotal = metered_total;
+    record.meteredTotal = ctx.meteredTotal;
     record.actualHeat = [&] {
         Kilowatts total(0.0);
         for (Kilowatts h : lastHeat_)
@@ -508,26 +663,82 @@ Simulation::stepMinute()
         return total;
     }();
     record.attackBatteryPower =
-        std::max(Kilowatts(0.0), supply.batteryPower);
-    record.benignPower = benign_total;
-    record.maxInlet = max_inlet;
+        std::max(Kilowatts(0.0), ctx.supply.batteryPower);
+    record.benignPower = ctx.benignTotal;
+    record.maxInlet = ctx.maxInlet;
     record.supply = thermal_.supplyTemperature();
     record.batterySoc = attackerSupply_.battery().soc();
-    record.action = action;
-    record.cappingActive = capping;
-    record.outage = outage;
-    record.degraded = degraded_now;
-    record.shedFraction = shed_fraction_now;
-    record.estimateStale = obs.estimateStale;
+    record.action = ctx.action;
+    record.cappingActive = ctx.capping;
+    record.outage = ctx.outage;
+    record.degraded = ctx.degradedNow;
+    record.shedFraction = ctx.shedFraction;
+    record.estimateStale = ctx.obs.estimateStale;
     metrics_.recordMinute(record, config_.cooling.supplySetPoint,
                           thermal_.meanInletTemperature());
     if (callback_)
         callback_(record);
 
-    lastObs_ = obs;
-    lastAction_ = action;
+    lastObs_ = ctx.obs;
+    lastAction_ = ctx.action;
     havePending_ = true;
     ++now_;
+}
+
+void
+Simulation::harvestSharedBenign(SharedBenignSlot &out) const
+{
+    std::size_t idx = 0;
+    Kilowatts tenant_total(0.0);
+    Kilowatts flat_total(0.0);
+    for (std::size_t k = 0; k < benignTenants_.size(); ++k) {
+        const auto &tenant = benignTenants_[k];
+        Kilowatts tenant_kw(0.0);
+        for (const auto &srv : tenant.servers()) {
+            const Kilowatts p = srv.actualPower();
+            out.serverKw[idx++] = p.value();
+            tenant_kw += p;    // Tenant::actualPower's chain
+            flat_total += p;   // the heat phase's flat chain
+        }
+        out.tenantKw[k] = tenant_kw;
+        tenant_total += tenant_kw; // benignActualPower's chain
+    }
+    out.tenantTotal = tenant_total;
+    out.flatTotal = flat_total;
+}
+
+void
+Simulation::restoreBenignWorkload()
+{
+    if (now_ <= 0)
+        return;
+    // The workload phase of a uniform slot is exactly this (trace at the
+    // slot's minute, powered on, caps clear), so re-deriving it for the
+    // last simulated minute reproduces the skipped phases' net effect.
+    const MinuteIndex trace_minute = now_ - 1;
+    for (auto &tenant : benignTenants_) {
+        tenant.applyTraceAt(trace_minute);
+        tenant.setPoweredOn(true);
+        tenant.clearCaps();
+    }
+}
+
+void
+Simulation::stepMinute()
+{
+    // The scalar step: the phases in their original order. The lane
+    // runner calls these same methods (interleaved across lanes), which
+    // is what keeps the two execution paths bit-identical.
+    SlotContext ctx;
+    slotBegin(ctx);
+    slotWorkloadBenign(ctx);
+    slotWorkloadAttacker(ctx);
+    slotObserveDecide(ctx, nullptr);
+    slotAttackerSupply(ctx);
+    slotHeatAndMeter(ctx, nullptr);
+    slotThermal();
+    slotOperatorReact(ctx);
+    slotFinish(ctx);
 }
 
 void

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <memory>
 
+#include "core/setup_cache.hh"
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -18,6 +21,13 @@ FleetSimulation::FleetSimulation(SimulationConfig base_config,
 {
     ECOLO_ASSERT(num_sites > 0, "fleet needs at least one site");
     ECOLO_ASSERT(strike_minute >= 0, "negative strike minute");
+
+    // Sites share one setup cache: trace synthesis stays per-site (the
+    // cache keys traces on the seed, which differs below), but the heat
+    // tensor, its Prony fit and the temporal factorization are
+    // seed-independent and get built exactly once for the whole fleet.
+    if (!base_config.setupCache)
+        base_config.setupCache = std::make_shared<SetupCache>();
 
     sites_.reserve(num_sites);
     for (std::size_t s = 0; s < num_sites; ++s) {
@@ -42,28 +52,42 @@ FleetSimulation::run(MinuteIndex minutes)
     const std::size_t num_sites = sites_.size();
     const auto span = static_cast<std::size_t>(minutes);
 
-    // Sites share no state (each has its own traces, thermal history and
-    // pre-forked RNG streams), so they advance in parallel, each recording
-    // its per-minute outage flags into its own pre-sized slot. The serial
-    // aggregation below then walks minutes in order, making the result
-    // bit-identical to the old site-per-minute interleaving. The scratch
+    // Sites share no mutable state (each has its own traces, thermal
+    // history and pre-forked RNG streams) but identical thermal geometry,
+    // so the lane-batch runner packs several of them into one SoA thermal
+    // bank per group and the groups advance in parallel. Per site the
+    // result is bit-identical to running it alone (the runner's core
+    // contract); the slot hook records each site's per-minute outage flag
+    // into its own pre-sized scratch row, and the serial aggregation
+    // below then walks minutes in order, exactly as before. The scratch
     // rows persist across calls; assign() only reallocates when a call
     // spans more minutes than any before it.
     downScratch_.resize(num_sites);
     for (auto &row : downScratch_)
         row.assign(span, 0);
-    util::parallelFor(0, num_sites, [&](std::size_t s) {
-        telemetry::TraceSpan site_span(
-            telemetry::enabled() ? "fleet.site[" + std::to_string(s) + "]"
-                                 : std::string());
-        Simulation &site = *sites_[s];
-        std::vector<unsigned char> &down = downScratch_[s];
-        for (std::size_t m = 0; m < span; ++m) {
-            site.run(1);
-            down[m] =
-                site.coloOperator().state() == OperatorState::Outage;
+    if (!runner_) {
+        // Groups sized so their count still saturates the pool: with
+        // few sites per thread, lanes-per-group drops toward 1 and the
+        // layout degenerates to the old site-per-thread sweep.
+        LaneBatchOptions options;
+        const std::size_t threads =
+            util::ThreadPool::global().numThreads();
+        options.lanesPerGroup = std::clamp<std::size_t>(
+            num_sites / std::max<std::size_t>(threads, 1), 1,
+            thermal::LaneThermalBank::kLanes);
+        runner_ = std::make_unique<LaneBatchRunner>(options);
+        for (auto &site : sites_) {
+            // Sites run open-ended; each run() chunk advances them.
+            runner_->add(*site,
+                         std::numeric_limits<MinuteIndex>::max() / 2);
         }
-    });
+        runner_->setSlotHook([this](std::size_t lane, MinuteIndex m) {
+            downScratch_[lane][static_cast<std::size_t>(m)] =
+                sites_[lane]->coloOperator().state() ==
+                OperatorState::Outage;
+        });
+    }
+    runner_->run(minutes);
 
     for (std::size_t m = 0; m < span; ++m) {
         ++now_;

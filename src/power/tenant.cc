@@ -99,9 +99,9 @@ Tenant::utilization() const
     return sum / static_cast<double>(servers_.size());
 }
 
-void
-scaleTenantsToMeanPower(std::vector<Tenant *> tenants,
-                        Kilowatts target_mean_power)
+double
+computeMeanPowerScaleFactor(const std::vector<Tenant *> &tenants,
+                            Kilowatts target_mean_power)
 {
     ECOLO_ASSERT(!tenants.empty(), "no tenants to scale");
     for (Tenant *t : tenants)
@@ -149,13 +149,25 @@ scaleTenantsToMeanPower(std::vector<Tenant *> tenants,
         else
             hi = mid;
     }
-    const double factor = 0.5 * (lo + hi);
+    return 0.5 * (lo + hi);
+}
 
+void
+applyTraceScale(const std::vector<Tenant *> &tenants, double factor)
+{
     for (Tenant *t : tenants) {
         trace::UtilizationTrace scaled = t->traceRef();
         scaled.scale(factor);
         t->setTrace(std::move(scaled));
     }
+}
+
+void
+scaleTenantsToMeanPower(std::vector<Tenant *> tenants,
+                        Kilowatts target_mean_power)
+{
+    applyTraceScale(tenants,
+                    computeMeanPowerScaleFactor(tenants, target_mean_power));
 }
 
 } // namespace ecolo::power

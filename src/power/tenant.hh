@@ -78,6 +78,20 @@ class Tenant
 void scaleTenantsToMeanPower(std::vector<Tenant *> tenants,
                              Kilowatts target_mean_power);
 
+/**
+ * The solve half of scaleTenantsToMeanPower: the common factor whose
+ * clamped application (UtilizationTrace::scale clamps to [0, 1], the
+ * same clamp the solver models) yields the target mean power. Split
+ * out so campaign drivers can solve once per distinct trace set and
+ * reuse the factor -- the bisection over year-long traces dominates
+ * per-simulation setup cost.
+ */
+double computeMeanPowerScaleFactor(const std::vector<Tenant *> &tenants,
+                                   Kilowatts target_mean_power);
+
+/** The apply half: scale every tenant's trace by `factor` in place. */
+void applyTraceScale(const std::vector<Tenant *> &tenants, double factor);
+
 } // namespace ecolo::power
 
 #endif // ECOLO_POWER_TENANT_HH

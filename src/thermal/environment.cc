@@ -6,12 +6,13 @@
 
 namespace ecolo::thermal {
 
-ThermalEnvironment::ThermalEnvironment(HeatDistributionMatrix matrix,
-                                       CoolingParams cooling,
-                                       double server_airflow_w_per_k,
-                                       KernelMode mode,
-                                       FactorizationOptions factorization)
-    : matrixModel_(std::move(matrix), mode, factorization),
+ThermalEnvironment::ThermalEnvironment(
+    HeatDistributionMatrix matrix, CoolingParams cooling,
+    double server_airflow_w_per_k, KernelMode mode,
+    FactorizationOptions factorization,
+    std::shared_ptr<const TemporalFactorization> precomputed_factorization)
+    : matrixModel_(std::move(matrix), mode, factorization,
+                   std::move(precomputed_factorization)),
       cooling_(cooling), serverAirflowWPerK_(server_airflow_w_per_k)
 {
     ECOLO_ASSERT(serverAirflowWPerK_ > 0.0,
@@ -32,6 +33,29 @@ ThermalEnvironment::stepMinute(const std::vector<Kilowatts> &server_heat)
     matrixModel_.computeAllRises(riseCache_);
     lastHeatKw_.resize(server_heat.size());
     for (std::size_t i = 0; i < server_heat.size(); ++i)
+        lastHeatKw_[i] = server_heat[i].value();
+}
+
+void
+ThermalEnvironment::applyLaneStep(const std::vector<Kilowatts> &server_heat,
+                                  const double *rises, std::size_t stride)
+{
+    ECOLO_ASSERT(server_heat.size() == numServers(),
+                 "heat vector size mismatch: ", server_heat.size(), " vs ",
+                 numServers());
+    // Mirrors stepMinute minus the matrix-model push: the total-heat
+    // chain feeding the cooling model uses the same association, and
+    // the rise cache receives the bank's (bit-identical) lane column.
+    Kilowatts total(0.0);
+    for (Kilowatts h : server_heat)
+        total += h;
+    cooling_.step(total, minutes(1));
+    const std::size_t n = server_heat.size();
+    riseCache_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        riseCache_[i] = rises[i * stride];
+    lastHeatKw_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
         lastHeatKw_[i] = server_heat[i].value();
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "telemetry/telemetry.hh"
+#include "thermal/stream_kernels.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -34,102 +35,6 @@ kernelModeId(KernelMode mode)
     }
     return 1;
 }
-
-/**
- * The streaming kernel's only O(N^2) step: rises[i] += sum_j s[j] *
- * ut[j * n + i] with the spatial factor stored transposed, so the inner
- * loop is independent contiguous adds (vectorizable under strict FP;
- * the row-wise reduction form is not). Function multi-versioning compiles
- * wider-vector clones next to the baseline-ISA default and dispatches
- * once at load time: the binary stays portable while the hot loop uses
- * the machine's full vector width. Contraction into FMA changes only
- * sub-1e-9 rounding; runs on one machine stay bit-deterministic.
- */
-#if defined(__GNUC__) || defined(__clang__)
-
-/** 8-wide double vector; on ISAs narrower than 512 bits the compiler
- * lowers each op to several native-width ops, lane math unchanged. */
-typedef double Vec8 __attribute__((vector_size(64)));
-
-// The helpers always inline into the clones below, so the by-value
-// vector ABI the -Wpsabi warning is about never crosses a real call.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wpsabi"
-
-__attribute__((always_inline)) inline Vec8
-loadVec8(const double *p)
-{
-    Vec8 v;
-    __builtin_memcpy(&v, p, sizeof(v)); // unaligned vector load
-    return v;
-}
-
-__attribute__((always_inline)) inline void
-storeVec8(double *p, Vec8 v)
-{
-    __builtin_memcpy(p, &v, sizeof(v));
-}
-
-#if defined(__x86_64__) && !defined(__clang__)
-__attribute__((target_clones("avx512f", "avx2,fma", "default")))
-#endif
-void
-accumulateColumnAxpy(const double *ut, const double *s, double *rises,
-                     std::size_t n)
-{
-    // Register blocking: an 8-row block of the output accumulates in
-    // four explicit vector registers for the whole column sweep, so
-    // rises[] is touched once per block instead of once per column
-    // group, and the four independent chains hide FMA latency. The
-    // explicit vector type pins the lowering -- GCC's auto-vectorizer
-    // scalarizes the equivalent array form. Per-lane math and the final
-    // chain association are fixed, so results do not depend on n or on
-    // which clone the resolver picks being re-lowered differently.
-    constexpr std::size_t kBlock = 8;
-    std::size_t i0 = 0;
-    for (; i0 + kBlock <= n; i0 += kBlock) {
-        Vec8 acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {};
-        std::size_t j = 0;
-        for (; j + 4 <= n; j += 4) {
-            const double *c0 = &ut[j * n + i0];
-            const double *c1 = c0 + n;
-            const double *c2 = c1 + n;
-            const double *c3 = c2 + n;
-            acc0 += s[j] * loadVec8(c0);
-            acc1 += s[j + 1] * loadVec8(c1);
-            acc2 += s[j + 2] * loadVec8(c2);
-            acc3 += s[j + 3] * loadVec8(c3);
-        }
-        for (; j < n; ++j)
-            acc0 += s[j] * loadVec8(&ut[j * n + i0]);
-        const Vec8 sum = (acc0 + acc1) + (acc2 + acc3);
-        storeVec8(&rises[i0], loadVec8(&rises[i0]) + sum);
-    }
-    for (; i0 < n; ++i0) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < n; ++j)
-            acc += s[j] * ut[j * n + i0];
-        rises[i0] += acc;
-    }
-}
-
-#pragma GCC diagnostic pop
-
-#else // !(__GNUC__ || __clang__): portable column-AXPY fallback
-
-void
-accumulateColumnAxpy(const double *ut, const double *s, double *rises,
-                     std::size_t n)
-{
-    for (std::size_t j = 0; j < n; ++j) {
-        const double sj = s[j];
-        const double *col = &ut[j * n];
-        for (std::size_t i = 0; i < n; ++i)
-            rises[i] += sj * col[i];
-    }
-}
-
-#endif
 
 } // namespace
 
@@ -331,9 +236,10 @@ HeatDistributionMatrix::extractFromCfd(
     return matrix;
 }
 
-MatrixThermalModel::MatrixThermalModel(HeatDistributionMatrix matrix,
-                                       KernelMode mode,
-                                       FactorizationOptions factorization)
+MatrixThermalModel::MatrixThermalModel(
+    HeatDistributionMatrix matrix, KernelMode mode,
+    FactorizationOptions factorization,
+    std::shared_ptr<const TemporalFactorization> precomputed)
     : matrix_(std::move(matrix)), requested_(mode),
       history_(matrix_.horizon() * matrix_.numServers(), 0.0)
 {
@@ -344,8 +250,13 @@ MatrixThermalModel::MatrixThermalModel(HeatDistributionMatrix matrix,
 
     const double n = static_cast<double>(matrix_.numServers());
     const double h = static_cast<double>(matrix_.horizon());
+    // A precomputed factorization (the campaign setup cache) must have
+    // been computed from the same matrix with the same options, so
+    // copying it is bit-identical to recomputing -- compute() is
+    // deterministic.
     TemporalFactorization factors =
-        TemporalFactorization::compute(matrix_, factorization);
+        precomputed ? *precomputed
+                    : TemporalFactorization::compute(matrix_, factorization);
     const double factorized_cost =
         static_cast<double>(factors.rank()) * (n * h + n * n);
     const double dense_cost = n * n * h;
@@ -442,13 +353,12 @@ MatrixThermalModel::pushPowers(const std::vector<Kilowatts> &powers)
         // `slot` still holds P(t - H) -- exactly the sample leaving the
         // window (zeros while warming up, so the correction is a no-op
         // then): a_q <- lambda_q a_q + P(t) - lambda_q^H P(t - H).
+        // The advance runs through the shared out-of-line kernel so the
+        // lane bank (count = N * kLaneWidth) executes the same code.
         const std::size_t total_modes = modeDecay_.size();
         for (std::size_t q = 0; q < total_modes; ++q) {
-            const double lambda = modeDecay_[q];
-            const double tail = modeTail_[q];
-            double *a = &modeAccum_[q * n];
-            for (std::size_t j = 0; j < n; ++j)
-                a[j] = lambda * a[j] + pnew[j] - tail * slot[j];
+            kernels::streamAccumAdvance(&modeAccum_[q * n], pnew, slot,
+                                        modeDecay_[q], modeTail_[q], n);
         }
         std::copy(pnew, pnew + n, slot);
     } else {
@@ -561,22 +471,35 @@ MatrixThermalModel::updateStreamingRises()
         if (begin == end)
             continue; // a zero factor fits with zero modes
         double *s = streamSum_.data();
-        {
-            const double w = modeWeight_[begin];
-            const double *a = &modeAccum_[begin * n];
-            for (std::size_t j = 0; j < n; ++j)
-                s[j] = w * a[j];
-        }
-        for (std::size_t q = begin + 1; q < end; ++q) {
-            const double w = modeWeight_[q];
-            const double *a = &modeAccum_[q * n];
-            for (std::size_t j = 0; j < n; ++j)
-                s[j] += w * a[j];
-        }
+        kernels::streamCombineFirst(s, &modeAccum_[begin * n],
+                                    modeWeight_[begin], n);
+        for (std::size_t q = begin + 1; q < end; ++q)
+            kernels::streamCombineAdd(s, &modeAccum_[q * n],
+                                      modeWeight_[q], n);
         // ... then the spatial GEMV, rises += U_r s_r (see
-        // accumulateColumnAxpy for the layout and dispatch story).
-        accumulateColumnAxpy(&spatialT_[r * n * n], s, rises, n);
+        // stream_kernels.hh for the layout and dispatch story).
+        kernels::accumulateColumnAxpy(&spatialT_[r * n * n], s, rises, n);
     }
+}
+
+bool
+MatrixThermalModel::streamingStateCompatible(
+    const MatrixThermalModel &other) const
+{
+    // Lane-bank packing predicate: two models can share one SoA arena
+    // only when every constant of the recurrence is bitwise equal (the
+    // bank broadcasts them across lanes) and the ring phase matches
+    // (the bank keeps a single head/filled pair for the group).
+    return active_ == KernelMode::Streaming &&
+           other.active_ == KernelMode::Streaming &&
+           matrix_.numServers() == other.matrix_.numServers() &&
+           matrix_.horizon() == other.matrix_.horizon() &&
+           modeDecay_ == other.modeDecay_ &&
+           modeTail_ == other.modeTail_ &&
+           modeWeight_ == other.modeWeight_ &&
+           rankModeBegin_ == other.rankModeBegin_ &&
+           spatialT_ == other.spatialT_ &&
+           head_ == other.head_ && filled_ == other.filled_;
 }
 
 CelsiusDelta

@@ -32,6 +32,7 @@
 #define ECOLO_THERMAL_HEAT_MATRIX_HH
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -150,10 +151,18 @@ bool parseKernelMode(std::string_view text, KernelMode &out);
 class MatrixThermalModel
 {
   public:
+    /**
+     * `precomputed`, when set, must be the result of
+     * TemporalFactorization::compute over the same matrix and options;
+     * the model copies it instead of re-running the fit (compute() is
+     * deterministic, so behavior is bit-identical). Campaign drivers
+     * use this to factorize a shared heat tensor once.
+     */
     explicit MatrixThermalModel(
         HeatDistributionMatrix matrix,
         KernelMode mode = KernelMode::Auto,
-        FactorizationOptions factorization = FactorizationOptions());
+        FactorizationOptions factorization = FactorizationOptions(),
+        std::shared_ptr<const TemporalFactorization> precomputed = {});
 
     std::size_t numServers() const { return matrix_.numServers(); }
 
@@ -210,7 +219,16 @@ class MatrixThermalModel
     /** Total exponential modes across ranks (0 unless streaming). */
     std::size_t streamingModeCount() const { return modeDecay_.size(); }
 
+    /**
+     * True when this model and `other` both run the streaming kernel
+     * with bitwise-equal recurrence constants (decays, tails, weights,
+     * spatial factors) and the same ring phase -- the precondition for
+     * advancing both in one LaneThermalBank arena.
+     */
+    bool streamingStateCompatible(const MatrixThermalModel &other) const;
+
   private:
+    friend class LaneThermalBank;
     void computeAllRisesDense(std::vector<double> &rises_out) const;
     void computeAllRisesFactorized(std::vector<double> &rises_out) const;
     void initStreamingState();

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * LaneThermalBank: SoA arena advancing 8 streaming thermal models at once.
+ *
+ * The streaming kernel's per-slot work (mode-accumulator advance, ring
+ * rotation, mode combine, spatial GEMV) is elementwise or GEMV-shaped,
+ * so eight independent simulations' states can be interleaved lane-wise
+ * -- arrays indexed [..., lane] with lane innermost -- and advanced by
+ * the same shared kernels over count = N * 8 elements, or by the
+ * lane-vectorized GEMV, in one pass. Per lane the arithmetic is bitwise
+ * what the scalar model computes (see stream_kernels.hh), so a
+ * simulation advanced through the bank reports exactly what it would
+ * alone.
+ *
+ * Masking, not branching: the bank always advances all 8 lanes. A lane
+ * with no simulation attached (or whose simulation finished early) has
+ * its new-power scratch zeroed every slot by beginSlot(), so its state
+ * decays harmlessly and is never read. Ownership protocol: gatherLane()
+ * copies a model's streaming state in, the bank is then authoritative
+ * until scatterLane() copies it back (restoring checkpointability);
+ * all lanes in a bank share one ring phase (head/filled), which the
+ * packing predicate MatrixThermalModel::streamingStateCompatible
+ * guarantees.
+ */
+
+#ifndef ECOLO_THERMAL_LANE_BANK_HH
+#define ECOLO_THERMAL_LANE_BANK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/heat_matrix.hh"
+#include "thermal/stream_kernels.hh"
+#include "util/units.hh"
+
+namespace ecolo::thermal {
+
+class LaneThermalBank
+{
+  public:
+    /** Lanes per bank: one 8-wide double vector. */
+    static constexpr std::size_t kLanes = kernels::kLaneWidth;
+
+    LaneThermalBank() = default;
+
+    /**
+     * Size the arena and copy the recurrence constants (decays, tails,
+     * weights, spatial factors, ring phase) from a reference model.
+     * Every model later gathered must be streamingStateCompatible with
+     * the reference. Allocates; call once per (re)packing, not per slot.
+     */
+    void configure(const MatrixThermalModel &reference);
+
+    /**
+     * Re-adopt the ring phase (head/filled) from a model about to be
+     * gathered -- e.g. at a run boundary after the models were restored
+     * from a checkpoint. Every model gathered afterwards must share it.
+     */
+    void adoptPhase(const MatrixThermalModel &model);
+
+    /** Copy `model`'s streaming state (accumulators, ring, cached
+     * rises) into lane `l`. The bank is authoritative for the lane
+     * until scatterLane. */
+    void gatherLane(std::size_t l, const MatrixThermalModel &model);
+
+    /** Copy lane `l`'s state back into `model`, including the shared
+     * ring phase, restoring normal scalar operation / checkpointing. */
+    void scatterLane(std::size_t l, MatrixThermalModel &model) const;
+
+    /** Start a slot: zero the new-power scratch so lanes that do not
+     * call setLanePowers this slot (dead or finished) push zeros. */
+    void beginSlot();
+
+    /** Record lane `l`'s per-server heat for the current slot. */
+    void setLanePowers(std::size_t l, const std::vector<Kilowatts> &powers);
+
+    /** Advance every lane one minute: accumulator advance, ring
+     * rotation, rise recomputation. Allocation-free. */
+    void step();
+
+    /**
+     * Lane `l`'s rises as a strided view: element i lives at
+     * laneRises(l)[i * riseStride()]. Valid until the next step().
+     */
+    const double *laneRises(std::size_t l) const
+    { return risesK_.data() + l; }
+
+    static constexpr std::size_t riseStride() { return kLanes; }
+
+    std::size_t numServers() const { return n_; }
+
+  private:
+    std::size_t n_ = 0;
+    std::size_t horizon_ = 0;
+    std::size_t rank_ = 0;
+    std::size_t head_ = 0;
+    std::size_t filled_ = 0;
+
+    // Recurrence constants, copied from the reference model.
+    std::vector<double> modeDecay_;
+    std::vector<double> modeTail_;
+    std::vector<double> modeWeight_;
+    std::vector<std::size_t> rankModeBegin_;
+    std::vector<double> spatialT_; //!< [r][j][i], as in the model
+
+    // Lane-interleaved state (lane index innermost throughout).
+    std::vector<double> accumK_; //!< [q][j][lane]
+    std::vector<double> ringK_;  //!< [slot][j][lane]
+    std::vector<double> pnewK_;  //!< [j][lane] this slot's powers
+    std::vector<double> sK_;     //!< [j][lane] per-rank combined state
+    std::vector<double> risesK_; //!< [i][lane]
+};
+
+} // namespace ecolo::thermal
+
+#endif // ECOLO_THERMAL_LANE_BANK_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared numeric kernels of the streaming thermal recurrence.
+ *
+ * The scalar model (MatrixThermalModel) and the lane-batched bank
+ * (LaneThermalBank) must produce byte-identical results: a simulation
+ * advanced inside an 8-lane SoA group has to report exactly what it
+ * would have reported alone. The only robust way to guarantee that is
+ * to run both paths through the *same machine code*, so every
+ * elementwise update (mode-accumulator advance, mode combine) lives
+ * here as an out-of-line function called with count = N by the scalar
+ * model and count = N * kLaneWidth by the bank -- same loop body, same
+ * contraction decisions, per-element results identical by construction.
+ *
+ * The GEMV pair is different code (the vector axis moves from output
+ * rows to lanes) but replicates the scalar association exactly per
+ * (row, lane): four accumulator chains over column groups of four,
+ * leftovers into chain 0, combined as (c0 + c1) + (c2 + c3), with the
+ * scalar row tail (rows beyond the last full 8-block) using a single
+ * serial chain. Both functions carry the same target_clones attribute
+ * set, so the runtime resolver picks the same ISA -- and therefore the
+ * same per-element FMA contraction -- for both.
+ */
+
+#ifndef ECOLO_THERMAL_STREAM_KERNELS_HH
+#define ECOLO_THERMAL_STREAM_KERNELS_HH
+
+#include <cstddef>
+
+namespace ecolo::thermal::kernels {
+
+/** Lanes per SIMD group: one 8-wide double vector (a Vec8). */
+inline constexpr std::size_t kLaneWidth = 8;
+
+/**
+ * Mode-accumulator advance, a[k] = lambda * a[k] + pnew[k] - tail *
+ * slot[k] for k in [0, count). The scalar model calls it once per mode
+ * with count = N; the lane bank with count = N * kLaneWidth over the
+ * lane-interleaved arena.
+ */
+void streamAccumAdvance(double *a, const double *pnew, const double *slot,
+                        double lambda, double tail, std::size_t count);
+
+/** First mode of a rank: s[k] = w * a[k]. */
+void streamCombineFirst(double *s, const double *a, double w,
+                        std::size_t count);
+
+/** Subsequent modes: s[k] += w * a[k]. */
+void streamCombineAdd(double *s, const double *a, double w,
+                      std::size_t count);
+
+/**
+ * The streaming kernel's only O(N^2) step: rises[i] += sum_j s[j] *
+ * ut[j * n + i] with the spatial factor stored transposed, so the inner
+ * loop is independent contiguous adds (vectorizable under strict FP;
+ * the row-wise reduction form is not). Function multi-versioning
+ * compiles wider-vector clones next to the baseline-ISA default and
+ * dispatches once at load time: the binary stays portable while the hot
+ * loop uses the machine's full vector width. Contraction into FMA
+ * changes only sub-1e-9 rounding; runs on one machine stay
+ * bit-deterministic.
+ */
+void accumulateColumnAxpy(const double *ut, const double *s, double *rises,
+                          std::size_t n);
+
+/**
+ * Lane-batched GEMV over kLaneWidth interleaved states: risesK[i *
+ * kLaneWidth + l] += sum_j sK[j * kLaneWidth + l] * ut[j * n + i].
+ * The per-(row, lane) accumulation order replicates
+ * accumulateColumnAxpy exactly (see file comment), so lane l's rises
+ * are bitwise what the scalar GEMV computes from lane l's state.
+ */
+void laneAccumulateColumnAxpy8(const double *ut, const double *sK,
+                               double *risesK, std::size_t n);
+
+} // namespace ecolo::thermal::kernels
+
+#endif // ECOLO_THERMAL_STREAM_KERNELS_HH

@@ -14,11 +14,15 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/engine.hh"
+#include "core/lane_batch.hh"
+#include "core/setup_cache.hh"
 #include "faults/schedule.hh"
 
 namespace {
@@ -148,6 +152,40 @@ TEST(ZeroAllocation, DegradedModeSlotLoopIsAllocationFree)
 
     EXPECT_EQ(allocationsDuring(sim, 360), 0)
         << "the degraded-mode slot loop touched the heap";
+}
+
+TEST(ZeroAllocation, LaneBatchSlotLoopIsAllocationFree)
+{
+    // Four fingerprint-equal simulations packed into one group exercise
+    // the full lane-batch fast path -- shared benign workload, SoA
+    // thermal bank, masked finish bookkeeping -- which must be as
+    // allocation-free as the scalar loop it replaces.
+    auto cache = std::make_shared<SetupCache>();
+    auto config = SimulationConfig::paperDefault();
+    config.seed = 99;
+    config.setupCache = cache;
+
+    std::vector<std::unique_ptr<Simulation>> sims;
+    for (double threshold : {7.2, 7.4, 7.6, 7.8}) {
+        sims.push_back(std::make_unique<Simulation>(
+            config, makeMyopicPolicy(config, Kilowatts(threshold))));
+    }
+
+    LaneBatchRunner runner;
+    for (auto &sim : sims)
+        runner.add(*sim, 30 + 360);
+
+    // Warmup: forms the groups, sizes the bank arena and every per-lane
+    // scratch buffer, and fills the thermal horizon.
+    runner.run(30);
+
+    const long long before = g_news.load(std::memory_order_relaxed);
+    runner.run(360);
+    const long long during =
+        g_news.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(during, 0)
+        << "the lane-batched slot loop touched the heap";
+    EXPECT_TRUE(runner.finished());
 }
 
 } // namespace
