@@ -1,5 +1,10 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hh"
 #include "util/socket.hh"
 
 namespace ecolo::serve {
@@ -30,6 +35,8 @@ ServeClient::submit(const RequestSpec &spec,
     auto conn = util::connectLoopback(port_);
     if (!conn)
         return conn.error();
+    if (receiveTimeoutMs_ > 0)
+        (void)conn.value().setReceiveTimeout(receiveTimeoutMs_);
 
     SubmitPayload payload;
     payload.priority = spec.priority;
@@ -40,7 +47,7 @@ ServeClient::submit(const RequestSpec &spec,
     payload.horizonMinutes = spec.horizonMinutes;
     payload.scenarioText = spec.scenarioText;
     ECOLO_TRY_VOID(writeFrame(conn.value(), MessageType::Submit, 0,
-                              encodeSubmit(payload)));
+                              encodeSubmit(payload), spec.deadlineMs));
 
     SubmitOutcome outcome;
     for (;;) {
@@ -118,12 +125,70 @@ ServeClient::submit(const RequestSpec &spec,
     }
 }
 
+std::uint32_t
+backoffDelayMs(const RetryPolicy &policy, std::size_t attempt,
+               double jitter)
+{
+    if (attempt == 0)
+        attempt = 1;
+    // base * 2^(attempt-1), saturating well before uint32 overflow.
+    double delay = static_cast<double>(policy.baseBackoffMs);
+    for (std::size_t i = 1;
+         i < attempt && delay < static_cast<double>(policy.maxBackoffMs);
+         ++i)
+        delay *= 2.0;
+    delay = std::min(delay, static_cast<double>(policy.maxBackoffMs));
+    // +-50% jitter de-synchronizes a retry stampede; deterministic so a
+    // seeded chaos run is reproducible end to end.
+    delay *= 0.5 + jitter;
+    return static_cast<std::uint32_t>(std::max(delay, 1.0));
+}
+
+util::Result<SubmitOutcome>
+ServeClient::submitWithRetry(const RequestSpec &spec,
+                             const RetryPolicy &policy,
+                             std::size_t *attempts_out,
+                             const AcceptedCallback &on_accepted,
+                             const StatusCallback &on_status)
+{
+    const std::size_t max_attempts = std::max<std::size_t>(
+        policy.maxAttempts, 1);
+    Rng jitter(policy.jitterSeed);
+    util::Result<SubmitOutcome> last =
+        ECOLO_ERROR(util::ErrorCode::StateError, "no submit attempted");
+    for (std::size_t attempt = 1;; ++attempt) {
+        last = submit(spec, on_accepted, on_status);
+        if (attempts_out)
+            *attempts_out = attempt;
+        std::uint32_t wait_ms = 0;
+        if (!last) {
+            // Transport failure: the conversation died without a
+            // terminal frame. Content-addressing makes the re-submit
+            // idempotent.
+            wait_ms = backoffDelayMs(policy, attempt, jitter.uniform());
+        } else if (last.value().status == OutcomeStatus::RetryLater) {
+            // Honor the server's hint, but never back off less than
+            // the policy says.
+            wait_ms = std::max(last.value().retryAfterMs,
+                               backoffDelayMs(policy, attempt,
+                                              jitter.uniform()));
+        } else {
+            return last; // terminal: completed, cancelled, ... or ERROR
+        }
+        if (attempt >= max_attempts)
+            return last;
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    }
+}
+
 util::Result<bool>
 ServeClient::cancel(std::uint64_t request_id)
 {
     auto conn = util::connectLoopback(port_);
     if (!conn)
         return conn.error();
+    if (receiveTimeoutMs_ > 0)
+        (void)conn.value().setReceiveTimeout(receiveTimeoutMs_);
     ECOLO_TRY_VOID(writeFrame(conn.value(), MessageType::Cancel, 0,
                               encodeCancel(CancelPayload{request_id})));
     auto frame = readFrame(conn.value());
@@ -145,6 +210,8 @@ ServeClient::stats()
     auto conn = util::connectLoopback(port_);
     if (!conn)
         return conn.error();
+    if (receiveTimeoutMs_ > 0)
+        (void)conn.value().setReceiveTimeout(receiveTimeoutMs_);
     ECOLO_TRY_VOID(
         writeFrame(conn.value(), MessageType::Stats, 0, ""));
     auto frame = readFrame(conn.value());
@@ -166,6 +233,8 @@ ServeClient::shutdown()
     auto conn = util::connectLoopback(port_);
     if (!conn)
         return conn.error();
+    if (receiveTimeoutMs_ > 0)
+        (void)conn.value().setReceiveTimeout(receiveTimeoutMs_);
     ECOLO_TRY_VOID(
         writeFrame(conn.value(), MessageType::Shutdown, 0, ""));
     auto frame = readFrame(conn.value());

@@ -10,6 +10,17 @@
  * caller observe the assigned request id the moment ACCEPTED arrives --
  * which is what a canceller needs, since CANCEL travels on a second
  * connection while submit() is still streaming.
+ *
+ * submitWithRetry() layers a deterministic retry loop on top: transport
+ * failures (the connection died mid-conversation -- exactly what the
+ * chaos layer injects) and RETRY_AFTER backpressure are retried with
+ * capped exponential backoff plus seeded jitter; server-side
+ * rejections (ERROR frames, including DEADLINE_EXCEEDED) are not,
+ * because the server answered definitively. Retrying a submit is safe
+ * even when the first attempt's run is still in flight server-side:
+ * requests are content-addressed, so the retry either hits the result
+ * cache or re-runs the same deterministic simulation to byte-identical
+ * bytes.
  */
 
 #ifndef ECOLO_SERVE_CLIENT_HH
@@ -34,7 +45,33 @@ struct RequestSpec
     bool paramSet = false; //!< false: server applies the policy default
     std::int64_t horizonMinutes = 0;
     std::string scenarioText;
+    /**
+     * Request budget in wall milliseconds, carried in the frame header;
+     * 0 = none. The server starts the clock at frame receipt and
+     * answers ERROR{DeadlineExceeded} when it expires, queued or
+     * mid-simulation.
+     */
+    std::uint32_t deadlineMs = 0;
 };
+
+/** Capped exponential backoff with deterministic jitter. */
+struct RetryPolicy
+{
+    std::size_t maxAttempts = 3; //!< total tries, including the first
+    std::uint32_t baseBackoffMs = 50;
+    std::uint32_t maxBackoffMs = 2000;
+    /** Seeds the jitter stream; same seed + same outcomes = same waits. */
+    std::uint64_t jitterSeed = 1;
+};
+
+/**
+ * The wait before attempt `attempt` (1-based: the delay taken after
+ * attempt N failed, before attempt N+1 runs, is backoffDelayMs(policy,
+ * N, ...)). Exponential in the attempt number, capped at maxBackoffMs,
+ * with +-50% deterministic jitter from `jitter` in [0, 1).
+ */
+std::uint32_t backoffDelayMs(const RetryPolicy &policy,
+                             std::size_t attempt, double jitter);
 
 /** How a submitted run resolved. */
 enum class OutcomeStatus
@@ -81,6 +118,28 @@ class ServeClient
            const AcceptedCallback &on_accepted = nullptr,
            const StatusCallback &on_status = nullptr);
 
+    /**
+     * submit(), retried per `policy` on transport errors and
+     * RETRY_AFTER (waiting the larger of the server's hint and the
+     * backoff). Returns the last attempt's result when retries are
+     * exhausted. `attempts_out`, when non-null, receives the number of
+     * attempts made.
+     */
+    util::Result<SubmitOutcome>
+    submitWithRetry(const RequestSpec &spec, const RetryPolicy &policy,
+                    std::size_t *attempts_out = nullptr,
+                    const AcceptedCallback &on_accepted = nullptr,
+                    const StatusCallback &on_status = nullptr);
+
+    /**
+     * Per-connection receive timeout for subsequent calls; <= 0 leaves
+     * the OS default (block forever). A slow-loris server (or a chaos
+     * delay rule) then surfaces as a transport error, which
+     * submitWithRetry treats as retryable.
+     */
+    void setReceiveTimeoutMs(int timeout_ms)
+    { receiveTimeoutMs_ = timeout_ms; }
+
     /** Flag a queued/running request; false when the id is unknown. */
     util::Result<bool> cancel(std::uint64_t request_id);
 
@@ -92,6 +151,7 @@ class ServeClient
 
   private:
     std::uint16_t port_;
+    int receiveTimeoutMs_ = 0;
 };
 
 } // namespace ecolo::serve

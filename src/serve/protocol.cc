@@ -225,7 +225,7 @@ isKnownMessageType(std::uint32_t raw)
 
 std::string
 encodeFrame(MessageType type, std::uint64_t request_id,
-            const std::string &payload)
+            const std::string &payload, std::uint32_t deadline_ms)
 {
     std::string out;
     out.reserve(kHeaderBytes + payload.size());
@@ -233,6 +233,7 @@ encodeFrame(MessageType type, std::uint64_t request_id,
     putU32(out, kRpcVersion);
     putU32(out, static_cast<std::uint32_t>(type));
     putU64(out, request_id);
+    putU32(out, deadline_ms);
     putU32(out, static_cast<std::uint32_t>(payload.size()));
     out.append(payload);
     return out;
@@ -341,13 +342,14 @@ encodeCancelAck(const CancelAckPayload &p)
 util::Result<FrameHeader>
 decodeHeader(const unsigned char (&buf)[kHeaderBytes])
 {
-    std::uint32_t magic, version, type, payload_len;
+    std::uint32_t magic, version, type, deadline_ms, payload_len;
     std::uint64_t request_id;
     std::memcpy(&magic, buf + 0, 4);
     std::memcpy(&version, buf + 4, 4);
     std::memcpy(&type, buf + 8, 4);
     std::memcpy(&request_id, buf + 12, 8);
-    std::memcpy(&payload_len, buf + 20, 4);
+    std::memcpy(&deadline_ms, buf + 20, 4);
+    std::memcpy(&payload_len, buf + 24, 4);
 
     if (magic != kRpcMagic) {
         return ECOLO_ERROR(util::ErrorCode::ParseError,
@@ -372,6 +374,7 @@ decodeHeader(const unsigned char (&buf)[kHeaderBytes])
     FrameHeader header;
     header.type = static_cast<MessageType>(type);
     header.requestId = request_id;
+    header.deadlineMs = deadline_ms;
     header.payloadLen = payload_len;
     return header;
 }
@@ -466,7 +469,7 @@ decodeError(const std::string &bytes)
     Cursor c(bytes);
     ErrorPayload p;
     const std::uint32_t code = c.u32();
-    if (c.ok() && (code < 1 || code > 5))
+    if (c.ok() && (code < 1 || code > 6))
         c.fail("bad rpc error code ", code);
     p.code = static_cast<RpcErrorCode>(code);
     p.message = c.str();
@@ -505,6 +508,7 @@ readFrame(util::TcpConnection &conn)
     Frame frame;
     frame.type = header.value().type;
     frame.requestId = header.value().requestId;
+    frame.deadlineMs = header.value().deadlineMs;
     frame.payload.resize(header.value().payloadLen);
     if (header.value().payloadLen > 0) {
         ECOLO_TRY_VOID(
@@ -515,9 +519,11 @@ readFrame(util::TcpConnection &conn)
 
 util::Result<void>
 writeFrame(util::TcpConnection &conn, MessageType type,
-           std::uint64_t request_id, const std::string &payload)
+           std::uint64_t request_id, const std::string &payload,
+           std::uint32_t deadline_ms)
 {
-    const std::string frame = encodeFrame(type, request_id, payload);
+    const std::string frame =
+        encodeFrame(type, request_id, payload, deadline_ms);
     return conn.writeAll(frame.data(), frame.size());
 }
 

@@ -1,16 +1,22 @@
 /**
  * @file
- * edgetherm-rpc-v1: the length-prefixed binary wire protocol between
+ * edgetherm-rpc-v2: the length-prefixed binary wire protocol between
  * edgetherm-serve and its clients.
  *
  * Every message is one frame:
  *
  *     u32 magic      "ERPC" (0x45525043)
- *     u32 version    1
+ *     u32 version    2
  *     u32 type       MessageType
  *     u64 requestId  server-assigned id (0 before assignment)
+ *     u32 deadlineMs request budget in ms from server receipt (0 = none)
  *     u32 payloadLen bytes that follow (<= kMaxPayloadBytes)
  *     u8[payloadLen] type-specific payload
+ *
+ * v2 extends v1 by inserting the deadlineMs header field; the deadline
+ * is meaningful on request frames only (responses carry 0). A request
+ * whose budget expires -- queued or mid-simulation -- is answered with
+ * ErrorReply{DeadlineExceeded}, never silence.
  *
  * All integers little-endian; doubles are raw IEEE-754 bytes; strings
  * are u32 length + bytes. Parsing is strict and total: decode functions
@@ -40,10 +46,10 @@
 namespace ecolo::serve {
 
 inline constexpr std::uint32_t kRpcMagic = 0x45525043; // "ERPC"
-inline constexpr std::uint32_t kRpcVersion = 1;
+inline constexpr std::uint32_t kRpcVersion = 2;
 /** Upper bound on one frame's payload (reports are ~10 KiB). */
 inline constexpr std::size_t kMaxPayloadBytes = 4u << 20;
-inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kHeaderBytes = 28;
 
 /** Frame types. Requests are 1..9, responses 10+. */
 enum class MessageType : std::uint32_t
@@ -83,6 +89,7 @@ enum class RpcErrorCode : std::uint32_t
     Unavailable = 3,     //!< server draining; resubmit elsewhere/later
     UnknownRequest = 4,  //!< cancel target not queued or running
     Internal = 5,        //!< server-side failure
+    DeadlineExceeded = 6, //!< request budget expired before completion
 };
 
 // ---- Payload structs ----
@@ -158,13 +165,15 @@ struct Frame
 {
     MessageType type = MessageType::ErrorReply;
     std::uint64_t requestId = 0;
+    std::uint32_t deadlineMs = 0; //!< request budget (0 = no deadline)
     std::string payload;
 };
 
 // ---- Encoding ----
 
 std::string encodeFrame(MessageType type, std::uint64_t request_id,
-                        const std::string &payload);
+                        const std::string &payload,
+                        std::uint32_t deadline_ms = 0);
 
 std::string encodeSubmit(const SubmitPayload &p);
 std::string encodeCancel(const CancelPayload &p);
@@ -180,11 +189,12 @@ std::string encodeCancelAck(const CancelAckPayload &p);
 
 // ---- Strict decoding ----
 
-/** Parse a 24-byte header; validates magic, version, type, length. */
+/** Parse a 28-byte header; validates magic, version, type, length. */
 struct FrameHeader
 {
     MessageType type = MessageType::ErrorReply;
     std::uint64_t requestId = 0;
+    std::uint32_t deadlineMs = 0;
     std::uint32_t payloadLen = 0;
 };
 util::Result<FrameHeader> decodeHeader(const unsigned char (&buf)[kHeaderBytes]);
@@ -210,7 +220,8 @@ util::Result<Frame> readFrame(util::TcpConnection &conn);
 /** Write one complete frame to the connection. */
 util::Result<void> writeFrame(util::TcpConnection &conn, MessageType type,
                               std::uint64_t request_id,
-                              const std::string &payload);
+                              const std::string &payload,
+                              std::uint32_t deadline_ms = 0);
 
 } // namespace ecolo::serve
 

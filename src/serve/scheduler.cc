@@ -50,7 +50,9 @@ Scheduler::~Scheduler() { drain(false); }
 
 Scheduler::SubmitResult
 Scheduler::submit(std::uint64_t id, Lane lane,
-                  const std::string &client_id, JobFn job)
+                  const std::string &client_id, JobFn job,
+                  std::optional<std::chrono::steady_clock::time_point>
+                      deadline)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
@@ -67,6 +69,7 @@ Scheduler::submit(std::uint64_t id, Lane lane,
     entry.id = id;
     entry.lane = lane;
     entry.fn = std::move(job);
+    entry.deadline = deadline;
     liveTokens_.emplace(id, entry.token);
     lanes_[static_cast<int>(lane)].push(client_id, std::move(entry));
     ++stats_.admitted;
@@ -123,6 +126,11 @@ Scheduler::workerLoop()
                 if (draining_)
                     return;
                 continue;
+            }
+            if (job.deadline && !job.token.cancelled() &&
+                std::chrono::steady_clock::now() >= *job.deadline) {
+                job.token.cancel(CancelReason::Deadline);
+                ++stats_.deadlineExpiredQueued;
             }
             ++stats_.runningNow;
         }

@@ -37,6 +37,7 @@
 #define ECOLO_SERVE_SCHEDULER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,6 +45,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "util/parallel.hh"
@@ -61,8 +63,9 @@ enum class Lane : int
 enum class CancelReason : int
 {
     None = 0,
-    Client = 1, //!< explicit CANCEL request
-    Drain = 2,  //!< server shutting down; checkpoint if configured
+    Client = 1,   //!< explicit CANCEL request
+    Drain = 2,    //!< server shutting down; checkpoint if configured
+    Deadline = 3, //!< request budget expired (queued or mid-run)
 };
 
 /** Shared cooperative-cancellation flag; cheap to copy into jobs. */
@@ -127,6 +130,8 @@ class Scheduler
         std::uint64_t rejectedDraining = 0;
         std::uint64_t completed = 0;
         std::uint64_t cancelled = 0; //!< completed with a cancelled token
+        /** Jobs whose deadline had already expired at dispatch. */
+        std::uint64_t deadlineExpiredQueued = 0;
         std::uint64_t dispatchedInteractive = 0;
         std::uint64_t dispatchedBatch = 0;
         std::size_t queuedNow = 0;
@@ -146,10 +151,17 @@ class Scheduler
 
     /**
      * Enqueue a job under (lane, client). @param id must be unique among
-     * live jobs (the server's request id). Never blocks.
+     * live jobs (the server's request id). Never blocks. An optional
+     * deadline makes the timeout cooperative end to end: a job whose
+     * deadline has passed by the time a worker picks it up is dispatched
+     * with its token already cancelled (CancelReason::Deadline), so the
+     * body answers the client immediately instead of simulating.
      */
-    SubmitResult submit(std::uint64_t id, Lane lane,
-                        const std::string &client_id, JobFn job);
+    SubmitResult
+    submit(std::uint64_t id, Lane lane, const std::string &client_id,
+           JobFn job,
+           std::optional<std::chrono::steady_clock::time_point>
+               deadline = std::nullopt);
 
     /**
      * Flag a queued or running job's token. Returns false when the id
@@ -183,6 +195,7 @@ class Scheduler
         Lane lane = Lane::Interactive;
         JobFn fn;
         CancelToken token;
+        std::optional<std::chrono::steady_clock::time_point> deadline;
     };
 
     struct LaneQueue

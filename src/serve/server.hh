@@ -2,7 +2,7 @@
  * @file
  * edgetherm-serve: the long-running simulation server.
  *
- * Wires the edgetherm-rpc-v1 protocol, the priority scheduler, and the
+ * Wires the edgetherm-rpc-v2 protocol, the priority scheduler, and the
  * content-addressed result cache into one drainable service:
  *
  * - an acceptor thread polls the loopback listener and hands each
@@ -28,17 +28,21 @@
 #define ECOLO_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/config.hh"
+#include "serve/journal.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 #include "serve/scheduler.hh"
+#include "telemetry/latency.hh"
 #include "util/result.hh"
 #include "util/socket.hh"
 
@@ -66,6 +70,13 @@ struct ServerOptions
      * horizon.
      */
     std::string drainCheckpointDir;
+    /**
+     * When non-empty, admitted requests are journaled (write-ahead,
+     * fdatasync'd before ACCEPTED) into `<journalDir>/requests.wal`,
+     * and a restarted server replays admitted-but-unfinished requests
+     * so their results land in the cache byte-identically.
+     */
+    std::string journalDir;
 };
 
 class Server
@@ -101,6 +112,24 @@ class Server
     ResultCache::Stats cacheStats() const { return cache_.stats(); }
     Scheduler::Stats schedulerStats() const { return scheduler_.stats(); }
 
+    /** Journal counters (zeros when no journalDir is configured). */
+    struct JournalStats
+    {
+        std::uint64_t recovered = 0; //!< pending found at startup
+        std::uint64_t replayed = 0;  //!< replays that reached an outcome
+        std::uint64_t pending = 0;   //!< recovered minus replayed
+        std::uint64_t appendFailures = 0;
+    };
+    JournalStats journalStats() const;
+
+    /** Per-lane request latency (submit receipt -> terminal frame). */
+    telemetry::TailLatency::Snapshot latencySnapshot(Lane lane) const
+    { return latency_[static_cast<int>(lane)].snapshot(); }
+
+    /** Requests answered with ErrorReply{DeadlineExceeded}. */
+    std::uint64_t deadlineExceededCount() const
+    { return deadlineExceeded_.load(std::memory_order_relaxed); }
+
     /**
      * Mirror serve.* stats into the telemetry registry and render the
      * edgetherm-metrics-v1 JSON document.
@@ -108,15 +137,41 @@ class Server
     std::string metricsJson() const;
 
   private:
+    /** A validated, runnable request (shared by submit and replay). */
+    struct PreparedRequest
+    {
+        core::SimulationConfig config;
+        CacheKey key;
+        Lane lane = Lane::Interactive;
+    };
+
     void acceptLoop();
     void handleConnection(std::shared_ptr<util::TcpConnection> conn);
     void handleSubmit(std::shared_ptr<util::TcpConnection> conn,
                       const Frame &frame);
-    void runSimulationJob(std::shared_ptr<util::TcpConnection> conn,
-                          std::uint64_t request_id,
-                          const SubmitPayload &request,
-                          const core::SimulationConfig &config,
-                          const CacheKey &key, const CancelToken &token);
+    /**
+     * Validate + canonicalize a SUBMIT payload: policy/horizon checks,
+     * scenario parse/apply, default param fill-in, cache key. Mutates
+     * `request` (clientId default, param default).
+     */
+    util::Result<PreparedRequest> prepareRequest(SubmitPayload &request);
+    /**
+     * Run one admitted simulation. `conn` may be null (journal replay):
+     * all frame writes are skipped, but the cache fill, journal outcome,
+     * and latency accounting still happen.
+     */
+    void runSimulationJob(
+        std::shared_ptr<util::TcpConnection> conn,
+        std::uint64_t request_id, const SubmitPayload &request,
+        const core::SimulationConfig &config, const CacheKey &key,
+        const CancelToken &token,
+        std::optional<std::chrono::steady_clock::time_point> deadline,
+        std::chrono::steady_clock::time_point received);
+    void replayRecovered();
+    void recordLatency(Lane lane,
+                       std::chrono::steady_clock::time_point received);
+    void recordJournalOutcome(std::uint64_t request_id,
+                              JournalOutcome outcome);
     void reapHandlerThreadsLocked();
 
     const ServerOptions options_;
@@ -125,6 +180,8 @@ class Server
 
     Scheduler scheduler_;
     ResultCache cache_;
+    std::unique_ptr<RequestJournal> journal_;
+    mutable telemetry::TailLatency latency_[2];
 
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};
@@ -132,6 +189,10 @@ class Server
 
     std::atomic<std::uint64_t> connectionsAccepted_{0};
     std::atomic<std::uint64_t> protocolErrors_{0};
+    std::atomic<std::uint64_t> deadlineExceeded_{0};
+    std::atomic<std::uint64_t> journalRecovered_{0};
+    std::atomic<std::uint64_t> journalReplayed_{0};
+    std::atomic<std::uint64_t> journalAppendFailures_{0};
 
     std::thread schedulerThread_;
     std::thread acceptThread_;

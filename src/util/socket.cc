@@ -1,7 +1,11 @@
 #include "util/socket.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -23,14 +27,37 @@ errnoError(const char *what, int err)
                        std::strerror(err));
 }
 
+std::mutex g_injector_mutex;
+std::shared_ptr<SocketFaultInjector> g_injector;
+
 } // namespace
 
+std::shared_ptr<SocketFaultInjector>
+setGlobalSocketFaultInjector(std::shared_ptr<SocketFaultInjector> injector)
+{
+    std::lock_guard<std::mutex> lock(g_injector_mutex);
+    std::swap(g_injector, injector);
+    return injector;
+}
+
+std::shared_ptr<SocketFaultInjector>
+globalSocketFaultInjector()
+{
+    std::lock_guard<std::mutex> lock(g_injector_mutex);
+    return g_injector;
+}
+
 // ---- TcpConnection ----
+
+TcpConnection::TcpConnection(int fd)
+    : fd_(fd), injector_(globalSocketFaultInjector())
+{}
 
 TcpConnection::~TcpConnection() { close(); }
 
 TcpConnection::TcpConnection(TcpConnection &&other) noexcept
-    : fd_(std::exchange(other.fd_, -1))
+    : fd_(std::exchange(other.fd_, -1)),
+      injector_(std::move(other.injector_))
 {}
 
 TcpConnection &
@@ -39,8 +66,16 @@ TcpConnection::operator=(TcpConnection &&other) noexcept
     if (this != &other) {
         close();
         fd_ = std::exchange(other.fd_, -1);
+        injector_ = std::move(other.injector_);
     }
     return *this;
+}
+
+void
+TcpConnection::setFaultInjector(
+    std::shared_ptr<SocketFaultInjector> injector)
+{
+    injector_ = std::move(injector);
 }
 
 void
@@ -52,6 +87,18 @@ TcpConnection::close()
     }
 }
 
+void
+TcpConnection::resetClose()
+{
+    if (fd_ < 0)
+        return;
+    struct linger lg = {};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    close();
+}
+
 Result<void>
 TcpConnection::writeAll(const void *data, std::size_t size)
 {
@@ -60,7 +107,51 @@ TcpConnection::writeAll(const void *data, std::size_t size)
     const char *p = static_cast<const char *>(data);
     std::size_t left = size;
     while (left > 0) {
-        const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+        std::size_t chunk = left;
+        if (injector_) {
+            using Action = SocketFaultDecision::Action;
+            const SocketFaultDecision d = injector_->onWrite(left);
+            switch (d.action) {
+            case Action::None:
+                break;
+            case Action::Delay:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(d.delayMs));
+                break;
+            case Action::ShortOp:
+                chunk = std::max<std::size_t>(1,
+                    std::min(left, d.maxBytes));
+                break;
+            case Action::Drop:
+                close();
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "chaos: injected connection drop on "
+                                   "write (", left, " bytes unsent)");
+            case Action::Reset:
+                resetClose();
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "chaos: injected connection reset on "
+                                   "write (", left, " bytes unsent)");
+            case Action::Truncate: {
+                std::size_t sent = 0;
+                const std::size_t keep = std::min(left, d.maxBytes);
+                while (sent < keep) {
+                    const ssize_t n = ::send(fd_, p + sent, keep - sent,
+                                             MSG_NOSIGNAL);
+                    if (n < 0 && errno == EINTR)
+                        continue;
+                    if (n <= 0)
+                        break;
+                    sent += static_cast<std::size_t>(n);
+                }
+                close();
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "chaos: injected truncated write (",
+                                   sent, " of ", left, " bytes sent)");
+            }
+            }
+        }
+        const ssize_t n = ::send(fd_, p, chunk, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -80,7 +171,37 @@ TcpConnection::readAll(void *data, std::size_t size)
     char *p = static_cast<char *>(data);
     std::size_t got = 0;
     while (got < size) {
-        const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+        std::size_t chunk = size - got;
+        if (injector_) {
+            using Action = SocketFaultDecision::Action;
+            const SocketFaultDecision d = injector_->onRead(chunk);
+            switch (d.action) {
+            case Action::None:
+                break;
+            case Action::Delay:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(d.delayMs));
+                break;
+            case Action::ShortOp:
+                chunk = std::max<std::size_t>(1,
+                    std::min(chunk, d.maxBytes));
+                break;
+            case Action::Drop:
+            case Action::Truncate:
+                close();
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "chaos: injected connection drop on "
+                                   "read (", got, " of ", size,
+                                   " bytes)");
+            case Action::Reset:
+                resetClose();
+                return ECOLO_ERROR(ErrorCode::IoError,
+                                   "chaos: injected connection reset on "
+                                   "read (", got, " of ", size,
+                                   " bytes)");
+            }
+        }
+        const ssize_t n = ::recv(fd_, p + got, chunk, 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -220,9 +341,34 @@ connectLoopback(std::uint16_t port)
     addr.sin_port = htons(port);
     if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        return ECOLO_ERROR(ErrorCode::IoError,
-                           "cannot connect to 127.0.0.1:", port, ": ",
-                           std::strerror(errno));
+        if (errno != EINTR) {
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "cannot connect to 127.0.0.1:", port,
+                               ": ", std::strerror(errno));
+        }
+        // EINTR: the handshake continues in the background (POSIX says
+        // the connect may not be restarted); wait for the socket to
+        // become writable, then read its final status.
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        for (;;) {
+            const int ready = ::poll(&pfd, 1, -1);
+            if (ready < 0 && errno == EINTR)
+                continue;
+            if (ready < 0)
+                return errnoError("poll while connecting failed", errno);
+            break;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+            return errnoError("getsockopt(SO_ERROR) failed", errno);
+        if (err != 0) {
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "cannot connect to 127.0.0.1:", port,
+                               ": ", std::strerror(err));
+        }
     }
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

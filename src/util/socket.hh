@@ -10,6 +10,14 @@
  * failure, never a process-wide one. Writes use MSG_NOSIGNAL so a
  * client that disconnects mid-response costs the server an error
  * return, not a SIGPIPE.
+ *
+ * For chaos testing, every connection consults an optional
+ * SocketFaultInjector before each low-level send/recv chunk. The
+ * injector can delay the op, clamp it short (forcing the partial-I/O
+ * retry loops to do real work), or kill the connection (silent drop,
+ * RST, or a truncated write). Injected failures surface as ordinary
+ * ErrorCode::IoError results whose message starts with "chaos:"; with
+ * no injector installed the I/O paths are byte-identical to before.
  */
 
 #ifndef ECOLO_UTIL_SOCKET_HH
@@ -17,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,12 +33,56 @@
 
 namespace ecolo::util {
 
+/** What a SocketFaultInjector tells one send/recv chunk to do. */
+struct SocketFaultDecision
+{
+    enum class Action : std::uint8_t
+    {
+        None = 0,    //!< proceed normally
+        Delay = 1,   //!< sleep delayMs, then proceed (slow-loris)
+        ShortOp = 2, //!< clamp this chunk to maxBytes (partial I/O)
+        Drop = 3,    //!< close the socket silently (peer sees EOF)
+        Reset = 4,   //!< abortive close (peer sees ECONNRESET)
+        Truncate = 5, //!< write maxBytes of the chunk, then close
+    };
+
+    Action action = Action::None;
+    int delayMs = 0;           //!< Delay only
+    std::size_t maxBytes = 0;  //!< ShortOp / Truncate clamp (>= 1)
+};
+
+/**
+ * Chaos hook consulted once per low-level send/recv chunk. `want` is
+ * the number of bytes the loop is about to move. Implementations must
+ * be thread-safe: one injector is typically shared by every connection
+ * in the process.
+ */
+class SocketFaultInjector
+{
+  public:
+    virtual ~SocketFaultInjector() = default;
+    virtual SocketFaultDecision onRead(std::size_t want) = 0;
+    virtual SocketFaultDecision onWrite(std::size_t want) = 0;
+};
+
+/**
+ * Install a process-wide injector picked up by every TcpConnection
+ * created *afterwards* (accepted and connected alike); nullptr
+ * uninstalls. Returns the previous injector.
+ */
+std::shared_ptr<SocketFaultInjector>
+setGlobalSocketFaultInjector(std::shared_ptr<SocketFaultInjector> injector);
+
+/** The currently installed process-wide injector (may be null). */
+std::shared_ptr<SocketFaultInjector> globalSocketFaultInjector();
+
 /** One connected stream socket; closes on destruction. */
 class TcpConnection
 {
   public:
     TcpConnection() = default;
-    explicit TcpConnection(int fd) : fd_(fd) {}
+    /** Wraps `fd` and adopts the process-wide fault injector, if any. */
+    explicit TcpConnection(int fd);
     ~TcpConnection();
 
     TcpConnection(TcpConnection &&other) noexcept;
@@ -55,10 +108,17 @@ class TcpConnection
      */
     Result<void> setReceiveTimeout(int milliseconds);
 
+    /** Override (or clear, with nullptr) this connection's injector. */
+    void setFaultInjector(std::shared_ptr<SocketFaultInjector> injector);
+
     void close();
 
   private:
+    /** Abortive close: SO_LINGER{on,0} then close -> peer sees RST. */
+    void resetClose();
+
     int fd_ = -1;
+    std::shared_ptr<SocketFaultInjector> injector_;
 };
 
 /** A listening IPv4 loopback socket. */

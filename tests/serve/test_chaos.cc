@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Network chaos layer tests: chaos.* parsing, deterministic rule firing
+ * (same seed, same fault placement), trigger budgets, and the socket
+ * integration -- short ops must be invisible to the byte stream, drops
+ * and resets must surface as typed "chaos:" IoErrors, and an empty
+ * schedule must install nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faults/chaos.hh"
+#include "util/keyvalue.hh"
+#include "util/socket.hh"
+
+namespace ecolo::faults {
+namespace {
+
+util::Result<ChaosSchedule>
+parseSchedule(const std::string &text)
+{
+    std::istringstream is(text);
+    auto kv = KeyValueConfig::tryParse(is, "<test>");
+    if (!kv)
+        return kv.error();
+    return ChaosSchedule::fromKeyValue(kv.value());
+}
+
+TEST(ChaosSchedule, ParsesRulesAndSeed)
+{
+    const auto schedule = parseSchedule(
+        "chaos.seed = 42\n"
+        "chaos.0.kind = short_op\n"
+        "chaos.0.op = write\n"
+        "chaos.0.probability = 0.25\n"
+        "chaos.0.maxBytes = 3\n"
+        "chaos.1.kind = drop\n"
+        "chaos.1.everyOps = 10\n"
+        "chaos.1.afterOps = 5\n"
+        "chaos.1.maxTriggers = 2\n");
+    ASSERT_TRUE(schedule.ok()) << schedule.error().describe();
+    EXPECT_EQ(schedule.value().seed(), 42u);
+    ASSERT_EQ(schedule.value().size(), 2u);
+    const ChaosRule &first = schedule.value().rules()[0];
+    EXPECT_EQ(first.kind, ChaosKind::ShortOp);
+    EXPECT_EQ(first.op, ChaosOp::Write);
+    EXPECT_DOUBLE_EQ(first.probability, 0.25);
+    EXPECT_EQ(first.maxBytes, 3u);
+    const ChaosRule &second = schedule.value().rules()[1];
+    EXPECT_EQ(second.kind, ChaosKind::Drop);
+    EXPECT_EQ(second.op, ChaosOp::Both);
+    EXPECT_EQ(second.everyOps, 10);
+    EXPECT_EQ(second.afterOps, 5);
+    EXPECT_EQ(second.maxTriggers, 2);
+}
+
+TEST(ChaosSchedule, EmptyDocumentYieldsEmptySchedule)
+{
+    const auto schedule = parseSchedule("thermal.kernel = streaming\n");
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_TRUE(schedule.value().empty());
+    EXPECT_EQ(installGlobalChaosInjector(schedule.value()), nullptr);
+    EXPECT_EQ(util::globalSocketFaultInjector(), nullptr);
+}
+
+TEST(ChaosSchedule, RejectsAmbiguousOrMissingFiring)
+{
+    // Both probability and everyOps.
+    EXPECT_FALSE(parseSchedule("chaos.0.kind = drop\n"
+                               "chaos.0.probability = 0.5\n"
+                               "chaos.0.everyOps = 3\n")
+                     .ok());
+    // Neither.
+    EXPECT_FALSE(parseSchedule("chaos.0.kind = drop\n").ok());
+    // Probability out of range.
+    EXPECT_FALSE(parseSchedule("chaos.0.kind = drop\n"
+                               "chaos.0.probability = 1.5\n")
+                     .ok());
+    // Unknown kind.
+    EXPECT_FALSE(parseSchedule("chaos.0.kind = gremlins\n"
+                               "chaos.0.probability = 0.5\n")
+                     .ok());
+    // delayMs on a non-delay rule.
+    EXPECT_FALSE(parseSchedule("chaos.0.kind = drop\n"
+                               "chaos.0.probability = 0.5\n"
+                               "chaos.0.delayMs = 10\n")
+                     .ok());
+}
+
+TEST(ChaosInjector, EveryOpsCadenceIsExact)
+{
+    ChaosSchedule schedule;
+    ChaosRule rule;
+    rule.kind = ChaosKind::ShortOp;
+    rule.op = ChaosOp::Write;
+    rule.everyOps = 3;
+    rule.maxBytes = 1;
+    ASSERT_TRUE(schedule.add(rule).ok());
+    ChaosInjector injector(schedule);
+
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i) {
+        const auto d = injector.onWrite(100);
+        fired.push_back(d.action ==
+                        util::SocketFaultDecision::Action::ShortOp);
+        // Reads are a different op stream; they must not advance the
+        // write cadence.
+        (void)injector.onRead(100);
+    }
+    const std::vector<bool> expected{false, false, true,  false, false,
+                                     true,  false, false, true};
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(injector.stats().shortOps, 3u);
+    EXPECT_EQ(injector.stats().writeOps, 9u);
+    EXPECT_EQ(injector.stats().readOps, 9u);
+}
+
+TEST(ChaosInjector, SameSeedSameDecisions)
+{
+    ChaosSchedule schedule;
+    schedule.setSeed(99);
+    ChaosRule rule;
+    rule.kind = ChaosKind::ShortOp;
+    rule.probability = 0.3;
+    rule.maxBytes = 2;
+    ASSERT_TRUE(schedule.add(rule).ok());
+
+    const auto run = [&schedule] {
+        ChaosInjector injector(schedule);
+        std::vector<int> decisions;
+        for (int i = 0; i < 64; ++i)
+            decisions.push_back(
+                static_cast<int>(injector.onWrite(16).action));
+        return decisions;
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a, b);
+    // And the stream is not degenerate.
+    EXPECT_NE(std::count(a.begin(), a.end(), 0), 0);
+    EXPECT_NE(std::count(a.begin(), a.end(), 0),
+              static_cast<long>(a.size()));
+}
+
+TEST(ChaosInjector, MaxTriggersBoundsTheBlastRadius)
+{
+    ChaosSchedule schedule;
+    ChaosRule rule;
+    rule.kind = ChaosKind::Drop;
+    rule.everyOps = 1; // would otherwise fire every op
+    rule.maxTriggers = 2;
+    ASSERT_TRUE(schedule.add(rule).ok());
+    ChaosInjector injector(schedule);
+
+    int drops = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (injector.onWrite(8).action ==
+            util::SocketFaultDecision::Action::Drop)
+            ++drops;
+    }
+    EXPECT_EQ(drops, 2);
+    EXPECT_EQ(injector.stats().drops, 2u);
+}
+
+/** A loopback pair for socket-level fault tests. */
+struct Pair
+{
+    util::TcpListener listener;
+    util::TcpConnection client;
+    util::TcpConnection server;
+};
+
+Pair
+makePair()
+{
+    Pair p;
+    auto listener = util::TcpListener::listenLoopback(0);
+    EXPECT_TRUE(listener.ok());
+    p.listener = listener.take();
+    auto client = util::connectLoopback(p.listener.port());
+    EXPECT_TRUE(client.ok());
+    p.client = client.take();
+    auto accepted = p.listener.acceptFor(2000);
+    EXPECT_TRUE(accepted.ok() && accepted.value().has_value());
+    p.server = std::move(*accepted.value());
+    return p;
+}
+
+TEST(ChaosSocket, ShortOpsAreInvisibleToTheByteStream)
+{
+    Pair p = makePair();
+    ChaosSchedule schedule;
+    ChaosRule rule;
+    rule.kind = ChaosKind::ShortOp;
+    rule.everyOps = 2;
+    rule.maxBytes = 3;
+    ASSERT_TRUE(schedule.add(rule).ok());
+    p.client.setFaultInjector(std::make_shared<ChaosInjector>(schedule));
+
+    std::string sent(4096, '\0');
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        sent[i] = static_cast<char>(i * 131 % 251);
+    ASSERT_TRUE(p.client.writeAll(sent.data(), sent.size()).ok());
+
+    std::string got(sent.size(), '\0');
+    ASSERT_TRUE(p.server.readAll(got.data(), got.size()).ok());
+    EXPECT_EQ(got, sent);
+}
+
+TEST(ChaosSocket, DropSurfacesAsTypedChaosError)
+{
+    Pair p = makePair();
+    ChaosSchedule schedule;
+    ChaosRule rule;
+    rule.kind = ChaosKind::Drop;
+    rule.op = ChaosOp::Write;
+    rule.everyOps = 1;
+    ASSERT_TRUE(schedule.add(rule).ok());
+    p.client.setFaultInjector(std::make_shared<ChaosInjector>(schedule));
+
+    const char byte = 'x';
+    const auto written = p.client.writeAll(&byte, 1);
+    ASSERT_FALSE(written.ok());
+    EXPECT_EQ(written.error().code, util::ErrorCode::IoError);
+    EXPECT_EQ(written.error().message.rfind("chaos:", 0), 0u)
+        << written.error().message;
+
+    // The peer sees a clean EOF, not garbage.
+    char in = 0;
+    const auto read = p.server.readAll(&in, 1);
+    EXPECT_FALSE(read.ok());
+}
+
+TEST(ChaosSocket, TruncateDeliversAPrefixThenCloses)
+{
+    Pair p = makePair();
+    ChaosSchedule schedule;
+    ChaosRule rule;
+    rule.kind = ChaosKind::Truncate;
+    rule.op = ChaosOp::Write;
+    rule.everyOps = 1;
+    rule.maxBytes = 5;
+    ASSERT_TRUE(schedule.add(rule).ok());
+    p.client.setFaultInjector(std::make_shared<ChaosInjector>(schedule));
+
+    const std::string sent = "0123456789abcdef";
+    const auto written = p.client.writeAll(sent.data(), sent.size());
+    ASSERT_FALSE(written.ok());
+    EXPECT_EQ(written.error().message.rfind("chaos:", 0), 0u);
+
+    // Exactly the prefix arrives, then EOF.
+    std::string got(5, '\0');
+    ASSERT_TRUE(p.server.readAll(got.data(), got.size()).ok());
+    EXPECT_EQ(got, sent.substr(0, 5));
+    char extra = 0;
+    EXPECT_FALSE(p.server.readAll(&extra, 1).ok());
+}
+
+TEST(ChaosSocket, GlobalInjectorIsAdoptedByNewConnections)
+{
+    ChaosSchedule schedule;
+    schedule.setSeed(7);
+    ChaosRule rule;
+    rule.kind = ChaosKind::ShortOp;
+    rule.everyOps = 1; // every send/recv chunk is capped at 1 byte
+    rule.maxBytes = 1;
+    ASSERT_TRUE(schedule.add(rule).ok());
+    auto installed = installGlobalChaosInjector(schedule);
+    ASSERT_NE(installed, nullptr);
+
+    {
+        Pair p = makePair(); // both ends adopt the global injector
+        const std::string sent = "global-chaos-roundtrip";
+        ASSERT_TRUE(p.client.writeAll(sent.data(), sent.size()).ok());
+        std::string got(sent.size(), '\0');
+        ASSERT_TRUE(p.server.readAll(got.data(), got.size()).ok());
+        EXPECT_EQ(got, sent);
+        EXPECT_GT(installed->stats().shortOps, 0u);
+    }
+    util::setGlobalSocketFaultInjector(nullptr);
+}
+
+} // namespace
+} // namespace ecolo::faults

@@ -1,8 +1,9 @@
 /**
  * @file
- * edgetherm-rpc-v1 codec tests: round-trips for every payload type and
- * strict rejection of malformed frames (bad magic/version/type,
- * truncation, trailing bytes, oversized lengths).
+ * edgetherm-rpc-v2 codec tests: round-trips for every payload type
+ * (including the v2 deadline header field) and strict rejection of
+ * malformed frames (bad magic/version/type, truncation, trailing
+ * bytes, oversized lengths).
  */
 
 #include <gtest/gtest.h>
@@ -110,8 +111,21 @@ TEST(ServeProtocol, FrameHeaderRoundTrips)
     ASSERT_TRUE(decoded.ok()) << decoded.error().describe();
     EXPECT_EQ(decoded.value().type, MessageType::Status);
     EXPECT_EQ(decoded.value().requestId, 7u);
+    EXPECT_EQ(decoded.value().deadlineMs, 0u);
     EXPECT_EQ(decoded.value().payloadLen,
               frame.size() - kHeaderBytes);
+}
+
+TEST(ServeProtocol, DeadlineTravelsInTheFrameHeader)
+{
+    const std::string frame = encodeFrame(
+        MessageType::Submit, 3, encodeSubmit(SubmitPayload{}), 1500);
+    unsigned char header[kHeaderBytes];
+    std::memcpy(header, frame.data(), kHeaderBytes);
+    const auto decoded = decodeHeader(header);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().describe();
+    EXPECT_EQ(decoded.value().deadlineMs, 1500u);
+    EXPECT_EQ(decoded.value().requestId, 3u);
 }
 
 TEST(ServeProtocol, HeaderRejectsBadMagicVersionTypeAndLength)
@@ -143,10 +157,10 @@ TEST(ServeProtocol, HeaderRejectsBadMagicVersionTypeAndLength)
         unsigned char bad[kHeaderBytes];
         std::memcpy(bad, good, kHeaderBytes);
         // payloadLen is the last header field; make it absurd.
-        bad[20] = 0xff;
-        bad[21] = 0xff;
-        bad[22] = 0xff;
-        bad[23] = 0xff;
+        bad[24] = 0xff;
+        bad[25] = 0xff;
+        bad[26] = 0xff;
+        bad[27] = 0xff;
         EXPECT_FALSE(decodeHeader(bad).ok());
     }
 }

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for the edgetherm-rpc-v2 codecs: a
+ * seed-driven corpus of truncated, bit-flipped, and length-corrupted
+ * frames must always produce a typed decode error or a valid payload --
+ * never a crash, a hang, or an out-of-bounds read. Socket-level cases
+ * cover a peer that sends a partial frame and disappears.
+ *
+ * The corpus is deterministic (fixed ecolo::Rng seeds), so a failure
+ * reproduces exactly; bump kFuzzIterations locally for longer runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "util/rng.hh"
+#include "util/socket.hh"
+
+namespace ecolo::serve {
+namespace {
+
+constexpr int kFuzzIterations = 300;
+
+std::vector<std::string>
+corpusPayloads()
+{
+    SubmitPayload submit;
+    submit.priority = Priority::Batch;
+    submit.clientId = "fuzz-client";
+    submit.policy = "foresighted";
+    submit.param = 3.5;
+    submit.paramSet = true;
+    submit.horizonMinutes = 10080;
+    submit.scenarioText = "battery.capacityKwh = 0.4\nseed = 9\n";
+    return {
+        encodeSubmit(submit),
+        encodeAccepted({true, 9}),
+        encodeRetryAfter({125}),
+        encodeStatus({60, 1440}),
+        encodeResult({std::string(512, 'r')}),
+        encodeCancelled({61}),
+        encodeDrained({62, "/spool/request-8.ckpt"}),
+        encodeError({RpcErrorCode::DeadlineExceeded, "budget spent"}),
+        encodeStatsReport({"{\"a\":1}"}),
+        encodeCancel({12}),
+        encodeCancelAck({false}),
+    };
+}
+
+/** Decode `bytes` as every payload type; assert none of them crash. */
+void
+decodeEverywhere(const std::string &bytes)
+{
+    (void)decodeSubmit(bytes);
+    (void)decodeAccepted(bytes);
+    (void)decodeRetryAfter(bytes);
+    (void)decodeStatus(bytes);
+    (void)decodeResult(bytes);
+    (void)decodeCancelled(bytes);
+    (void)decodeDrained(bytes);
+    (void)decodeError(bytes);
+    (void)decodeStatsReport(bytes);
+    (void)decodeCancel(bytes);
+    (void)decodeCancelAck(bytes);
+}
+
+TEST(ProtocolFuzz, TruncatedPayloadsNeverCrashAndNeverParse)
+{
+    Rng rng(0x7072756e65ULL);
+    const auto corpus = corpusPayloads();
+    for (int i = 0; i < kFuzzIterations; ++i) {
+        const std::string &bytes =
+            corpus[rng.uniformInt(corpus.size())];
+        if (bytes.empty())
+            continue;
+        const std::size_t cut = rng.uniformInt(bytes.size());
+        decodeEverywhere(bytes.substr(0, cut));
+    }
+}
+
+TEST(ProtocolFuzz, BitFlippedPayloadsDecodeToErrorOrValidNeverCrash)
+{
+    Rng rng(0x666c6970ULL);
+    const auto corpus = corpusPayloads();
+    for (int i = 0; i < kFuzzIterations; ++i) {
+        std::string bytes = corpus[rng.uniformInt(corpus.size())];
+        if (bytes.empty())
+            continue;
+        const int flips = 1 + static_cast<int>(rng.uniformInt(4));
+        for (int f = 0; f < flips; ++f) {
+            const std::size_t at = rng.uniformInt(bytes.size());
+            bytes[at] = static_cast<char>(
+                static_cast<unsigned char>(bytes[at]) ^
+                (1u << rng.uniformInt(8)));
+        }
+        decodeEverywhere(bytes);
+    }
+}
+
+TEST(ProtocolFuzz, RandomGarbageNeverCrashes)
+{
+    Rng rng(0x67617262ULL);
+    for (int i = 0; i < kFuzzIterations; ++i) {
+        std::string bytes(rng.uniformInt(256), '\0');
+        for (char &c : bytes)
+            c = static_cast<char>(rng.uniformInt(256));
+        decodeEverywhere(bytes);
+    }
+}
+
+TEST(ProtocolFuzz, HeaderMutationsRejectOversizeAndUnknownFields)
+{
+    const std::string frame =
+        encodeFrame(MessageType::Submit, 5,
+                    encodeSubmit(SubmitPayload{}), 250);
+    Rng rng(0x68656164ULL);
+    int rejected = 0;
+    for (int i = 0; i < kFuzzIterations; ++i) {
+        unsigned char header[kHeaderBytes];
+        std::memcpy(header, frame.data(), kHeaderBytes);
+        const int flips = 1 + static_cast<int>(rng.uniformInt(3));
+        for (int f = 0; f < flips; ++f) {
+            header[rng.uniformInt(kHeaderBytes)] ^=
+                static_cast<unsigned char>(1u << rng.uniformInt(8));
+        }
+        const auto decoded = decodeHeader(header);
+        if (!decoded.ok()) {
+            ++rejected;
+            continue;
+        }
+        // Anything that passes must still respect the hard bounds.
+        EXPECT_LE(decoded.value().payloadLen, kMaxPayloadBytes);
+        EXPECT_TRUE(isKnownMessageType(
+            static_cast<std::uint32_t>(decoded.value().type)));
+    }
+    // Magic/version/type corruption dominates: most mutants die.
+    EXPECT_GT(rejected, kFuzzIterations / 2);
+}
+
+TEST(ProtocolFuzz, PartialFrameThenEofIsATypedReadError)
+{
+    auto listener = util::TcpListener::listenLoopback(0);
+    ASSERT_TRUE(listener.ok());
+    const std::string frame = encodeFrame(
+        MessageType::Submit, 1, encodeSubmit(SubmitPayload{}));
+
+    Rng rng(0x656f66ULL);
+    for (int i = 0; i < 24; ++i) {
+        auto client = util::connectLoopback(listener.value().port());
+        ASSERT_TRUE(client.ok());
+        auto accepted = listener.value().acceptFor(2000);
+        ASSERT_TRUE(accepted.ok() && accepted.value().has_value());
+        util::TcpConnection server = std::move(*accepted.value());
+
+        // Send a strict prefix (possibly zero bytes), then vanish.
+        const std::size_t cut = rng.uniformInt(frame.size());
+        if (cut > 0)
+            ASSERT_TRUE(client.value().writeAll(frame.data(), cut).ok());
+        client.value().close();
+
+        const auto read = readFrame(server);
+        ASSERT_FALSE(read.ok()) << "cut at " << cut << " byte(s)";
+        EXPECT_FALSE(read.error().message.empty());
+    }
+}
+
+TEST(ProtocolFuzz, OversizedDeclaredPayloadIsRejectedBeforeReading)
+{
+    auto listener = util::TcpListener::listenLoopback(0);
+    ASSERT_TRUE(listener.ok());
+    auto client = util::connectLoopback(listener.value().port());
+    ASSERT_TRUE(client.ok());
+    auto accepted = listener.value().acceptFor(2000);
+    ASSERT_TRUE(accepted.ok() && accepted.value().has_value());
+    util::TcpConnection server = std::move(*accepted.value());
+
+    std::string frame =
+        encodeFrame(MessageType::Submit, 1, encodeSubmit(SubmitPayload{}));
+    const std::uint32_t huge = kMaxPayloadBytes + 1;
+    std::memcpy(frame.data() + 24, &huge, sizeof huge);
+    ASSERT_TRUE(
+        client.value().writeAll(frame.data(), kHeaderBytes).ok());
+
+    // The reader must reject from the header alone -- no attempt to
+    // allocate or read a 4 MiB+ body that will never arrive.
+    const auto read = readFrame(server);
+    ASSERT_FALSE(read.ok());
+    EXPECT_NE(read.error().message.find("payload"), std::string::npos)
+        << read.error().message;
+}
+
+} // namespace
+} // namespace ecolo::serve

@@ -285,6 +285,50 @@ TEST(ServeSchedulerParallel, CancelledQueuedJobStillRunsItsCompletionPath)
     EXPECT_EQ(stats.runningNow, 0u);
 }
 
+TEST(ServeSchedulerParallel, ExpiredDeadlineCancelsAtDispatch)
+{
+    Scheduler::Options options;
+    options.numWorkers = 1;
+    options.maxQueued = 8;
+    SchedulerHarness harness(options);
+
+    Gate gate;
+    harness->submit(1, Lane::Interactive, "warm", gate.job());
+    gate.waitEntered();
+
+    // Queued behind the gate with an already-expired budget: the worker
+    // must dispatch it with its token pre-cancelled, never skip it.
+    std::atomic<bool> job_ran{false};
+    std::atomic<int> observed_reason{0};
+    harness->submit(2, Lane::Interactive, "d",
+                    [&](const CancelToken &token) {
+                        job_ran.store(true);
+                        observed_reason.store(
+                            static_cast<int>(token.reason()));
+                    },
+                    std::chrono::steady_clock::now() - 1ms);
+
+    // A deadline comfortably in the future must not trip.
+    std::atomic<bool> fresh_cancelled{true};
+    harness->submit(3, Lane::Interactive, "d",
+                    [&](const CancelToken &token) {
+                        fresh_cancelled.store(token.cancelled());
+                    },
+                    std::chrono::steady_clock::now() + 1h);
+
+    gate.release();
+    harness.finish();
+
+    EXPECT_TRUE(job_ran.load());
+    EXPECT_EQ(observed_reason.load(),
+              static_cast<int>(CancelReason::Deadline));
+    EXPECT_FALSE(fresh_cancelled.load());
+    const auto stats = harness->stats();
+    EXPECT_EQ(stats.deadlineExpiredQueued, 1u);
+    EXPECT_EQ(stats.cancelled, 1u);
+    EXPECT_EQ(stats.completed, 2u); // the gate job + request 3
+}
+
 TEST(ServeSchedulerParallel, CancelReachesARunningJob)
 {
     Scheduler::Options options;

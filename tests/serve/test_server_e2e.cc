@@ -265,6 +265,116 @@ TEST(ServeServerE2E, CancellationStopsARunMidFlight)
     EXPECT_FALSE(missing.value());
 }
 
+TEST(ServeServerE2E, DeadlineExpiryMidRunAnswersDeadlineExceeded)
+{
+    ServerHarness harness;
+    auto client = harness.client();
+
+    // A decade-long run with a tiny wall budget: the cooperative check
+    // inside the simulation must trip and answer a typed error.
+    RequestSpec spec = smallRequest(42, 3650.0);
+    spec.deadlineMs = 50;
+    const auto outcome = client.submit(spec);
+    ASSERT_TRUE(outcome.ok()) << outcome.error().describe();
+    ASSERT_EQ(outcome.value().status, OutcomeStatus::Error);
+    EXPECT_EQ(outcome.value().errorCode, RpcErrorCode::DeadlineExceeded);
+    EXPECT_NE(outcome.value().errorMessage.find("deadline"),
+              std::string::npos);
+    for (int i = 0; i < 2000 && harness->deadlineExceededCount() == 0;
+         ++i)
+        std::this_thread::sleep_for(1ms);
+    EXPECT_EQ(harness->deadlineExceededCount(), 1u);
+
+    // A generous budget on a short run completes normally.
+    RequestSpec fine = smallRequest(42);
+    fine.deadlineMs = 5 * 60 * 1000;
+    const auto ok_outcome = client.submit(fine);
+    ASSERT_TRUE(ok_outcome.ok());
+    EXPECT_EQ(ok_outcome.value().status, OutcomeStatus::Completed);
+}
+
+TEST(ServeServerE2E, PerLaneLatencyIsRecorded)
+{
+    ServerHarness harness;
+    auto client = harness.client();
+    ASSERT_EQ(client.submit(smallRequest(8)).value().status,
+              OutcomeStatus::Completed);
+    RequestSpec batch = smallRequest(8);
+    batch.priority = Priority::Batch;
+    ASSERT_EQ(client.submit(batch).value().status,
+              OutcomeStatus::Completed);
+
+    // Latency accounting runs after the RESULT frame; give it a beat.
+    for (int i = 0;
+         i < 2000 &&
+         (harness->latencySnapshot(Lane::Interactive).count == 0 ||
+          harness->latencySnapshot(Lane::Batch).count == 0);
+         ++i)
+        std::this_thread::sleep_for(1ms);
+    const auto interactive =
+        harness->latencySnapshot(Lane::Interactive);
+    ASSERT_EQ(interactive.count, 1u);
+    EXPECT_GT(interactive.p99, 0.0);
+    // The batch request was a cache hit (same content key): still
+    // counted, against its own lane.
+    EXPECT_EQ(harness->latencySnapshot(Lane::Batch).count, 1u);
+
+    const auto stats = client.stats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_NE(stats.value().find("\"serve.latency.interactive.p99_us\""),
+              std::string::npos);
+    EXPECT_NE(stats.value().find("\"serve.latency.batch.count\""),
+              std::string::npos);
+}
+
+TEST(ServeServerE2E, RetryingClientAbsorbsBackpressure)
+{
+    // One worker, queue of one: the second concurrent submit bounces
+    // with RETRY_AFTER, and submitWithRetry must eventually land it.
+    ServerOptions options;
+    options.numWorkers = 1;
+    options.maxQueued = 1;
+    options.retryAfterMs = 20;
+    ServerHarness harness(options);
+
+    // Two long submissions occupy the worker and the single queue slot.
+    std::vector<std::thread> blockers;
+    std::atomic<int> accepted{0};
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        blockers.emplace_back([&harness, &accepted, seed] {
+            auto blocker_client = harness.client();
+            RetryPolicy keep_trying;
+            keep_trying.maxAttempts = 200;
+            keep_trying.baseBackoffMs = 5;
+            keep_trying.maxBackoffMs = 50;
+            keep_trying.jitterSeed = seed;
+            (void)blocker_client.submitWithRetry(
+                smallRequest(seed, 120.0), keep_trying, nullptr,
+                [&accepted](std::uint64_t, const AcceptedPayload &) {
+                    accepted.fetch_add(1);
+                });
+        });
+    }
+    for (int i = 0; i < 2000 && accepted.load() < 2; ++i)
+        std::this_thread::sleep_for(1ms);
+    ASSERT_EQ(accepted.load(), 2);
+
+    auto client = harness.client();
+    RetryPolicy policy;
+    policy.maxAttempts = 200;
+    policy.baseBackoffMs = 5;
+    policy.maxBackoffMs = 50;
+    policy.jitterSeed = 3;
+    std::size_t attempts = 0;
+    const auto outcome =
+        client.submitWithRetry(smallRequest(3), policy, &attempts);
+    for (std::thread &blocker : blockers)
+        blocker.join();
+    ASSERT_TRUE(outcome.ok()) << outcome.error().describe();
+    EXPECT_EQ(outcome.value().status, OutcomeStatus::Completed);
+    EXPECT_GE(attempts, 2u); // at least one RETRY_AFTER bounce absorbed
+}
+
 TEST(ServeServerE2E, StatsEndpointServesMetricsJson)
 {
     ServerHarness harness;

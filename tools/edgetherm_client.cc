@@ -18,6 +18,13 @@
  *   --out FILE        write the report here instead of stdout
  *   --cancel-after-ms N  cancel the run N ms after it is accepted
  *                     (exercises cooperative cancellation)
+ *   --deadline-ms N   request budget; the server answers
+ *                     DEADLINE_EXCEEDED when it expires (default none)
+ *   --retries N       total submit attempts on transport failure or
+ *                     RETRY_AFTER, with capped exponential backoff
+ *                     (default 1 = no retry)
+ *   --timeout-ms N    per-connection receive timeout; a stalled server
+ *                     read fails (and is retried) instead of hanging
  *   --connect-retries N  retry the initial connect (server startup races)
  *   --stats           fetch the server's metrics JSON and exit
  *   --shutdown        ask the server to drain and exit
@@ -27,7 +34,8 @@
  * The report goes to stdout (or --out) and nothing else does, so
  * `edgetherm_client ... > run.md` captures exactly the report bytes.
  * Exit status: 0 completed; 1 transport/server failure; 2 usage error;
- * 3 backpressured (RETRY_AFTER); 4 cancelled; 5 drained.
+ * 3 backpressured (RETRY_AFTER); 4 cancelled; 5 drained; 6 deadline
+ * exceeded.
  */
 
 #include <chrono>
@@ -55,6 +63,8 @@ struct ClientCliOptions
     serve::RequestSpec spec;
     std::string outFile;
     long cancelAfterMs = -1;
+    serve::RetryPolicy retry{1, 50, 2000, 1};
+    int timeoutMs = 0;
     int connectRetries = 20;
     bool stats = false;
     bool shutdown = false;
@@ -71,6 +81,8 @@ printUsage(std::ostream &os)
           "                        [--priority interactive|batch]\n"
           "                        [--client-id ID] [--out FILE]\n"
           "                        [--cancel-after-ms N] "
+          "[--deadline-ms N]\n"
+          "                        [--retries N] [--timeout-ms N] "
           "[--connect-retries N]\n"
           "                        [--stats] [--shutdown] [--quiet] "
           "[--help]\n";
@@ -184,6 +196,21 @@ parseArgs(int argc, char **argv)
             opts.cancelAfterMs = parseLongArg(arg, need_value(i, arg));
             if (opts.cancelAfterMs < 0)
                 usageError("--cancel-after-ms must be >= 0");
+        } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+            const long ms = parseLongArg(arg, need_value(i, arg));
+            if (ms < 1 || ms > 0x7fffffffL)
+                usageError("--deadline-ms must be >= 1, got ", ms);
+            opts.spec.deadlineMs = static_cast<std::uint32_t>(ms);
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            const long tries = parseLongArg(arg, need_value(i, arg));
+            if (tries < 1)
+                usageError("--retries must be >= 1, got ", tries);
+            opts.retry.maxAttempts = static_cast<std::size_t>(tries);
+        } else if (std::strcmp(arg, "--timeout-ms") == 0) {
+            const long ms = parseLongArg(arg, need_value(i, arg));
+            if (ms < 1)
+                usageError("--timeout-ms must be >= 1, got ", ms);
+            opts.timeoutMs = static_cast<int>(ms);
         } else if (std::strcmp(arg, "--connect-retries") == 0) {
             opts.connectRetries = static_cast<int>(
                 parseLongArg(arg, need_value(i, arg)));
@@ -314,9 +341,19 @@ main(int argc, char **argv)
         }
     };
 
-    auto outcome = withConnectRetries(opts.connectRetries, [&] {
-        return client.submit(spec, on_accepted, on_status);
-    });
+    if (opts.timeoutMs > 0)
+        client.setReceiveTimeoutMs(opts.timeoutMs);
+
+    // --retries > 1 routes through submitWithRetry, which already
+    // retries transport failures (subsuming the connect-retry loop) and
+    // additionally honors RETRY_AFTER backpressure with backoff.
+    auto outcome = opts.retry.maxAttempts > 1
+                       ? client.submitWithRetry(spec, opts.retry, nullptr,
+                                                on_accepted, on_status)
+                       : withConnectRetries(opts.connectRetries, [&] {
+                             return client.submit(spec, on_accepted,
+                                                  on_status);
+                         });
     if (canceller.joinable())
         canceller.join();
     if (!outcome.ok()) {
@@ -369,6 +406,11 @@ main(int argc, char **argv)
                       << result.retryAfterMs << " ms\n";
         return 3;
     case serve::OutcomeStatus::Error:
+        if (result.errorCode == serve::RpcErrorCode::DeadlineExceeded) {
+            std::cerr << "edgetherm_client: " << result.errorMessage
+                      << "\n";
+            return 6;
+        }
         std::cerr << "edgetherm_client: server rejected the request: "
                   << result.errorMessage << "\n";
         return 1;

@@ -1,6 +1,6 @@
 /**
  * @file
- * edgetherm-serve: run simulations as a service over edgetherm-rpc-v1.
+ * edgetherm-serve: run simulations as a service over edgetherm-rpc-v2.
  *
  *   edgetherm_serve --port 4590 --workers 4 --drain-dir /var/spool/et
  *
@@ -15,6 +15,11 @@
  *   --status-every N  STATUS frame granularity in simulated minutes
  *   --drain-dir DIR   on drain, checkpoint in-flight runs here instead
  *                     of running them to their horizon
+ *   --journal-dir DIR write-ahead journal admitted requests here; a
+ *                     restarted server replays unfinished ones
+ *   --chaos FILE      seed-reproducible network fault schedule applied
+ *                     to every connection (chaos.* keys; see
+ *                     docs/serving.md)
  *   --metrics-out FILE  dump serve.* + engine metrics JSON on exit
  *   --log-level LEVEL error | warn | info | debug
  *   --help            this text
@@ -36,8 +41,10 @@
 #include <thread>
 #include <vector>
 
+#include "faults/chaos.hh"
 #include "serve/server.hh"
 #include "util/logging.hh"
+#include "util/socket.hh"
 
 namespace {
 
@@ -56,6 +63,7 @@ struct ServeCliOptions
 {
     serve::ServerOptions server;
     std::string metricsOut;
+    std::string chaosFile;
 };
 
 void
@@ -67,6 +75,7 @@ printUsage(std::ostream &os)
           "[--retry-after-ms N]\n"
           "                       [--status-every MINUTES] "
           "[--drain-dir DIR]\n"
+          "                       [--journal-dir DIR] [--chaos FILE]\n"
           "                       [--metrics-out FILE] "
           "[--log-level LEVEL]\n"
           "                       [--help]\n";
@@ -160,6 +169,10 @@ parseArgs(int argc, char **argv)
                 parsePositiveArg(arg, need_value(i, arg));
         } else if (std::strcmp(arg, "--drain-dir") == 0) {
             opts.server.drainCheckpointDir = need_value(i, arg);
+        } else if (std::strcmp(arg, "--journal-dir") == 0) {
+            opts.server.journalDir = need_value(i, arg);
+        } else if (std::strcmp(arg, "--chaos") == 0) {
+            opts.chaosFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--metrics-out") == 0) {
             opts.metricsOut = need_value(i, arg);
         } else if (std::strcmp(arg, "--log-level") == 0) {
@@ -187,6 +200,25 @@ int
 main(int argc, char **argv)
 {
     const ServeCliOptions opts = parseArgs(argc, argv);
+
+    // Server::start() also installs this, but do it before any socket
+    // exists: a dying peer must never take the service down.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!opts.chaosFile.empty()) {
+        auto schedule = faults::loadChaosScheduleFile(opts.chaosFile);
+        if (!schedule.ok()) {
+            std::cerr << "edgetherm_serve: "
+                      << schedule.error().describe() << "\n";
+            return 1;
+        }
+        if (auto injector =
+                faults::installGlobalChaosInjector(schedule.value())) {
+            ecolo::inform("edgetherm-serve: chaos enabled (",
+                          schedule.value().size(), " rule(s), seed ",
+                          schedule.value().seed(), ")");
+        }
+    }
 
     serve::Server server(opts.server);
     if (auto started = server.start(); !started.ok()) {
