@@ -22,6 +22,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gateway/gateway.hh"
+#include "gateway/http.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
@@ -226,6 +228,97 @@ BM_EndToEndWarmCacheHit(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EndToEndWarmCacheHit)->Unit(benchmark::kMillisecond);
+
+// ---- Gateway leg: the same warm cache hit, but through the full
+// HTTP/JSON front end (parse -> shard -> forward -> render JSON) on a
+// single keep-alive connection. The gateway_requests_per_sec counter
+// lands in BENCH_serve.json so CI can track front-end overhead against
+// the raw wire-protocol numbers above. ----
+
+/** Read one HTTP response off a blocking loopback connection. */
+bool
+readHttpResponse(util::TcpConnection &conn, std::string &buffer,
+                 gateway::HttpResponse &out)
+{
+    gateway::HttpResponseParser parser;
+    for (;;) {
+        if (!buffer.empty()) {
+            const std::size_t used =
+                parser.feed(buffer.data(), buffer.size());
+            buffer.erase(0, used);
+        }
+        if (parser.failed())
+            return false;
+        if (parser.complete()) {
+            out = parser.response();
+            return true;
+        }
+        char buf[4096];
+        auto chunk = conn.tryRead(buf, sizeof buf);
+        if (!chunk.ok() || chunk.value().eof)
+            return false;
+        buffer.append(buf, chunk.value().bytes);
+    }
+}
+
+void
+BM_GatewayWarmRequest(benchmark::State &state)
+{
+    ServerOptions serverOptions;
+    serverOptions.numWorkers = 2;
+    Server server(std::move(serverOptions));
+    if (!server.start().ok()) {
+        state.SkipWithError("worker failed to start");
+        return;
+    }
+    gateway::GatewayOptions gwOptions;
+    gwOptions.workers = {{"127.0.0.1", server.port()}};
+    gwOptions.pool.probeIntervalMs = 0;
+    gateway::Gateway gw(std::move(gwOptions));
+    if (!gw.start().ok()) {
+        state.SkipWithError("gateway failed to start");
+        return;
+    }
+
+    const std::string body =
+        "{\"policy\":\"myopic\",\"horizon_minutes\":72,"
+        "\"scenario\":\"seed = 42\\n\",\"client_id\":\"bench\"}";
+    const std::string wire =
+        "POST /v1/runs HTTP/1.1\r\nHost: bench\r\n"
+        "Content-Type: application/json\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+
+    auto connected = util::connectLoopback(gw.port());
+    if (!connected.ok()) {
+        state.SkipWithError("gateway connect failed");
+        return;
+    }
+    util::TcpConnection conn = connected.take();
+    std::string buffer;
+    gateway::HttpResponse response;
+    // First request fills the worker cache; iterations measure the
+    // keep-alive warm path.
+    if (!conn.writeAll(wire.data(), wire.size()).ok() ||
+        !readHttpResponse(conn, buffer, response) ||
+        response.status != 200) {
+        state.SkipWithError("gateway warm-up request failed");
+        return;
+    }
+    for (auto _ : state) {
+        if (!conn.writeAll(wire.data(), wire.size()).ok() ||
+            !readHttpResponse(conn, buffer, response) ||
+            response.status != 200) {
+            state.SkipWithError("gateway request failed");
+            break;
+        }
+        benchmark::DoNotOptimize(response.body.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["gateway_requests_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GatewayWarmRequest)->Unit(benchmark::kMillisecond);
 
 /** Collects finished runs for the stable-schema JSON summary. */
 class ServeJsonReporter : public benchmark::ConsoleReporter

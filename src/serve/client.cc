@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "serve/result_cache.hh" // fnv1a64
 #include "util/rng.hh"
 #include "util/socket.hh"
 
@@ -32,7 +33,7 @@ ServeClient::submit(const RequestSpec &spec,
                     const AcceptedCallback &on_accepted,
                     const StatusCallback &on_status)
 {
-    auto conn = util::connectLoopback(port_);
+    auto conn = util::connectTo(host_, port_);
     if (!conn)
         return conn.error();
     if (receiveTimeoutMs_ > 0)
@@ -144,6 +145,30 @@ backoffDelayMs(const RetryPolicy &policy, std::size_t attempt,
     return static_cast<std::uint32_t>(std::max(delay, 1.0));
 }
 
+std::uint64_t
+retryJitterSeed(const RetryPolicy &policy, const RequestSpec &spec,
+                std::uint64_t sequence)
+{
+    // Hash the request content so two *different* requests retried
+    // concurrently de-synchronize, and the submission counter so two
+    // submissions of the *same* request do too. FNV over the spec's
+    // identifying fields, seeded by the policy's own seed, keeps the
+    // derivation deterministic for a given client history.
+    std::string salt;
+    salt.reserve(spec.scenarioText.size() + spec.policy.size() +
+                 spec.clientId.size() + 64);
+    salt += spec.clientId;
+    salt += '\0';
+    salt += spec.policy;
+    salt += '\0';
+    salt += spec.scenarioText;
+    salt += '\0';
+    salt += std::to_string(spec.horizonMinutes);
+    salt += '\0';
+    salt += std::to_string(sequence);
+    return fnv1a64(salt, policy.jitterSeed ^ 0x9e3779b97f4a7c15ULL);
+}
+
 util::Result<SubmitOutcome>
 ServeClient::submitWithRetry(const RequestSpec &spec,
                              const RetryPolicy &policy,
@@ -153,7 +178,9 @@ ServeClient::submitWithRetry(const RequestSpec &spec,
 {
     const std::size_t max_attempts = std::max<std::size_t>(
         policy.maxAttempts, 1);
-    Rng jitter(policy.jitterSeed);
+    Rng jitter(retryJitterSeed(
+        policy, spec,
+        submitSequence_.fetch_add(1, std::memory_order_relaxed)));
     util::Result<SubmitOutcome> last =
         ECOLO_ERROR(util::ErrorCode::StateError, "no submit attempted");
     for (std::size_t attempt = 1;; ++attempt) {
@@ -184,7 +211,7 @@ ServeClient::submitWithRetry(const RequestSpec &spec,
 util::Result<bool>
 ServeClient::cancel(std::uint64_t request_id)
 {
-    auto conn = util::connectLoopback(port_);
+    auto conn = util::connectTo(host_, port_);
     if (!conn)
         return conn.error();
     if (receiveTimeoutMs_ > 0)
@@ -207,7 +234,7 @@ ServeClient::cancel(std::uint64_t request_id)
 util::Result<std::string>
 ServeClient::stats()
 {
-    auto conn = util::connectLoopback(port_);
+    auto conn = util::connectTo(host_, port_);
     if (!conn)
         return conn.error();
     if (receiveTimeoutMs_ > 0)
@@ -230,7 +257,7 @@ ServeClient::stats()
 util::Result<void>
 ServeClient::shutdown()
 {
-    auto conn = util::connectLoopback(port_);
+    auto conn = util::connectTo(host_, port_);
     if (!conn)
         return conn.error();
     if (receiveTimeoutMs_ > 0)

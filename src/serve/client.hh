@@ -21,11 +21,20 @@
  * requests are content-addressed, so the retry either hits the result
  * cache or re-runs the same deterministic simulation to byte-identical
  * bytes.
+ *
+ * The jitter stream is salted per call: the policy's seed is mixed with
+ * a content hash of the request and a per-client submission counter
+ * (see retryJitterSeed), so concurrent retries from one process -- N
+ * gateway forwarders all backing off from the same overloaded worker --
+ * never synchronize into a retry stampede. The salt is derived only
+ * from the request and the client's own submission order, so a given
+ * single-threaded run remains reproducible.
  */
 
 #ifndef ECOLO_SERVE_CLIENT_HH
 #define ECOLO_SERVE_CLIENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -73,6 +82,17 @@ struct RetryPolicy
 std::uint32_t backoffDelayMs(const RetryPolicy &policy,
                              std::size_t attempt, double jitter);
 
+/**
+ * The effective jitter-stream seed for one submitWithRetry call:
+ * policy.jitterSeed mixed with a content hash of the request and the
+ * client's `sequence`-th submission. Exposed so tests can pin that two
+ * different requests (or two submissions of the same request) never
+ * share a backoff schedule.
+ */
+std::uint64_t retryJitterSeed(const RetryPolicy &policy,
+                              const RequestSpec &spec,
+                              std::uint64_t sequence);
+
 /** How a submitted run resolved. */
 enum class OutcomeStatus
 {
@@ -106,7 +126,23 @@ class ServeClient
                            const AcceptedPayload &)>;
     using StatusCallback = std::function<void(const StatusPayload &)>;
 
-    explicit ServeClient(std::uint16_t port) : port_(port) {}
+    /** Loopback client (the single-box deployment). */
+    explicit ServeClient(std::uint16_t port)
+        : host_("127.0.0.1"), port_(port)
+    {}
+
+    /**
+     * Remote client: `host` is a name, IPv4, or IPv6 literal, resolved
+     * per connection by util::connectTo. A resolution failure surfaces
+     * as the typed IoError every caller already handles as a transport
+     * error.
+     */
+    ServeClient(std::string host, std::uint16_t port)
+        : host_(std::move(host)), port_(port)
+    {}
+
+    const std::string &host() const { return host_; }
+    std::uint16_t port() const { return port_; }
 
     /**
      * Submit one run and block until it resolves. The Result is an
@@ -150,8 +186,11 @@ class ServeClient
     util::Result<void> shutdown();
 
   private:
+    std::string host_;
     std::uint16_t port_;
     int receiveTimeoutMs_ = 0;
+    /** Submissions made by this client; salts the retry jitter. */
+    std::atomic<std::uint64_t> submitSequence_{0};
 };
 
 } // namespace ecolo::serve

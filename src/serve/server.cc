@@ -236,8 +236,9 @@ Server::handleConnection(std::shared_ptr<util::TcpConnection> conn)
     }
 }
 
-util::Result<Server::PreparedRequest>
-Server::prepareRequest(SubmitPayload &request)
+util::Result<PreparedSubmit>
+prepareSubmitPayload(SubmitPayload &request,
+                     std::int64_t max_horizon_minutes)
 {
     if (request.clientId.empty())
         request.clientId = "anon";
@@ -251,10 +252,10 @@ Server::prepareRequest(SubmitPayload &request)
                            "foresighted|oneshot)");
     }
     if (request.horizonMinutes <= 0 ||
-        request.horizonMinutes > options_.maxHorizonMinutes) {
+        request.horizonMinutes > max_horizon_minutes) {
         return ECOLO_ERROR(util::ErrorCode::ValidationError,
                            "horizon must be in [1, ",
-                           options_.maxHorizonMinutes, "] minutes, got ",
+                           max_horizon_minutes, "] minutes, got ",
                            request.horizonMinutes);
     }
     std::istringstream scenario_stream(request.scenarioText);
@@ -262,7 +263,7 @@ Server::prepareRequest(SubmitPayload &request)
                                        "<request scenario>");
     if (!kv)
         return kv.error();
-    PreparedRequest prepared;
+    PreparedSubmit prepared;
     prepared.config = core::SimulationConfig::paperDefault();
     ECOLO_TRY_VOID(core::tryApplyScenario(kv.value(), prepared.config));
     ECOLO_TRY_VOID(prepared.config.validated());
@@ -284,6 +285,12 @@ Server::prepareRequest(SubmitPayload &request)
                         ? Lane::Batch
                         : Lane::Interactive;
     return prepared;
+}
+
+util::Result<PreparedSubmit>
+Server::prepareRequest(SubmitPayload &request)
+{
+    return prepareSubmitPayload(request, options_.maxHorizonMinutes);
 }
 
 void

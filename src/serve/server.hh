@@ -48,6 +48,32 @@
 
 namespace ecolo::serve {
 
+/**
+ * A SUBMIT payload validated and canonicalized into a runnable form:
+ * the applied simulation config, the content-addressed cache key, and
+ * the scheduling lane. Shared by the in-process server (admission and
+ * journal replay) and the HTTP gateway, whose coordinator needs the
+ * same validation and the same cache key to shard requests onto the
+ * worker that will cache them.
+ */
+struct PreparedSubmit
+{
+    core::SimulationConfig config;
+    CacheKey key;
+    Lane lane = Lane::Interactive;
+};
+
+/**
+ * Validate + canonicalize a SUBMIT payload: policy/horizon checks,
+ * scenario parse/apply, default param fill-in, cache key derivation.
+ * Mutates `request` (clientId default, param default) exactly like the
+ * server's own admission path, so a forwarded payload hashes
+ * identically on the worker.
+ */
+util::Result<PreparedSubmit>
+prepareSubmitPayload(SubmitPayload &request,
+                     std::int64_t max_horizon_minutes);
+
 struct ServerOptions
 {
     std::uint16_t port = 0;        //!< 0 = ephemeral; see port()
@@ -137,24 +163,12 @@ class Server
     std::string metricsJson() const;
 
   private:
-    /** A validated, runnable request (shared by submit and replay). */
-    struct PreparedRequest
-    {
-        core::SimulationConfig config;
-        CacheKey key;
-        Lane lane = Lane::Interactive;
-    };
-
     void acceptLoop();
     void handleConnection(std::shared_ptr<util::TcpConnection> conn);
     void handleSubmit(std::shared_ptr<util::TcpConnection> conn,
                       const Frame &frame);
-    /**
-     * Validate + canonicalize a SUBMIT payload: policy/horizon checks,
-     * scenario parse/apply, default param fill-in, cache key. Mutates
-     * `request` (clientId default, param default).
-     */
-    util::Result<PreparedRequest> prepareRequest(SubmitPayload &request);
+    /** prepareSubmitPayload with this server's horizon bound. */
+    util::Result<PreparedSubmit> prepareRequest(SubmitPayload &request);
     /**
      * Run one admitted simulation. `conn` may be null (journal replay):
      * all frame writes are skipped, but the cache fill, journal outcome,

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -227,6 +229,127 @@ TcpConnection::readAll(void *data, std::size_t size)
 }
 
 Result<void>
+TcpConnection::setNonBlocking(bool enabled)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "socket is closed");
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        return errnoError("fcntl(F_GETFL) failed", errno);
+    const int wanted =
+        enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (wanted != flags && ::fcntl(fd_, F_SETFL, wanted) != 0)
+        return errnoError("fcntl(F_SETFL) failed", errno);
+    return {};
+}
+
+Result<TcpConnection::IoChunk>
+TcpConnection::tryRead(void *data, std::size_t size)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "read on closed socket");
+    std::size_t chunk = size;
+    if (injector_) {
+        using Action = SocketFaultDecision::Action;
+        const SocketFaultDecision d = injector_->onRead(chunk);
+        switch (d.action) {
+        case Action::None:
+            break;
+        case Action::Delay:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(d.delayMs));
+            break;
+        case Action::ShortOp:
+            chunk = std::max<std::size_t>(1, std::min(chunk, d.maxBytes));
+            break;
+        case Action::Drop:
+        case Action::Truncate:
+            close();
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "chaos: injected connection drop on read");
+        case Action::Reset:
+            resetClose();
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "chaos: injected connection reset on read");
+        }
+    }
+    for (;;) {
+        const ssize_t n = ::recv(fd_, data, chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return IoChunk{0, false, true};
+            return errnoError("socket read failed", errno);
+        }
+        if (n == 0)
+            return IoChunk{0, true, false};
+        return IoChunk{static_cast<std::size_t>(n), false, false};
+    }
+}
+
+Result<TcpConnection::IoChunk>
+TcpConnection::tryWrite(const void *data, std::size_t size)
+{
+    if (fd_ < 0)
+        return ECOLO_ERROR(ErrorCode::IoError, "write on closed socket");
+    std::size_t chunk = size;
+    if (injector_) {
+        using Action = SocketFaultDecision::Action;
+        const SocketFaultDecision d = injector_->onWrite(chunk);
+        switch (d.action) {
+        case Action::None:
+            break;
+        case Action::Delay:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(d.delayMs));
+            break;
+        case Action::ShortOp:
+            chunk = std::max<std::size_t>(1, std::min(chunk, d.maxBytes));
+            break;
+        case Action::Drop:
+            close();
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "chaos: injected connection drop on write");
+        case Action::Reset:
+            resetClose();
+            return ECOLO_ERROR(
+                ErrorCode::IoError,
+                "chaos: injected connection reset on write");
+        case Action::Truncate: {
+            const std::size_t keep = std::min(chunk, d.maxBytes);
+            std::size_t sent = 0;
+            while (sent < keep) {
+                const ssize_t n = ::send(
+                    fd_, static_cast<const char *>(data) + sent,
+                    keep - sent, MSG_NOSIGNAL);
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n <= 0)
+                    break;
+                sent += static_cast<std::size_t>(n);
+            }
+            close();
+            return ECOLO_ERROR(ErrorCode::IoError,
+                               "chaos: injected truncated write (", sent,
+                               " of ", size, " bytes sent)");
+        }
+        }
+    }
+    for (;;) {
+        const ssize_t n = ::send(fd_, data, chunk, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return IoChunk{0, false, true};
+            return errnoError("socket write failed", errno);
+        }
+        return IoChunk{static_cast<std::size_t>(n), false, false};
+    }
+}
+
+Result<void>
 TcpConnection::setReceiveTimeout(int milliseconds)
 {
     if (fd_ < 0)
@@ -327,6 +450,41 @@ TcpListener::acceptFor(int timeout_ms)
     return std::optional<TcpConnection>{TcpConnection(fd)};
 }
 
+namespace {
+
+/**
+ * connect() with the EINTR completion dance: the handshake continues in
+ * the background (POSIX says the connect may not be restarted), so wait
+ * for writability and read the socket's final status. Returns 0 or an
+ * errno value.
+ */
+int
+connectAndFinish(int fd, const struct sockaddr *addr, socklen_t len)
+{
+    if (::connect(fd, addr, len) == 0)
+        return 0;
+    if (errno != EINTR)
+        return errno;
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    for (;;) {
+        const int ready = ::poll(&pfd, 1, -1);
+        if (ready < 0 && errno == EINTR)
+            continue;
+        if (ready < 0)
+            return errno;
+        break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0)
+        return errno;
+    return err;
+}
+
+} // namespace
+
 Result<TcpConnection>
 connectLoopback(std::uint16_t port)
 {
@@ -339,40 +497,59 @@ connectLoopback(std::uint16_t port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        if (errno != EINTR) {
-            return ECOLO_ERROR(ErrorCode::IoError,
-                               "cannot connect to 127.0.0.1:", port,
-                               ": ", std::strerror(errno));
-        }
-        // EINTR: the handshake continues in the background (POSIX says
-        // the connect may not be restarted); wait for the socket to
-        // become writable, then read its final status.
-        struct pollfd pfd = {};
-        pfd.fd = fd;
-        pfd.events = POLLOUT;
-        for (;;) {
-            const int ready = ::poll(&pfd, 1, -1);
-            if (ready < 0 && errno == EINTR)
-                continue;
-            if (ready < 0)
-                return errnoError("poll while connecting failed", errno);
-            break;
-        }
-        int err = 0;
-        socklen_t len = sizeof(err);
-        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
-            return errnoError("getsockopt(SO_ERROR) failed", errno);
-        if (err != 0) {
-            return ECOLO_ERROR(ErrorCode::IoError,
-                               "cannot connect to 127.0.0.1:", port,
-                               ": ", std::strerror(err));
-        }
+    if (const int err = connectAndFinish(
+            fd, reinterpret_cast<struct sockaddr *>(&addr), sizeof(addr));
+        err != 0) {
+        return ECOLO_ERROR(ErrorCode::IoError,
+                           "cannot connect to 127.0.0.1:", port, ": ",
+                           std::strerror(err));
     }
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return conn;
+}
+
+Result<TcpConnection>
+connectTo(const std::string &host, std::uint16_t port)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_protocol = IPPROTO_TCP;
+    const std::string service = std::to_string(port);
+    struct addrinfo *list = nullptr;
+    if (const int rc =
+            ::getaddrinfo(host.c_str(), service.c_str(), &hints, &list);
+        rc != 0) {
+        return ECOLO_ERROR(ErrorCode::IoError, "cannot resolve host '",
+                           host, "': ",
+                           rc == EAI_SYSTEM ? std::strerror(errno)
+                                            : ::gai_strerror(rc));
+    }
+    int last_err = ECONNREFUSED;
+    for (struct addrinfo *ai = list; ai != nullptr; ai = ai->ai_next) {
+        const int fd =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_err = errno;
+            continue;
+        }
+        TcpConnection conn(fd);
+        if (const int err = connectAndFinish(fd, ai->ai_addr,
+                                             ai->ai_addrlen);
+            err != 0) {
+            last_err = err;
+            continue; // conn's destructor closes the candidate fd
+        }
+        const int one = 1;
+        (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                           sizeof(one));
+        ::freeaddrinfo(list);
+        return conn;
+    }
+    ::freeaddrinfo(list);
+    return ECOLO_ERROR(ErrorCode::IoError, "cannot connect to ", host,
+                       ":", port, ": ", std::strerror(last_err));
 }
 
 } // namespace ecolo::util

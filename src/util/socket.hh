@@ -1,15 +1,16 @@
 /**
  * @file
- * Minimal loopback TCP primitives for the serving stack.
+ * Minimal TCP primitives for the serving stack.
  *
- * edgetherm-serve speaks a length-prefixed binary protocol over local
- * TCP (the edge-site deployment model: the scheduler/RL client runs on
- * the same box or behind its own tunnel, so the transport stays a plain
- * IPv4 loopback socket -- no TLS, no name resolution). Everything
- * returns util::Result: a dropped peer is a recoverable per-connection
- * failure, never a process-wide one. Writes use MSG_NOSIGNAL so a
- * client that disconnects mid-response costs the server an error
- * return, not a SIGPIPE.
+ * edgetherm-serve speaks a length-prefixed binary protocol over TCP.
+ * Historically the transport was loopback-only (client and daemon on
+ * one edge box); the multi-node gateway added connectTo(), which
+ * resolves a host name or address via getaddrinfo so the coordinator
+ * can reach remote workers -- resolution failure is a typed IoError,
+ * never an abort. Everything returns util::Result: a dropped peer is a
+ * recoverable per-connection failure, never a process-wide one. Writes
+ * use MSG_NOSIGNAL so a client that disconnects mid-response costs the
+ * server an error return, not a SIGPIPE.
  *
  * For chaos testing, every connection consults an optional
  * SocketFaultInjector before each low-level send/recv chunk. The
@@ -92,6 +93,30 @@ class TcpConnection
 
     bool valid() const { return fd_ >= 0; }
 
+    /** The raw fd, for event loops (epoll registration only). */
+    int nativeHandle() const { return fd_; }
+
+    /** O_NONBLOCK on/off; tryRead/tryWrite then report wouldBlock. */
+    Result<void> setNonBlocking(bool enabled);
+
+    /** Outcome of one single-shot nonblocking read/write. */
+    struct IoChunk
+    {
+        std::size_t bytes = 0;  //!< bytes actually moved
+        bool eof = false;       //!< read only: orderly peer close
+        bool wouldBlock = false; //!< no progress; wait for readiness
+    };
+
+    /**
+     * Read at most `size` bytes without retrying (for readiness-driven
+     * loops). Consults the fault injector like readAll; injected
+     * drops/resets surface as IoError results.
+     */
+    Result<IoChunk> tryRead(void *data, std::size_t size);
+
+    /** Write at most `size` bytes without retrying; see tryRead. */
+    Result<IoChunk> tryWrite(const void *data, std::size_t size);
+
     /** Write exactly `size` bytes (retrying short writes/EINTR). */
     Result<void> writeAll(const void *data, std::size_t size);
 
@@ -143,6 +168,9 @@ class TcpListener
     bool valid() const { return fd_ >= 0; }
     std::uint16_t port() const { return port_; }
 
+    /** The raw fd, for event loops (epoll registration only). */
+    int nativeHandle() const { return fd_; }
+
     /**
      * Wait up to `timeout_ms` for a connection. Returns the connection,
      * std::nullopt on timeout (so accept loops can poll a stop flag), or
@@ -159,6 +187,16 @@ class TcpListener
 
 /** Connect to 127.0.0.1:`port`. */
 Result<TcpConnection> connectLoopback(std::uint16_t port);
+
+/**
+ * Connect to `host`:`port`, resolving `host` (name, IPv4, or IPv6
+ * literal) via getaddrinfo and trying each candidate address in order.
+ * Resolution failure and exhausted candidates are typed IoErrors that
+ * name the host, so a mistyped --host surfaces as a recoverable,
+ * retryable transport error.
+ */
+Result<TcpConnection> connectTo(const std::string &host,
+                                std::uint16_t port);
 
 } // namespace ecolo::util
 

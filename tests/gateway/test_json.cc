@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The gateway's JSON layer: strict RFC 8259 acceptance, typed rejection
+ * of everything else (with byte offsets), bounded nesting, and the
+ * quoting helpers the response writers lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "gateway/json.hh"
+
+namespace ecolo::gateway {
+namespace {
+
+TEST(GatewayJson, ParsesScalars)
+{
+    auto v = JsonValue::parse("null");
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v.value().isNull());
+
+    v = JsonValue::parse("true");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v.value().isBool());
+    EXPECT_TRUE(v.value().asBool());
+
+    v = JsonValue::parse("false");
+    ASSERT_TRUE(v.ok());
+    EXPECT_FALSE(v.value().asBool());
+
+    v = JsonValue::parse("-12.5e2");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v.value().isNumber());
+    EXPECT_DOUBLE_EQ(v.value().asNumber(), -1250.0);
+
+    v = JsonValue::parse("\"hi\\n\\\"there\\\"\"");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v.value().isString());
+    EXPECT_EQ(v.value().asString(), "hi\n\"there\"");
+}
+
+TEST(GatewayJson, ParsesNestedStructures)
+{
+    const std::string text =
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}}";
+    auto v = JsonValue::parse(text);
+    ASSERT_TRUE(v.ok()) << v.error().describe();
+    const JsonValue &doc = v.value();
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.members().size(), 2u);
+    // Member order is preserved.
+    EXPECT_EQ(doc.members()[0].first, "a");
+    EXPECT_EQ(doc.members()[1].first, "c");
+
+    const JsonValue *a = doc.member("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    const JsonValue *b = a->items()[2].member("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->asBool());
+
+    EXPECT_EQ(doc.member("nope"), nullptr);
+}
+
+TEST(GatewayJson, UnicodeEscapesIncludingSurrogatePairs)
+{
+    auto v = JsonValue::parse("\"\\u00e9\\u20ac\\ud83d\\ude00\"");
+    ASSERT_TRUE(v.ok()) << v.error().describe();
+    // e-acute (2 bytes), euro (3 bytes), emoji (4 bytes) as UTF-8.
+    EXPECT_EQ(v.value().asString(),
+              "\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+
+    // A lone high surrogate is malformed.
+    EXPECT_FALSE(JsonValue::parse("\"\\ud83d\"").ok());
+}
+
+TEST(GatewayJson, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",             // empty
+        "  ",           // whitespace only
+        "{",            // unterminated object
+        "[1,]",         // trailing comma
+        "{\"a\":1,}",   // trailing comma in object
+        "{'a':1}",      // single quotes
+        "{a:1}",        // unquoted key
+        "01",           // leading zero
+        "+1",           // leading plus
+        "1.",           // bare trailing dot
+        ".5",           // bare leading dot
+        "NaN",          // not in RFC 8259
+        "Infinity",     // ditto
+        "nul",          // truncated literal
+        "\"abc",        // unterminated string
+        "\"\\x41\"",    // bad escape
+        "\"\t\"",       // raw control char in string
+        "1 2",          // trailing garbage
+        "{} []",        // two documents
+        "// hi\n1",     // comments
+    };
+    for (const char *text : bad) {
+        auto v = JsonValue::parse(text);
+        EXPECT_FALSE(v.ok()) << "accepted: " << text;
+        if (!v.ok())
+            EXPECT_EQ(v.error().code, util::ErrorCode::ParseError);
+    }
+}
+
+TEST(GatewayJson, ErrorsCarryByteOffsets)
+{
+    auto v = JsonValue::parse("{\"a\": tru}");
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("at byte"), std::string::npos)
+        << v.error().message;
+}
+
+TEST(GatewayJson, RejectsDuplicateKeys)
+{
+    auto v = JsonValue::parse("{\"a\":1,\"a\":2}");
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("duplicate"), std::string::npos)
+        << v.error().message;
+}
+
+TEST(GatewayJson, DepthLimitIsEnforcedNotOverflowed)
+{
+    // 10k nested arrays must come back as a typed error, not a crash.
+    std::string deep(10000, '[');
+    deep += std::string(10000, ']');
+    auto v = JsonValue::parse(deep);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().code, util::ErrorCode::ParseError);
+
+    // Exactly at the limit parses fine.
+    std::string ok(8, '[');
+    ok += "1";
+    ok += std::string(8, ']');
+    EXPECT_TRUE(JsonValue::parse(ok, 16).ok());
+    EXPECT_FALSE(JsonValue::parse(ok, 7).ok());
+}
+
+TEST(GatewayJson, QuoteRoundTripsThroughParse)
+{
+    const std::string nasty =
+        "line\nbreak\ttab \"quotes\" back\\slash \x01 control";
+    auto v = JsonValue::parse(jsonQuote(nasty));
+    ASSERT_TRUE(v.ok()) << v.error().describe();
+    EXPECT_EQ(v.value().asString(), nasty);
+}
+
+TEST(GatewayJson, NumberFormatting)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-7.0), "-7");
+    // Round-trips through the parser.
+    auto v = JsonValue::parse(jsonNumber(0.1));
+    ASSERT_TRUE(v.ok());
+    EXPECT_DOUBLE_EQ(v.value().asNumber(), 0.1);
+    // Non-finite values degrade to null rather than emitting invalid
+    // JSON.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+} // namespace
+} // namespace ecolo::gateway

@@ -8,6 +8,8 @@
  *
  * Options:
  *   --port N          server port (required)
+ *   --host H          server host name or address (default 127.0.0.1);
+ *                     resolution failure is a typed transport error
  *   --scenario FILE   key=value scenario file sent with the request
  *   --set KEY=VALUE   append one scenario line (repeatable)
  *   --policy NAME     standby | random | myopic | foresighted | oneshot
@@ -56,6 +58,7 @@ using namespace ecolo;
 
 struct ClientCliOptions
 {
+    std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     bool portSet = false;
     std::string scenarioFile;
@@ -74,8 +77,8 @@ struct ClientCliOptions
 void
 printUsage(std::ostream &os)
 {
-    os << "usage: edgetherm_client --port N [--scenario FILE] "
-          "[--set KEY=VALUE]...\n"
+    os << "usage: edgetherm_client --port N [--host H] "
+          "[--scenario FILE] [--set KEY=VALUE]...\n"
           "                        [--policy NAME] [--param X] "
           "[--days N]\n"
           "                        [--priority interactive|batch]\n"
@@ -163,6 +166,10 @@ parseArgs(int argc, char **argv)
                 usageError("--port must be in [1, 65535], got ", port);
             opts.port = static_cast<std::uint16_t>(port);
             opts.portSet = true;
+        } else if (std::strcmp(arg, "--host") == 0) {
+            opts.host = need_value(i, arg);
+            if (opts.host.empty())
+                usageError("--host must not be empty");
         } else if (std::strcmp(arg, "--scenario") == 0) {
             opts.scenarioFile = need_value(i, arg);
         } else if (std::strcmp(arg, "--set") == 0) {
@@ -276,7 +283,7 @@ int
 main(int argc, char **argv)
 {
     const ClientCliOptions opts = parseArgs(argc, argv);
-    serve::ServeClient client(opts.port);
+    serve::ServeClient client(opts.host, opts.port);
 
     if (opts.stats) {
         auto stats = withConnectRetries(
