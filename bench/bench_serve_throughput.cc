@@ -12,11 +12,14 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -30,6 +33,7 @@
 #include "serve/scheduler.hh"
 #include "serve/server.hh"
 #include "telemetry/events.hh" // jsonEscape
+#include "telemetry/latency.hh"
 #include "util/keyvalue.hh"
 #include "util/logging.hh"
 
@@ -319,6 +323,208 @@ BM_GatewayWarmRequest(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GatewayWarmRequest)->Unit(benchmark::kMillisecond);
+
+// ---- Cross-request batching: the 64-request homogeneous campaign.
+// Same seed (equal workload fingerprints: shared benign traces and a
+// shared setup cache), swept policy parameter (64 distinct cache keys:
+// the result cache never short-circuits a member). Arg(1) runs the
+// micro-batching scheduler, Arg(0) the pre-batching scalar dispatch;
+// the serve_{batched,scalar}_requests_per_sec counters land in
+// BENCH_serve.json and their ratio is the CI-gated speedup. ----
+
+constexpr int kCampaignRequests = 64;
+constexpr int kCampaignClients = 8;
+
+void
+BM_ServeCampaign64(benchmark::State &state)
+{
+    const bool batched = state.range(0) != 0;
+    ServerOptions options;
+    options.numWorkers = 2;
+    options.maxQueued = 2 * kCampaignRequests;
+    options.cacheMaxEntries = 4096;
+    options.batching = batched;
+    options.batchWindowMs = 5;
+    Server server(std::move(options));
+    if (!server.start().ok()) {
+        state.SkipWithError("server failed to start");
+        return;
+    }
+    std::uint64_t campaign = 0;
+    double wallSeconds = 0.0;
+    for (auto _ : state) {
+        const auto started = std::chrono::steady_clock::now();
+        ++campaign; // fresh param range: no result-cache carryover
+        std::atomic<int> failures{0};
+        std::vector<std::thread> clients;
+        clients.reserve(kCampaignClients);
+        for (int c = 0; c < kCampaignClients; ++c) {
+            clients.emplace_back([&, c, campaign] {
+                ServeClient client(server.port());
+                const int per_client =
+                    kCampaignRequests / kCampaignClients;
+                for (int r = 0; r < per_client; ++r) {
+                    const int i = c * per_client + r;
+                    RequestSpec spec;
+                    spec.clientId = "bench-" + std::to_string(c);
+                    spec.priority = Priority::Batch;
+                    spec.policy = "myopic";
+                    spec.param =
+                        5.0 + 0.01 * static_cast<double>(
+                                         campaign * kCampaignRequests +
+                                         i);
+                    spec.paramSet = true;
+                    spec.horizonMinutes = 1440;
+                    spec.scenarioText = "seed = 42\n";
+                    const auto outcome =
+                        client.submitWithRetry(spec, RetryPolicy{});
+                    if (!outcome.ok() ||
+                        outcome.value().status !=
+                            OutcomeStatus::Completed)
+                        failures.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+        wallSeconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+        if (failures.load() != 0) {
+            state.SkipWithError("campaign request failed");
+            break;
+        }
+    }
+    if (batched && server.schedulerStats().batchesDispatched == 0) {
+        state.SkipWithError("batched leg formed no batches");
+        return;
+    }
+    // Rate over *wall* time: the requests run on server threads, so the
+    // benchmark thread's CPU clock (kIsRate's denominator) is ~zero.
+    // The shared campaign_requests_per_sec name lets bench_compare
+    // normalize the batched leg by the scalar leg (their ratio is the
+    // machine-independent speedup CI gates on); the per-leg aliases
+    // keep the trajectory readable in BENCH_serve.json.
+    if (wallSeconds > 0.0) {
+        const double rate = static_cast<double>(state.iterations()) *
+                            kCampaignRequests / wallSeconds;
+        state.counters["campaign_requests_per_sec"] = rate;
+        state.counters[batched ? "serve_batched_requests_per_sec"
+                               : "serve_scalar_requests_per_sec"] = rate;
+    }
+    const auto occupancy = server.schedulerStats();
+    state.counters["batch_max_occupancy"] =
+        static_cast<double>(occupancy.batchMaxOccupancy);
+}
+BENCHMARK(BM_ServeCampaign64)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+// ---- Open-loop Poisson arrivals (first step toward the ROADMAP's
+// edgetherm_loadgen): requests fire on a seeded exponential arrival
+// clock regardless of completions -- queueing shows up in the measured
+// tail instead of throttling the offered load, unlike the closed-loop
+// legs above. Mixed lanes: every 4th arrival is interactive. ----
+
+void
+BM_ServeOpenLoopPoisson(benchmark::State &state)
+{
+    const bool batched = state.range(0) != 0;
+    constexpr int kArrivals = 96;
+    constexpr double kMeanInterArrivalMs = 20.0;
+    ServerOptions options;
+    options.numWorkers = 2;
+    options.maxQueued = 2 * kArrivals;
+    options.cacheMaxEntries = 4096;
+    options.batching = batched;
+    options.batchWindowMs = 5;
+    Server server(std::move(options));
+    if (!server.start().ok()) {
+        state.SkipWithError("server failed to start");
+        return;
+    }
+
+    telemetry::TailLatency all;
+    telemetry::TailLatency interactive;
+    telemetry::TailLatency batchLane;
+    std::atomic<int> failures{0};
+    double wallSeconds = 0.0;
+    for (auto _ : state) {
+        // Deterministic arrival schedule: same offered load each run.
+        std::mt19937_64 rng(4242);
+        std::exponential_distribution<double> gap(
+            1.0 / kMeanInterArrivalMs);
+        std::vector<double> arrivalMs(kArrivals);
+        double t = 0.0;
+        for (int i = 0; i < kArrivals; ++i) {
+            t += gap(rng);
+            arrivalMs[i] = t;
+        }
+        std::vector<std::thread> inflight;
+        inflight.reserve(kArrivals);
+        const auto epoch = std::chrono::steady_clock::now();
+        for (int i = 0; i < kArrivals; ++i) {
+            std::this_thread::sleep_until(
+                epoch + std::chrono::duration<double, std::milli>(
+                            arrivalMs[i]));
+            inflight.emplace_back([&, i] {
+                const bool isInteractive = i % 4 == 0;
+                RequestSpec spec;
+                spec.clientId = "load-" + std::to_string(i % 6);
+                spec.priority = isInteractive ? Priority::Interactive
+                                              : Priority::Batch;
+                spec.policy = "myopic";
+                // 12 distinct keys: cold constructions early, result
+                // cache hits on repeats -- a mixed realistic blend.
+                spec.param = 5.0 + 0.1 * static_cast<double>(i % 12);
+                spec.paramSet = true;
+                spec.horizonMinutes = 720;
+                spec.scenarioText = "seed = 42\n";
+                const auto sent = std::chrono::steady_clock::now();
+                ServeClient client(server.port());
+                const auto outcome =
+                    client.submitWithRetry(spec, RetryPolicy{});
+                const double us =
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - sent)
+                        .count();
+                if (!outcome.ok() ||
+                    outcome.value().status !=
+                        OutcomeStatus::Completed) {
+                    failures.fetch_add(1);
+                    return;
+                }
+                all.record(us);
+                (isInteractive ? interactive : batchLane).record(us);
+            });
+        }
+        for (std::thread &t2 : inflight)
+            t2.join();
+        wallSeconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - epoch)
+                           .count();
+        if (failures.load() != 0) {
+            state.SkipWithError("open-loop request failed");
+            break;
+        }
+    }
+    const auto overall = all.snapshot();
+    const auto inter = interactive.snapshot();
+    const auto batchSnap = batchLane.snapshot();
+    if (wallSeconds > 0.0)
+        state.counters["openloop_requests_per_sec"] =
+            static_cast<double>(overall.count) / wallSeconds;
+    state.counters["openloop_p99_ms"] = overall.p99 / 1000.0;
+    state.counters["openloop_interactive_p99_ms"] = inter.p99 / 1000.0;
+    state.counters["openloop_batch_p99_ms"] = batchSnap.p99 / 1000.0;
+}
+BENCHMARK(BM_ServeOpenLoopPoisson)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
 
 /** Collects finished runs for the stable-schema JSON summary. */
 class ServeJsonReporter : public benchmark::ConsoleReporter

@@ -630,8 +630,27 @@ Gateway::dispatch(Conn &conn)
                            errorBody("method_not_allowed",
                                      "use GET"),
                            keepAlive, {{"Allow", "GET"}});
-        return respond(conn, Route::Stats, started, 200,
-                       metricsJson(), keepAlive);
+        // The document includes per-worker serve.batch.* and
+        // serve.setup_cache.* counters fetched over blocking STATS
+        // RPCs, so the collection runs on a forwarder thread -- the
+        // epoll loop must never wait on a worker socket.
+        conn.busy = true;
+        const std::uint64_t connId = conn.id;
+        enqueueJob([this, connId, keepAlive, started] {
+            collectWorkerServeStats();
+            const std::string body = metricsJson();
+            recordResponse(200);
+            latency_[static_cast<int>(Route::Stats)].record(
+                elapsedUs(started));
+            Completion reply;
+            reply.connId = connId;
+            reply.bytes = buildHttpResponse(200, "application/json",
+                                            body, keepAlive);
+            reply.endOfResponse = true;
+            reply.closeAfter = !keepAlive;
+            pushCompletion(std::move(reply));
+        });
+        return;
     }
     if (path == "/v1/runs") {
         if (method == "POST")
@@ -1357,6 +1376,68 @@ Gateway::httpStats() const
     stats.bytesOut = bytesOut_.load(std::memory_order_relaxed);
     stats.idleClosed = idleClosed_.load(std::memory_order_relaxed);
     return stats;
+}
+
+void
+Gateway::collectWorkerServeStats()
+{
+    auto &reg = telemetry::registry();
+    static const char *const kKeys[] = {
+        "serve.batch.batches",
+        "serve.batch.batched_requests",
+        "serve.batch.scalar_fallbacks",
+        "serve.batch.max_occupancy",
+        "serve.batch.occupancy.mean",
+        "serve.batch.window_delay.p99_us",
+        "serve.setup_cache.hits",
+        "serve.setup_cache.misses",
+    };
+    double clusterBatches = 0.0;
+    double clusterBatched = 0.0;
+    double clusterSetupHits = 0.0;
+    double clusterSetupMisses = 0.0;
+    for (std::size_t w = 0; w < pool_.size(); ++w) {
+        auto doc = pool_.stats(w);
+        if (!doc)
+            continue; // gateway.worker.N.healthy already says why
+        auto parsed = JsonValue::parse(doc.value());
+        if (!parsed) {
+            ecolo::warn("gateway: worker ", w,
+                        " stats unparseable: ",
+                        parsed.error().message);
+            continue;
+        }
+        const JsonValue *stats = parsed.value().member("stats");
+        if (!stats)
+            continue;
+        const std::string prefix =
+            "gateway.worker." + std::to_string(w) + ".";
+        for (const char *key : kKeys) {
+            const JsonValue *stat = stats->member(key);
+            const JsonValue *value =
+                stat ? stat->member("value") : nullptr;
+            if (!value || !value->isNumber())
+                continue;
+            const double v = value->asNumber();
+            reg.scalar(prefix + key).set(v);
+            if (std::strcmp(key, "serve.batch.batches") == 0)
+                clusterBatches += v;
+            else if (std::strcmp(key,
+                                 "serve.batch.batched_requests") == 0)
+                clusterBatched += v;
+            else if (std::strcmp(key, "serve.setup_cache.hits") == 0)
+                clusterSetupHits += v;
+            else if (std::strcmp(key, "serve.setup_cache.misses") == 0)
+                clusterSetupMisses += v;
+        }
+    }
+    reg.scalar("gateway.cluster.batch.batches").set(clusterBatches);
+    reg.scalar("gateway.cluster.batch.batched_requests")
+        .set(clusterBatched);
+    reg.scalar("gateway.cluster.setup_cache.hits")
+        .set(clusterSetupHits);
+    reg.scalar("gateway.cluster.setup_cache.misses")
+        .set(clusterSetupMisses);
 }
 
 std::string

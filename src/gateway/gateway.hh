@@ -246,6 +246,14 @@ class Gateway
     void handleRunList(Conn &conn,
                        std::chrono::steady_clock::time_point started);
     std::string healthzJson() const;
+    /**
+     * Pull each healthy worker's serve.batch.* / serve.setup_cache.*
+     * counters over a STATS RPC and mirror them into the registry as
+     * gateway.worker.N.* plus gateway.cluster.* aggregates, so
+     * cluster-level batching efficiency is one curl away. Blocking;
+     * forwarder threads only.
+     */
+    void collectWorkerServeStats();
 
     /** What forwardRun resolved to, ready for HTTP rendering. */
     struct ForwardHttp

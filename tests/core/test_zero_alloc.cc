@@ -188,4 +188,51 @@ TEST(ZeroAllocation, LaneBatchSlotLoopIsAllocationFree)
     EXPECT_TRUE(runner.finished());
 }
 
+TEST(ZeroAllocation, ServeStyleBatchedLaneLoopIsAllocationFree)
+{
+    // The serving tier's micro-batch executor drives the same runner in
+    // statusEveryMinutes-sized chunks with a per-lane cancel check
+    // installed (the scheduler token poll). Neither the chunked
+    // re-entry, nor the armed cancel branch, nor retiring a cancelled
+    // lane mid-measurement may touch the heap.
+    auto cache = std::make_shared<SetupCache>();
+    auto config = SimulationConfig::paperDefault();
+    config.seed = 99;
+    config.setupCache = cache;
+
+    std::atomic<bool> cancelled[4];
+    for (std::atomic<bool> &flag : cancelled)
+        flag.store(false, std::memory_order_relaxed);
+    std::vector<std::unique_ptr<Simulation>> sims;
+    int lane = 0;
+    for (double threshold : {7.2, 7.4, 7.6, 7.8}) {
+        sims.push_back(std::make_unique<Simulation>(
+            config, makeMyopicPolicy(config, Kilowatts(threshold))));
+        std::atomic<bool> *flag = &cancelled[lane++];
+        sims.back()->setCancelCheck([flag] {
+            return flag->load(std::memory_order_relaxed);
+        });
+    }
+
+    LaneBatchRunner runner;
+    for (auto &sim : sims)
+        runner.add(*sim, 30 + 360);
+    runner.run(30); // warmup: groups formed, arenas sized
+
+    const long long before = g_news.load(std::memory_order_relaxed);
+    for (int chunk = 0; chunk < 6 && !runner.finished(); ++chunk) {
+        if (chunk == 2) // masked divergence: one lane retires early
+            cancelled[1].store(true, std::memory_order_relaxed);
+        runner.run(60);
+    }
+    const long long during =
+        g_news.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(during, 0)
+        << "the serve-style batched lane loop touched the heap";
+    EXPECT_TRUE(runner.finished());
+    EXPECT_TRUE(runner.cancelled(1));
+    EXPECT_EQ(sims[1]->now(), 30 + 120);
+    EXPECT_EQ(sims[0]->now(), 30 + 360);
+}
+
 } // namespace

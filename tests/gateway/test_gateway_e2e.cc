@@ -591,6 +591,18 @@ TEST(GatewayE2E, StatsDocumentCarriesGatewayMetrics)
     EXPECT_GE(metric("gateway.latency.runs.p99_us"), 0.0);
     EXPECT_GE(metric("gateway.workers.healthy"), 1.0);
 
+    // The stats route pulls each worker's micro-batching and
+    // setup-cache counters over a STATS RPC and mirrors them in. One
+    // lone run batches with nobody, so it shows up as a scalar
+    // fallback and a setup-cache miss, per worker and cluster-wide.
+    EXPECT_GE(metric("gateway.worker.0.serve.batch.scalar_fallbacks"),
+              1.0);
+    EXPECT_GE(metric("gateway.worker.0.serve.batch.occupancy.mean"),
+              1.0);
+    EXPECT_GE(metric("gateway.worker.0.serve.setup_cache.misses"), 1.0);
+    EXPECT_GE(metric("gateway.cluster.setup_cache.misses"), 1.0);
+    EXPECT_GE(metric("gateway.cluster.batch.batches"), 0.0);
+
     // healthz agrees.
     auto health = request(gw.port(), httpGet("/v1/healthz"));
     ASSERT_TRUE(health.ok());

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Gate perf regressions between two bench_perf_kernels JSON summaries.
+"""Gate perf regressions between two edgetherm bench JSON summaries.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
                      [--normalize-by BENCHMARK] [--metric COUNTER]
+                     [--direction {lower,higher}]
 
 Compares every benchmark that reports the gated counter (``ns_per_slot``
 by default) in both files and exits 1 if any of them regressed by more
 than the threshold (default 15%). Exits 2 on usage or I/O errors, 0
-otherwise.
+otherwise. ``--direction higher`` flips the regression test for
+throughput-style metrics (requests per second: a *drop* beyond the
+threshold fails).
 
 Raw nanoseconds are not comparable across machines, so CI passes
 ``--normalize-by`` with an anchor benchmark measured in the same run
@@ -20,8 +23,10 @@ absolute and only meaningful on one machine (e.g. against a baseline
 you just generated locally).
 
 The input format is the ``edgetherm-bench-perf-v1`` summary that
-bench_perf_kernels writes (see docs/performance.md). Only Python's
-standard library is used.
+bench_perf_kernels writes or the ``edgetherm-bench-serve-v1`` summary
+that bench_serve_throughput writes (see docs/performance.md). Both
+files must carry the same schema. Only Python's standard library is
+used.
 """
 
 import argparse
@@ -45,7 +50,8 @@ def load_metrics(path, metric):
         fail_usage("%s is not valid JSON: %s" % (path, err))
 
     schema = data.get("schema")
-    if schema != "edgetherm-bench-perf-v1":
+    known = ("edgetherm-bench-perf-v1", "edgetherm-bench-serve-v1")
+    if schema not in known:
         fail_usage("%s has unexpected schema %r" % (path, schema))
 
     metrics = {}
@@ -57,7 +63,7 @@ def load_metrics(path, metric):
         if not isinstance(value, (int, float)) or value <= 0.0:
             fail_usage("%s: %s has non-positive %s" % (path, name, metric))
         metrics[name] = float(value)
-    return metrics
+    return metrics, schema
 
 
 def normalize(metrics, anchor, path):
@@ -93,12 +99,24 @@ def main(argv):
         default="ns_per_slot",
         help="counter to gate on (default: %(default)s)",
     )
+    parser.add_argument(
+        "--direction",
+        choices=("lower", "higher"),
+        default="lower",
+        help="whether lower or higher metric values are better "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         fail_usage("--threshold must be non-negative")
 
-    baseline = load_metrics(args.baseline, args.metric)
-    current = load_metrics(args.current, args.metric)
+    baseline, baseline_schema = load_metrics(args.baseline, args.metric)
+    current, current_schema = load_metrics(args.current, args.metric)
+    if baseline_schema != current_schema:
+        fail_usage(
+            "schema mismatch: %s is %r but %s is %r"
+            % (args.baseline, baseline_schema, args.current, current_schema)
+        )
     if not baseline:
         fail_usage("%s reports no %s metrics" % (args.baseline, args.metric))
     if args.normalize_by:
@@ -115,8 +133,11 @@ def main(argv):
             continue
         before, after = baseline[name], current[name]
         delta_pct = (after / before - 1.0) * 100.0
+        regressed_pct = (
+            delta_pct if args.direction == "lower" else -delta_pct
+        )
         status = "OK"
-        if delta_pct > args.threshold:
+        if regressed_pct > args.threshold:
             status = "REGRESSED"
             regressions.append((name, before, after, delta_pct))
         print(
